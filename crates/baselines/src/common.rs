@@ -1,0 +1,97 @@
+//! Shared building blocks for the baseline algorithms: Lamport logical
+//! clocks and totally ordered request priorities.
+
+use core::cmp::Ordering;
+
+use rcv_simnet::NodeId;
+
+/// A Lamport logical clock (Lamport 1978), as used by Ricart–Agrawala,
+/// Lamport's algorithm and Maekawa's priority scheme.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LamportClock {
+    value: u64,
+}
+
+impl LamportClock {
+    /// Fresh clock at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Local event: advances and returns the new value.
+    pub fn tick(&mut self) -> u64 {
+        self.value += 1;
+        self.value
+    }
+
+    /// Message receipt carrying `observed`: merges and advances.
+    pub fn observe(&mut self, observed: u64) -> u64 {
+        self.value = self.value.max(observed) + 1;
+        self.value
+    }
+}
+
+/// A request priority: smaller `(timestamp, node)` wins — the classic total
+/// order over requests used by all timestamp-based baselines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Priority {
+    /// Lamport timestamp at request time.
+    pub ts: u64,
+    /// Requesting node (tie breaker).
+    pub node: NodeId,
+}
+
+impl Priority {
+    /// Convenience constructor.
+    pub fn new(ts: u64, node: NodeId) -> Self {
+        Priority { ts, node }
+    }
+}
+
+impl PartialOrd for Priority {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Priority {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.ts, self.node).cmp(&(other.ts, other.node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_ticks_monotonically() {
+        let mut c = LamportClock::new();
+        assert_eq!(c.tick(), 1);
+        assert_eq!(c.tick(), 2);
+        assert_eq!(c.value(), 2);
+    }
+
+    #[test]
+    fn observe_jumps_past_remote() {
+        let mut c = LamportClock::new();
+        c.tick();
+        assert_eq!(c.observe(10), 11);
+        assert_eq!(c.observe(3), 12, "merge never goes backwards");
+    }
+
+    #[test]
+    fn priority_orders_by_ts_then_node() {
+        let a = Priority::new(1, NodeId::new(5));
+        let b = Priority::new(2, NodeId::new(0));
+        let c = Priority::new(1, NodeId::new(6));
+        assert!(a < b);
+        assert!(a < c);
+        assert!(c < b);
+    }
+}

@@ -1,0 +1,229 @@
+//! Lamport's timestamp algorithm (CACM 1978) — the ancestor of
+//! Ricart–Agrawala, included as an extension comparator (the paper's future
+//! work proposes comparing against more algorithms).
+//!
+//! Every node maintains a replicated request queue ordered by
+//! `(timestamp, node)`. A requester broadcasts REQUEST, everyone replies
+//! (ack), and the requester enters once (a) its request heads its local
+//! queue and (b) it has heard a later-timestamped message from every other
+//! node. RELEASE is broadcast at exit. `3(N−1)` messages per CS.
+//!
+//! Note: Lamport's algorithm **requires FIFO channels** (the queue/ack
+//! reasoning breaks if a RELEASE overtakes its REQUEST); tests use the
+//! constant-delay (FIFO) model, as the paper's simulation does.
+
+use rcv_simnet::{Ctx, MutexProtocol, NodeId, ProtocolMessage};
+
+use crate::common::{LamportClock, Priority};
+
+/// Lamport algorithm message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LpMessage {
+    /// Timestamped CS request.
+    Request {
+        /// Lamport timestamp of the request.
+        ts: u64,
+    },
+    /// Acknowledgement carrying the replier's clock.
+    Ack {
+        /// Replier's clock value, proving a later message.
+        ts: u64,
+    },
+    /// The sender's request is finished.
+    Release {
+        /// Sender's clock value.
+        ts: u64,
+    },
+}
+
+impl ProtocolMessage for LpMessage {
+    fn kind(&self) -> &'static str {
+        match self {
+            LpMessage::Request { .. } => "REQUEST",
+            LpMessage::Ack { .. } => "ACK",
+            LpMessage::Release { .. } => "RELEASE",
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        12
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    Waiting,
+    InCs,
+}
+
+/// One Lamport-algorithm node.
+pub struct Lamport {
+    me: NodeId,
+    n: usize,
+    clock: LamportClock,
+    phase: Phase,
+    /// Replicated request queue (kept sorted by priority).
+    queue: Vec<Priority>,
+    /// Timestamp of the last message received from each peer.
+    last_heard: Vec<u64>,
+    my_priority: Option<Priority>,
+}
+
+impl Lamport {
+    /// Creates node `me` of an `n`-node system.
+    pub fn new(me: NodeId, n: usize) -> Self {
+        assert!(n >= 1 && me.index() < n);
+        Lamport {
+            me,
+            n,
+            clock: LamportClock::new(),
+            phase: Phase::Idle,
+            queue: Vec::new(),
+            last_heard: vec![0; n],
+            my_priority: None,
+        }
+    }
+
+    fn insert_sorted(&mut self, p: Priority) {
+        if !self.queue.contains(&p) {
+            let pos = self.queue.partition_point(|q| *q < p);
+            self.queue.insert(pos, p);
+        }
+    }
+
+    /// Lamport's entry condition: my request heads the queue and every
+    /// other node has been heard after my request's timestamp.
+    fn try_enter(&mut self, ctx: &mut Ctx<'_, LpMessage>) {
+        if self.phase != Phase::Waiting {
+            return;
+        }
+        let Some(mine) = self.my_priority else { return };
+        if self.queue.first() != Some(&mine) {
+            return;
+        }
+        let all_later = NodeId::all(self.n)
+            .filter(|&p| p != self.me)
+            .all(|p| self.last_heard[p.index()] > mine.ts);
+        if all_later {
+            self.phase = Phase::InCs;
+            ctx.enter_cs();
+        }
+    }
+}
+
+impl MutexProtocol for Lamport {
+    type Message = LpMessage;
+
+    fn name(&self) -> &'static str {
+        "lamport"
+    }
+
+    fn on_request(&mut self, ctx: &mut Ctx<'_, LpMessage>) {
+        debug_assert_eq!(self.phase, Phase::Idle);
+        let ts = self.clock.tick();
+        let mine = Priority::new(ts, self.me);
+        self.my_priority = Some(mine);
+        self.insert_sorted(mine);
+        self.phase = Phase::Waiting;
+        for peer in NodeId::all(self.n).filter(|&p| p != self.me) {
+            ctx.send(peer, LpMessage::Request { ts });
+        }
+        self.try_enter(ctx); // N = 1 degenerate case
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: LpMessage, ctx: &mut Ctx<'_, LpMessage>) {
+        match msg {
+            LpMessage::Request { ts } => {
+                let now = self.clock.observe(ts);
+                self.last_heard[from.index()] = ts;
+                self.insert_sorted(Priority::new(ts, from));
+                ctx.send(from, LpMessage::Ack { ts: now });
+            }
+            LpMessage::Ack { ts } => {
+                self.clock.observe(ts);
+                self.last_heard[from.index()] = self.last_heard[from.index()].max(ts);
+            }
+            LpMessage::Release { ts } => {
+                self.clock.observe(ts);
+                self.last_heard[from.index()] = self.last_heard[from.index()].max(ts);
+                self.queue.retain(|p| p.node != from);
+            }
+        }
+        self.try_enter(ctx);
+    }
+
+    fn on_cs_released(&mut self, ctx: &mut Ctx<'_, LpMessage>) {
+        debug_assert_eq!(self.phase, Phase::InCs);
+        self.phase = Phase::Idle;
+        if let Some(mine) = self.my_priority.take() {
+            self.queue.retain(|p| *p != mine);
+        }
+        let ts = self.clock.tick();
+        for peer in NodeId::all(self.n).filter(|&p| p != self.me) {
+            ctx.send(peer, LpMessage::Release { ts });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcv_simnet::{BurstOnce, DelayModel, Engine, FixedTrace, SimConfig, SimTime};
+
+    fn run_burst(n: usize, seed: u64) -> rcv_simnet::SimReport {
+        let cfg = SimConfig { delay: DelayModel::paper_constant(), ..SimConfig::paper(n, seed) };
+        Engine::new(cfg, BurstOnce, Lamport::new).run()
+    }
+
+    #[test]
+    fn burst_is_safe_and_live() {
+        for n in [1, 2, 3, 6, 12, 24] {
+            let r = run_burst(n, 0);
+            assert!(r.is_safe(), "N={n}");
+            assert_eq!(r.metrics.completed(), n, "N={n}");
+        }
+    }
+
+    #[test]
+    fn message_complexity_is_3n_minus_3() {
+        // Per CS execution: N-1 requests, N-1 acks, N-1 releases.
+        let trace = FixedTrace::new(vec![(SimTime::from_ticks(0), NodeId::new(1))]);
+        for n in [4, 8, 16] {
+            let cfg = SimConfig::paper(n, 0);
+            let r = Engine::new(cfg, trace.clone(), Lamport::new).run();
+            assert_eq!(r.metrics.messages_sent() as usize, 3 * (n - 1), "N={n}");
+        }
+    }
+
+    #[test]
+    fn burst_serves_in_id_order() {
+        let n = 5;
+        let cfg = SimConfig::paper(n, 0);
+        let (r, _) = Engine::new(cfg, BurstOnce, Lamport::new).run_collecting();
+        let mut entries: Vec<(u64, u32)> = r
+            .metrics
+            .records()
+            .iter()
+            .map(|rec| (rec.entered.unwrap().ticks(), rec.node.raw()))
+            .collect();
+        entries.sort();
+        assert_eq!(
+            entries.iter().map(|&(_, id)| id).collect::<Vec<_>>(),
+            (0..n as u32).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn repeated_requests_progress() {
+        let trace = FixedTrace::new(vec![
+            (SimTime::from_ticks(0), NodeId::new(0)),
+            (SimTime::from_ticks(40), NodeId::new(0)),
+            (SimTime::from_ticks(80), NodeId::new(1)),
+        ]);
+        let cfg = SimConfig::paper(3, 0);
+        let r = Engine::new(cfg, trace, Lamport::new).run();
+        assert_eq!(r.metrics.completed(), 3);
+        assert!(r.is_safe());
+    }
+}

@@ -1,0 +1,37 @@
+//! # rcv-baselines — comparator algorithms for the RCV evaluation
+//!
+//! The paper's simulation (§6.2) compares RCV against three classic
+//! non-structured algorithms; this crate implements all three, plus two
+//! extensions for the paper's proposed future-work comparison:
+//!
+//! | Module | Algorithm | Messages/CS | Notes |
+//! |---|---|---|---|
+//! | [`ricart_agrawala`] | Ricart–Agrawala 1981 ("Ricart") | `2(N−1)` | permission-based |
+//! | [`maekawa`] | Maekawa 1985 | `3√N..5√N` | grid quorums + FAILED/INQUIRE/YIELD |
+//! | [`suzuki_kasami`] | Suzuki–Kasami 1985 ("Broadcast") | `0` or `N` | broadcast token |
+//! | [`ra_dynamic`] | Roucairol–Carvalho dynamic RA | `0..2(N−1)` | the paper's "\[15\]" remark |
+//! | [`lamport`] | Lamport 1978 | `3(N−1)` | extension |
+//! | [`raymond`] | Raymond 1989 | `~4` heavy, `O(log N)` light | structured extension |
+//!
+//! All five implement the shared [`rcv_simnet::MutexProtocol`] interface,
+//! so any of them can be dropped into the simulator, the threaded runtime
+//! and the experiment harness interchangeably with the RCV implementation
+//! in `rcv-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod lamport;
+pub mod maekawa;
+pub mod ra_dynamic;
+pub mod raymond;
+pub mod ricart_agrawala;
+pub mod suzuki_kasami;
+
+pub use lamport::Lamport;
+pub use ra_dynamic::RaDynamic;
+pub use maekawa::{Maekawa, QuorumSystem};
+pub use raymond::Raymond;
+pub use ricart_agrawala::RicartAgrawala;
+pub use suzuki_kasami::SuzukiKasami;

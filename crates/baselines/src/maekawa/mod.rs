@@ -1,0 +1,8 @@
+//! Maekawa's quorum-based mutual exclusion (see [`Maekawa`] for the protocol
+//! and [`QuorumSystem`] for the quorum constructions).
+
+mod node;
+mod quorum;
+
+pub use node::{Maekawa, MkMessage};
+pub use quorum::QuorumSystem;

@@ -1,0 +1,508 @@
+//! Maekawa's √N quorum algorithm (TOCS 1985) with the full
+//! FAILED/INQUIRE/YIELD deadlock-avoidance protocol.
+//!
+//! Every node plays two roles:
+//!
+//! * **requester** — collects a `LOCKED` grant from every member of its
+//!   quorum before entering the CS;
+//! * **arbiter** — grants its single lock to one request at a time,
+//!   queueing the rest by `(timestamp, node)` priority. When a request
+//!   with higher priority than the current grant arrives, the arbiter
+//!   `INQUIRE`s the grant holder, who `YIELD`s the lock back if it knows it
+//!   cannot currently win (it has received a `FAILED` somewhere).
+//!
+//! A node is a member of its own quorum (required for the pairwise
+//! intersection property). Self-addressed protocol steps are applied
+//! locally without generating network messages, matching the message
+//! counts reported in the literature (≈ 3√N per CS at light load,
+//! up to 5√N under contention).
+//!
+//! **FIFO caveat** (paper §2, citing Chang's note \[5\]): Maekawa's algorithm
+//! assumes FIFO channels; the paper's simulation uses constant delays,
+//! which are FIFO. We do the same in every Maekawa experiment and test.
+
+use rcv_simnet::{Ctx, MutexProtocol, NodeId, ProtocolMessage};
+
+use crate::common::{LamportClock, Priority};
+use crate::maekawa::quorum::QuorumSystem;
+
+/// Maekawa protocol message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MkMessage {
+    /// Timestamped lock request (requester → arbiter).
+    Request {
+        /// Lamport timestamp of the request.
+        ts: u64,
+    },
+    /// Lock granted (arbiter → requester).
+    Locked,
+    /// Lock denied for now: a stronger request holds it (arbiter →
+    /// requester).
+    Failed,
+    /// A stronger request is waiting — give the lock back if you are not
+    /// already committed (arbiter → current grant holder).
+    Inquire,
+    /// The holder relinquishes the lock (requester → arbiter).
+    Yield,
+    /// CS finished — free the lock (requester → arbiter).
+    Release,
+}
+
+impl ProtocolMessage for MkMessage {
+    fn kind(&self) -> &'static str {
+        match self {
+            MkMessage::Request { .. } => "REQUEST",
+            MkMessage::Locked => "LOCKED",
+            MkMessage::Failed => "FAILED",
+            MkMessage::Inquire => "INQUIRE",
+            MkMessage::Yield => "YIELD",
+            MkMessage::Release => "RELEASE",
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        match self {
+            MkMessage::Request { .. } => 12,
+            _ => 4,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    Waiting,
+    InCs,
+}
+
+/// One Maekawa node (requester + arbiter).
+pub struct Maekawa {
+    me: NodeId,
+    quorums: QuorumSystem,
+    clock: LamportClock,
+
+    // Requester state.
+    phase: Phase,
+    my_priority: Option<Priority>,
+    /// Quorum members that currently grant me their lock.
+    locks: Vec<NodeId>,
+    /// Set once any arbiter FAILs me for this request.
+    got_failed: bool,
+    /// Arbiters whose INQUIRE awaits an answer (flushed on first FAILED).
+    pending_inquires: Vec<NodeId>,
+
+    // Arbiter state.
+    granted_to: Option<Priority>,
+    wait_queue: Vec<QueuedReq>,
+    inquire_sent: bool,
+}
+
+/// A request waiting at the arbiter, remembering whether its owner has
+/// been told FAILED. A request admitted on the INQUIRE path is *not*
+/// failed yet; if the grant later goes to an even stronger request, the
+/// arbiter owes it a FAILED — otherwise it would hold locks elsewhere
+/// forever without knowing it lost (a deadlock this implementation hit in
+/// testing; see `regression_poisson_deadlock` below).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct QueuedReq {
+    prio: Priority,
+    failed_sent: bool,
+}
+
+impl Maekawa {
+    /// Creates node `me` of an `n`-node system with grid quorums.
+    pub fn new(me: NodeId, n: usize) -> Self {
+        Self::with_quorums(me, QuorumSystem::grid(n))
+    }
+
+    /// Creates a node with an explicit quorum system (tests, ablations).
+    pub fn with_quorums(me: NodeId, quorums: QuorumSystem) -> Self {
+        assert!(me.index() < quorums.n());
+        Maekawa {
+            me,
+            quorums,
+            clock: LamportClock::new(),
+            phase: Phase::Idle,
+            my_priority: None,
+            locks: Vec::new(),
+            got_failed: false,
+            pending_inquires: Vec::new(),
+            granted_to: None,
+            wait_queue: Vec::new(),
+            inquire_sent: false,
+        }
+    }
+
+    /// This node's quorum (white-box tests).
+    pub fn quorum(&self) -> &[NodeId] {
+        self.quorums.quorum(self.me)
+    }
+
+    /// One-line diagnostic snapshot of both roles (deadlock forensics).
+    pub fn debug_state(&self) -> String {
+        format!(
+            "{:?} phase={:?} prio={:?} locks={:?} failed={} pend_inq={:?} | granted={:?} queue={:?} inq_sent={}",
+            self.me,
+            self.phase,
+            self.my_priority,
+            self.locks,
+            self.got_failed,
+            self.pending_inquires,
+            self.granted_to,
+            self.wait_queue,
+            self.inquire_sent
+        )
+    }
+
+    /// Routes a protocol step, short-circuiting self-addressed ones.
+    fn route(&mut self, to: NodeId, msg: MkMessage, ctx: &mut Ctx<'_, MkMessage>) {
+        if to == self.me {
+            self.handle(self.me, msg, ctx);
+        } else {
+            ctx.send(to, msg);
+        }
+    }
+
+    fn handle(&mut self, from: NodeId, msg: MkMessage, ctx: &mut Ctx<'_, MkMessage>) {
+        match msg {
+            MkMessage::Request { ts } => self.arbiter_request(Priority::new(ts, from), ctx),
+            MkMessage::Yield => self.arbiter_yield(from, ctx),
+            MkMessage::Release => self.arbiter_release(from, ctx),
+            MkMessage::Locked => self.requester_locked(from, ctx),
+            MkMessage::Failed => self.requester_failed(from, ctx),
+            MkMessage::Inquire => self.requester_inquire(from, ctx),
+        }
+    }
+
+    // ------------------------------------------------------- arbiter side
+
+    fn arbiter_request(&mut self, req: Priority, ctx: &mut Ctx<'_, MkMessage>) {
+        match self.granted_to {
+            None => {
+                self.granted_to = Some(req);
+                self.route(req.node, MkMessage::Locked, ctx);
+            }
+            Some(cur) => {
+                let stronger = req < cur;
+                if stronger && !self.inquire_sent {
+                    self.wait_queue.push(QueuedReq { prio: req, failed_sent: false });
+                    self.inquire_sent = true;
+                    self.route(cur.node, MkMessage::Inquire, ctx);
+                } else {
+                    self.wait_queue.push(QueuedReq { prio: req, failed_sent: true });
+                    self.route(req.node, MkMessage::Failed, ctx);
+                }
+            }
+        }
+    }
+
+    fn arbiter_yield(&mut self, from: NodeId, ctx: &mut Ctx<'_, MkMessage>) {
+        let Some(cur) = self.granted_to else { return };
+        if cur.node != from {
+            return; // stale yield (already released and re-granted)
+        }
+        // The lock returns to the pool; the holder goes back in the queue.
+        // It yielded because it knows it lost, so no FAILED is owed.
+        self.wait_queue.push(QueuedReq { prio: cur, failed_sent: true });
+        self.granted_to = None;
+        self.inquire_sent = false;
+        self.grant_next(ctx);
+    }
+
+    fn arbiter_release(&mut self, from: NodeId, ctx: &mut Ctx<'_, MkMessage>) {
+        debug_assert_eq!(
+            self.granted_to.map(|p| p.node),
+            Some(from),
+            "RELEASE from a node that does not hold the lock"
+        );
+        if self.granted_to.map(|p| p.node) == Some(from) {
+            self.granted_to = None;
+            self.inquire_sent = false;
+            self.grant_next(ctx);
+        }
+    }
+
+    fn grant_next(&mut self, ctx: &mut Ctx<'_, MkMessage>) {
+        debug_assert!(self.granted_to.is_none());
+        if self.wait_queue.is_empty() {
+            return;
+        }
+        let best = self.wait_queue.iter().map(|q| q.prio).min().expect("non-empty");
+        self.wait_queue.retain(|q| q.prio != best);
+        self.granted_to = Some(best);
+        self.route(best.node, MkMessage::Locked, ctx);
+        // Everyone still queued is now weaker than the grant holder; anyone
+        // admitted on the INQUIRE path has never been told FAILED — without
+        // this, such a request never learns it lost and never YIELDs the
+        // locks it holds at other arbiters (deadlock).
+        let owed: Vec<NodeId> = self
+            .wait_queue
+            .iter_mut()
+            .filter(|q| !q.failed_sent)
+            .map(|q| {
+                q.failed_sent = true;
+                q.prio.node
+            })
+            .collect();
+        for node in owed {
+            self.route(node, MkMessage::Failed, ctx);
+        }
+    }
+
+    // ----------------------------------------------------- requester side
+
+    fn requester_locked(&mut self, from: NodeId, ctx: &mut Ctx<'_, MkMessage>) {
+        if self.phase != Phase::Waiting {
+            return; // stale (e.g. lock re-granted after our yield raced a release)
+        }
+        if !self.locks.contains(&from) {
+            self.locks.push(from);
+        }
+        if self.locks.len() == self.quorums.quorum(self.me).len() {
+            self.phase = Phase::InCs;
+            self.got_failed = false;
+            self.pending_inquires.clear();
+            ctx.enter_cs();
+        }
+    }
+
+    fn requester_failed(&mut self, _from: NodeId, ctx: &mut Ctx<'_, MkMessage>) {
+        if self.phase != Phase::Waiting {
+            return;
+        }
+        self.got_failed = true;
+        // Answer every deferred INQUIRE: we now know we cannot win yet.
+        for arbiter in core::mem::take(&mut self.pending_inquires) {
+            self.locks.retain(|&l| l != arbiter);
+            self.route(arbiter, MkMessage::Yield, ctx);
+        }
+    }
+
+    fn requester_inquire(&mut self, from: NodeId, ctx: &mut Ctx<'_, MkMessage>) {
+        match self.phase {
+            // Already inside: the RELEASE at exit will answer the arbiter.
+            Phase::InCs => {}
+            Phase::Waiting => {
+                if self.got_failed {
+                    self.locks.retain(|&l| l != from);
+                    self.route(from, MkMessage::Yield, ctx);
+                } else if !self.pending_inquires.contains(&from) {
+                    // Might still win; answer when the first FAILED arrives.
+                    self.pending_inquires.push(from);
+                }
+            }
+            // Already released: the RELEASE is on its way to the arbiter.
+            Phase::Idle => {}
+        }
+    }
+}
+
+impl MutexProtocol for Maekawa {
+    type Message = MkMessage;
+
+    fn name(&self) -> &'static str {
+        "maekawa"
+    }
+
+    fn on_request(&mut self, ctx: &mut Ctx<'_, MkMessage>) {
+        debug_assert_eq!(self.phase, Phase::Idle);
+        let ts = self.clock.tick();
+        self.my_priority = Some(Priority::new(ts, self.me));
+        self.phase = Phase::Waiting;
+        self.locks.clear();
+        self.got_failed = false;
+        for member in self.quorums.quorum(self.me).to_vec() {
+            self.route(member, MkMessage::Request { ts }, ctx);
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: MkMessage, ctx: &mut Ctx<'_, MkMessage>) {
+        if let MkMessage::Request { ts } = msg {
+            self.clock.observe(ts);
+        }
+        self.handle(from, msg, ctx);
+    }
+
+    fn on_cs_released(&mut self, ctx: &mut Ctx<'_, MkMessage>) {
+        debug_assert_eq!(self.phase, Phase::InCs);
+        self.phase = Phase::Idle;
+        self.my_priority = None;
+        self.locks.clear();
+        for member in self.quorums.quorum(self.me).to_vec() {
+            self.route(member, MkMessage::Release, ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcv_simnet::{BurstOnce, DelayModel, Engine, SimConfig};
+
+    fn run_burst(n: usize, seed: u64) -> rcv_simnet::SimReport {
+        // Constant delay: Maekawa assumes FIFO channels (see module docs).
+        let cfg = SimConfig { delay: DelayModel::paper_constant(), ..SimConfig::paper(n, seed) };
+        Engine::new(cfg, BurstOnce, Maekawa::new).run()
+    }
+
+    #[test]
+    fn burst_is_safe_and_live_across_sizes() {
+        for n in [1, 2, 3, 4, 5, 9, 16, 25, 30] {
+            for seed in 0..4 {
+                let r = run_burst(n, seed);
+                assert!(r.is_safe(), "N={n} seed={seed}");
+                assert!(!r.deadlocked, "N={n} seed={seed}: deadlock");
+                assert_eq!(r.metrics.completed(), n, "N={n} seed={seed}: starvation");
+            }
+        }
+    }
+
+    #[test]
+    fn light_load_messages_scale_with_quorum() {
+        use rcv_simnet::{FixedTrace, SimTime};
+        // One lone request: 3 * (|quorum| - 1) messages (self short-circuits).
+        for n in [9, 16, 25] {
+            let trace = FixedTrace::new(vec![(SimTime::from_ticks(0), NodeId::new(0))]);
+            let cfg = SimConfig::paper(n, 0);
+            let r = Engine::new(cfg, trace, Maekawa::new).run();
+            let q = QuorumSystem::grid(n).quorum(NodeId::new(0)).len();
+            assert_eq!(r.metrics.messages_sent() as usize, 3 * (q - 1), "N={n}");
+        }
+    }
+
+    #[test]
+    fn contention_pair_resolves_by_priority() {
+        use rcv_simnet::{FixedTrace, SimTime};
+        // Two simultaneous requests with intersecting quorums: the smaller
+        // node id (equal timestamps) must win; both eventually complete.
+        let trace = FixedTrace::new(vec![
+            (SimTime::from_ticks(0), NodeId::new(0)),
+            (SimTime::from_ticks(0), NodeId::new(3)),
+        ]);
+        let cfg = SimConfig::paper(9, 1);
+        let (r, _) = Engine::new(cfg, trace, Maekawa::new).run_collecting();
+        assert!(r.is_safe());
+        assert_eq!(r.metrics.completed(), 2);
+        let first = r
+            .metrics
+            .records()
+            .iter()
+            .min_by_key(|rec| rec.entered.unwrap())
+            .unwrap();
+        assert_eq!(first.node, NodeId::new(0), "priority tie must break by node id");
+    }
+
+    #[test]
+    fn inquire_yield_path_fires_under_cross_contention() {
+        use rcv_simnet::{FixedTrace, SimTime};
+        // Node 8 requests at t=0 with priority (1,8); node 6 requests at
+        // t=2 with the *stronger* priority (1,6) before hearing anything.
+        // Arbiter 7 (in both quorums) grants 8 first, then must INQUIRE 8
+        // on 6's behalf; 8, FAILED elsewhere (arbiter 6 is locked by 6),
+        // YIELDs — a full remote INQUIRE/YIELD round trip.
+        let trace = FixedTrace::new(vec![
+            (SimTime::from_ticks(0), NodeId::new(8)),
+            (SimTime::from_ticks(2), NodeId::new(6)),
+        ]);
+        let cfg = SimConfig { delay: DelayModel::paper_constant(), ..SimConfig::paper(9, 5) };
+        let r = Engine::new(cfg, trace, Maekawa::new).run();
+        assert!(r.is_safe());
+        assert_eq!(r.metrics.completed(), 2);
+        let by_class = r.metrics.messages_by_class();
+        assert!(by_class.get("INQUIRE").copied().unwrap_or(0) > 0, "no INQUIRE sent: {by_class:?}");
+        assert!(by_class.get("YIELD").copied().unwrap_or(0) > 0, "no YIELD sent: {by_class:?}");
+        assert!(by_class.get("FAILED").copied().unwrap_or(0) > 0, "no FAILED sent: {by_class:?}");
+        // The stronger request must be served first.
+        let first = r.metrics.records().iter().min_by_key(|rec| rec.entered.unwrap()).unwrap();
+        assert_eq!(first.node, NodeId::new(6));
+    }
+
+    #[test]
+    fn regression_poisson_deadlock() {
+        // Found by the FIG6 sweep: N=30, closed-loop Poisson 1/λ=10, seed 1
+        // wedged with node 13 holding 7 locks, INQUIREd but never FAILED,
+        // while node 0 (stronger) waited on it. The grant_next FAILED
+        // back-notification fixes it; this pins the exact scenario.
+        struct Poissonish {
+            horizon: rcv_simnet::SimTime,
+        }
+        impl rcv_simnet::Workload for Poissonish {
+            fn init(
+                &mut self,
+                n: usize,
+                rng: &mut rand::rngs::SmallRng,
+                sink: &mut rcv_simnet::ArrivalSink,
+            ) {
+                use rand::Rng;
+                for node in NodeId::all(n) {
+                    let gap = 1 + (rng.gen::<f64>() * 20.0) as u64;
+                    sink.schedule(SimTime::from_ticks(gap), node);
+                }
+            }
+            fn on_complete(
+                &mut self,
+                node: NodeId,
+                now: rcv_simnet::SimTime,
+                rng: &mut rand::rngs::SmallRng,
+                sink: &mut rcv_simnet::ArrivalSink,
+            ) {
+                use rand::Rng;
+                let at = now + rcv_simnet::SimDuration::from_ticks(1 + (rng.gen::<f64>() * 20.0) as u64);
+                if at < self.horizon {
+                    sink.schedule(at, node);
+                }
+            }
+        }
+        use rcv_simnet::SimTime;
+        for seed in 0..6 {
+            let cfg = SimConfig::paper(30, seed);
+            let r = Engine::new(
+                cfg,
+                Poissonish { horizon: SimTime::from_ticks(20_000) },
+                Maekawa::new,
+            )
+            .run();
+            assert!(r.is_safe(), "seed={seed}");
+            assert!(!r.deadlocked, "seed={seed}: Maekawa wedged (INQUIRE-path FAILED bug)");
+            assert!(r.metrics.completed() > 100, "seed={seed}: implausibly few completions");
+        }
+    }
+
+    #[test]
+    fn repeated_rounds_do_not_deadlock() {
+        struct Rounds(Vec<u32>);
+        impl rcv_simnet::Workload for Rounds {
+            fn init(
+                &mut self,
+                n: usize,
+                _rng: &mut rand::rngs::SmallRng,
+                sink: &mut rcv_simnet::ArrivalSink,
+            ) {
+                for node in NodeId::all(n) {
+                    sink.schedule(rcv_simnet::SimTime::ZERO, node);
+                }
+            }
+            fn on_complete(
+                &mut self,
+                node: NodeId,
+                now: rcv_simnet::SimTime,
+                _rng: &mut rand::rngs::SmallRng,
+                sink: &mut rcv_simnet::ArrivalSink,
+            ) {
+                if self.0[node.index()] > 0 {
+                    self.0[node.index()] -= 1;
+                    sink.schedule(now + rcv_simnet::SimDuration::from_ticks(1), node);
+                }
+            }
+        }
+        for seed in 0..4 {
+            let n = 12;
+            let cfg =
+                SimConfig { delay: DelayModel::paper_constant(), ..SimConfig::paper(n, seed) };
+            let r = Engine::new(cfg, Rounds(vec![3; n]), Maekawa::new).run();
+            assert!(r.is_safe(), "seed={seed}");
+            assert!(!r.deadlocked, "seed={seed}");
+            assert_eq!(r.metrics.completed(), n * 4, "seed={seed}");
+        }
+    }
+}

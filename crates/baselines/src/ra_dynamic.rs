@@ -1,0 +1,268 @@
+//! Ricart–Agrawala with the Roucairol–Carvalho dynamic optimization — the
+//! algorithm behind the paper's §2 remark that "under light load, the
+//! average number of messages can be reduced to N−1 by using a dynamic
+//! algorithm \[15\]".
+//!
+//! The idea: a REPLY from `j` is a *transferable permission* that `i`
+//! keeps until `j` next requests. A node only REQUESTs peers whose
+//! permission it does not currently hold, so a node that repeatedly enters
+//! an uncontended CS pays **zero** messages after its first round, and the
+//! per-CS cost ranges from 0 to `2(N−1)`.
+//!
+//! Correctness hinges on the pair-permission invariant: for every pair
+//! `{i, j}`, at most one side holds the permission at any time (it is
+//! created by a REPLY and destroyed by granting one). When a waiting node
+//! grants a higher-priority request it loses that permission and must
+//! re-REQUEST immediately.
+
+use rcv_simnet::{Ctx, MutexProtocol, NodeId, ProtocolMessage};
+
+use crate::common::{LamportClock, Priority};
+
+/// Message type (same shapes as classic RA).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RdMessage {
+    /// Timestamped CS request.
+    Request {
+        /// Lamport timestamp of the request.
+        ts: u64,
+    },
+    /// Permission transfer.
+    Reply,
+}
+
+impl ProtocolMessage for RdMessage {
+    fn kind(&self) -> &'static str {
+        match self {
+            RdMessage::Request { .. } => "REQUEST",
+            RdMessage::Reply => "REPLY",
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        match self {
+            RdMessage::Request { .. } => 12,
+            RdMessage::Reply => 4,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    Waiting,
+    InCs,
+}
+
+/// One Roucairol–Carvalho node.
+pub struct RaDynamic {
+    me: NodeId,
+    n: usize,
+    clock: LamportClock,
+    phase: Phase,
+    my_priority: Option<Priority>,
+    /// `true` ⇔ this node currently holds `j`'s permission.
+    holds: Vec<bool>,
+    /// `true` ⇔ a REQUEST of mine is pending at `j` (prevents duplicate
+    /// re-requests when granting while waiting, which would draw duplicate
+    /// replies).
+    asked: Vec<bool>,
+    /// Peers whose requests were deferred during my CS/stronger wait.
+    deferred: Vec<NodeId>,
+}
+
+impl RaDynamic {
+    /// Creates node `me` of an `n`-node system (no permissions held).
+    pub fn new(me: NodeId, n: usize) -> Self {
+        assert!(n >= 1 && me.index() < n);
+        let mut holds = vec![false; n];
+        holds[me.index()] = true; // own consent is implicit
+        RaDynamic {
+            me,
+            n,
+            clock: LamportClock::new(),
+            phase: Phase::Idle,
+            my_priority: None,
+            holds,
+            asked: vec![false; n],
+            deferred: Vec::new(),
+        }
+    }
+
+    /// Whether this node currently holds `j`'s permission (white-box).
+    pub fn holds_permission_of(&self, j: NodeId) -> bool {
+        self.holds[j.index()]
+    }
+
+    fn have_all(&self) -> bool {
+        self.holds.iter().all(|&h| h)
+    }
+
+    fn try_enter(&mut self, ctx: &mut Ctx<'_, RdMessage>) {
+        if self.phase == Phase::Waiting && self.have_all() {
+            self.phase = Phase::InCs;
+            ctx.enter_cs();
+        }
+    }
+}
+
+impl MutexProtocol for RaDynamic {
+    type Message = RdMessage;
+
+    fn name(&self) -> &'static str {
+        "ra-dynamic"
+    }
+
+    fn on_request(&mut self, ctx: &mut Ctx<'_, RdMessage>) {
+        debug_assert_eq!(self.phase, Phase::Idle);
+        let ts = self.clock.tick();
+        self.my_priority = Some(Priority::new(ts, self.me));
+        self.phase = Phase::Waiting;
+        for peer in NodeId::all(self.n).filter(|&p| p != self.me) {
+            if !self.holds[peer.index()] {
+                self.asked[peer.index()] = true;
+                ctx.send(peer, RdMessage::Request { ts });
+            }
+        }
+        self.try_enter(ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: RdMessage, ctx: &mut Ctx<'_, RdMessage>) {
+        match msg {
+            RdMessage::Request { ts } => {
+                self.clock.observe(ts);
+                let their = Priority::new(ts, from);
+                let mine_wins = match (self.phase, self.my_priority) {
+                    (Phase::InCs, _) => true,
+                    (Phase::Waiting, Some(mine)) => mine < their,
+                    _ => false,
+                };
+                if mine_wins {
+                    if !self.deferred.contains(&from) {
+                        self.deferred.push(from);
+                    }
+                } else {
+                    // Grant: the pair-permission moves to `from`.
+                    self.holds[from.index()] = false;
+                    ctx.send(from, RdMessage::Reply);
+                    // Roucairol-Carvalho twist: if I am still waiting I
+                    // just gave my permission away and must re-request it —
+                    // unless a REQUEST of mine is already pending at `from`
+                    // (sent at request time, before I knew I'd lose).
+                    if self.phase == Phase::Waiting && !self.asked[from.index()] {
+                        let mine = self.my_priority.expect("waiting implies a priority");
+                        self.asked[from.index()] = true;
+                        ctx.send(from, RdMessage::Request { ts: mine.ts });
+                    }
+                }
+            }
+            RdMessage::Reply => {
+                debug_assert_eq!(self.phase, Phase::Waiting, "reply outside a wait");
+                self.holds[from.index()] = true;
+                self.asked[from.index()] = false;
+                self.try_enter(ctx);
+            }
+        }
+    }
+
+    fn on_cs_released(&mut self, ctx: &mut Ctx<'_, RdMessage>) {
+        debug_assert_eq!(self.phase, Phase::InCs);
+        self.phase = Phase::Idle;
+        self.my_priority = None;
+        for peer in core::mem::take(&mut self.deferred) {
+            self.holds[peer.index()] = false;
+            ctx.send(peer, RdMessage::Reply);
+        }
+        // Permissions of everyone *not* deferred are kept — that is the
+        // whole optimization.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcv_simnet::{BurstOnce, DelayModel, Engine, FixedTrace, SimConfig, SimTime};
+
+    fn run_burst(n: usize, seed: u64) -> rcv_simnet::SimReport {
+        // FIFO (constant) delivery: the RC optimization, like Lamport's
+        // algorithm, is classically stated for FIFO channels.
+        let cfg = SimConfig { delay: DelayModel::paper_constant(), ..SimConfig::paper(n, seed) };
+        Engine::new(cfg, BurstOnce, RaDynamic::new).run()
+    }
+
+    #[test]
+    fn burst_is_safe_and_live() {
+        for n in [1, 2, 3, 6, 12, 24] {
+            for seed in 0..3 {
+                let r = run_burst(n, seed);
+                assert!(r.is_safe(), "N={n} seed={seed}");
+                assert_eq!(r.metrics.completed(), n, "N={n} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeat_requester_pays_zero_after_first_round() {
+        let trace = FixedTrace::new(vec![
+            (SimTime::from_ticks(0), NodeId::new(2)),
+            (SimTime::from_ticks(100), NodeId::new(2)),
+            (SimTime::from_ticks(200), NodeId::new(2)),
+        ]);
+        let cfg = SimConfig::paper(6, 0);
+        let r = Engine::new(cfg, trace, RaDynamic::new).run();
+        assert_eq!(r.metrics.completed(), 3);
+        // First round: 2(N-1) = 10; rounds 2 and 3: free.
+        assert_eq!(r.metrics.messages_sent(), 10);
+    }
+
+    #[test]
+    fn alternating_pair_costs_two_messages_per_round() {
+        // After warm-up, each handover between two alternating requesters
+        // costs exactly REQUEST + REPLY for the contended pair... plus
+        // nothing for the other peers whose permissions are kept.
+        let trace = FixedTrace::new(vec![
+            (SimTime::from_ticks(0), NodeId::new(0)),
+            (SimTime::from_ticks(100), NodeId::new(1)),
+            (SimTime::from_ticks(200), NodeId::new(0)),
+            (SimTime::from_ticks(300), NodeId::new(1)),
+        ]);
+        let cfg = SimConfig::paper(5, 0);
+        let r = Engine::new(cfg, trace, RaDynamic::new).run();
+        assert_eq!(r.metrics.completed(), 4);
+        // Round 1 (N0): 2*4 = 8. Round 2 (N1): needs all 4 peers = 8.
+        // Rounds 3, 4: only the 0<->1 permission moves: 2 each.
+        assert_eq!(r.metrics.messages_sent(), 8 + 8 + 2 + 2);
+    }
+
+    #[test]
+    fn pair_permission_invariant_holds_at_quiescence() {
+        let cfg = SimConfig::paper(7, 3);
+        let (r, nodes) =
+            Engine::new(cfg, BurstOnce, RaDynamic::new).run_collecting();
+        assert!(r.is_safe());
+        for i in 0..nodes.len() {
+            for j in (i + 1)..nodes.len() {
+                let a = nodes[i].holds_permission_of(NodeId::new(j as u32));
+                let b = nodes[j].holds_permission_of(NodeId::new(i as u32));
+                assert!(
+                    !(a && b),
+                    "pair ({i},{j}): both sides hold the permission simultaneously"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn waiting_granter_rerequests_and_still_completes() {
+        // N1 (stronger, earlier ts via engine determinism) and N3 compete;
+        // the loser must give away and re-request, and both finish.
+        let trace = FixedTrace::new(vec![
+            (SimTime::from_ticks(0), NodeId::new(3)),
+            (SimTime::from_ticks(2), NodeId::new(1)),
+        ]);
+        let cfg = SimConfig::paper(5, 1);
+        let r = Engine::new(cfg, trace, RaDynamic::new).run();
+        assert!(r.is_safe());
+        assert_eq!(r.metrics.completed(), 2);
+    }
+}

@@ -1,0 +1,216 @@
+//! Raymond's tree algorithm (TOCS 1989) — a *structured* comparator kept as
+//! an extension (the paper contrasts its own non-structured approach with
+//! tree-based algorithms, §1-2, citing Raymond's 4-messages-at-heavy-load
+//! figure).
+//!
+//! Nodes form a static logical tree (here: the balanced binary tree on node
+//! ids, root 0). Each node keeps a `holder` pointer along the path towards
+//! the privilege; requests percolate rootwards one hop at a time, and the
+//! privilege travels back, reversing `holder` pointers as it goes.
+
+use std::collections::VecDeque;
+
+use rcv_simnet::{Ctx, MutexProtocol, NodeId, ProtocolMessage};
+
+/// Raymond message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RyMessage {
+    /// Ask the holder-side neighbour for the privilege.
+    Request,
+    /// The privilege token moves one tree hop.
+    Privilege,
+}
+
+impl ProtocolMessage for RyMessage {
+    fn kind(&self) -> &'static str {
+        match self {
+            RyMessage::Request => "REQUEST",
+            RyMessage::Privilege => "PRIVILEGE",
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        4
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    Waiting,
+    InCs,
+}
+
+/// One Raymond node on the binary tree `parent(i) = (i-1)/2`.
+pub struct Raymond {
+    me: NodeId,
+    /// Next hop towards the privilege; `me` when this node holds it.
+    holder: NodeId,
+    /// Local FIFO of pending requests (neighbours and possibly `me`).
+    queue: VecDeque<NodeId>,
+    /// Whether a REQUEST to `holder` is already in flight.
+    asked: bool,
+    phase: Phase,
+}
+
+impl Raymond {
+    /// Creates node `me` of an `n`-node system; node 0 initially holds the
+    /// privilege and all `holder` pointers aim at the parent.
+    pub fn new(me: NodeId, n: usize) -> Self {
+        assert!(n >= 1 && me.index() < n);
+        let holder = if me.index() == 0 { me } else { Self::parent(me) };
+        Raymond { me, holder, queue: VecDeque::new(), asked: false, phase: Phase::Idle }
+    }
+
+    /// Parent in the static binary tree.
+    fn parent(node: NodeId) -> NodeId {
+        NodeId::new((node.raw() - 1) / 2)
+    }
+
+    /// Whether this node currently holds the privilege (white-box tests).
+    pub fn holds_privilege(&self) -> bool {
+        self.holder == self.me
+    }
+
+    /// Raymond's `ASSIGN_PRIVILEGE`: a holding, non-executing node with a
+    /// non-empty queue passes the privilege to the queue head.
+    fn assign_privilege(&mut self, ctx: &mut Ctx<'_, RyMessage>) {
+        if self.holder != self.me || self.phase == Phase::InCs || self.queue.is_empty() {
+            return;
+        }
+        let head = self.queue.pop_front().expect("non-empty");
+        self.asked = false;
+        if head == self.me {
+            self.phase = Phase::InCs;
+            ctx.enter_cs();
+        } else {
+            self.holder = head;
+            ctx.send(head, RyMessage::Privilege);
+        }
+    }
+
+    /// Raymond's `MAKE_REQUEST`: a non-holding node with pending requests
+    /// asks its holder-side neighbour, once.
+    fn make_request(&mut self, ctx: &mut Ctx<'_, RyMessage>) {
+        if self.holder == self.me || self.queue.is_empty() || self.asked {
+            return;
+        }
+        self.asked = true;
+        ctx.send(self.holder, RyMessage::Request);
+    }
+
+    fn pump(&mut self, ctx: &mut Ctx<'_, RyMessage>) {
+        self.assign_privilege(ctx);
+        self.make_request(ctx);
+    }
+}
+
+impl MutexProtocol for Raymond {
+    type Message = RyMessage;
+
+    fn name(&self) -> &'static str {
+        "raymond"
+    }
+
+    fn on_request(&mut self, ctx: &mut Ctx<'_, RyMessage>) {
+        debug_assert_eq!(self.phase, Phase::Idle);
+        self.phase = Phase::Waiting;
+        self.queue.push_back(self.me);
+        self.pump(ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: RyMessage, ctx: &mut Ctx<'_, RyMessage>) {
+        match msg {
+            RyMessage::Request => {
+                self.queue.push_back(from);
+                self.pump(ctx);
+            }
+            RyMessage::Privilege => {
+                debug_assert_eq!(self.holder, from, "privilege from a non-holder neighbour");
+                self.holder = self.me;
+                self.pump(ctx);
+            }
+        }
+    }
+
+    fn on_cs_released(&mut self, ctx: &mut Ctx<'_, RyMessage>) {
+        debug_assert_eq!(self.phase, Phase::InCs);
+        self.phase = Phase::Idle;
+        self.pump(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcv_simnet::{BurstOnce, DelayModel, Engine, FixedTrace, SimConfig, SimTime};
+
+    fn run_burst(n: usize, seed: u64) -> rcv_simnet::SimReport {
+        let cfg = SimConfig { delay: DelayModel::paper_constant(), ..SimConfig::paper(n, seed) };
+        Engine::new(cfg, BurstOnce, Raymond::new).run()
+    }
+
+    #[test]
+    fn burst_is_safe_and_live() {
+        for n in [1, 2, 3, 7, 15, 31] {
+            let r = run_burst(n, 0);
+            assert!(r.is_safe(), "N={n}");
+            assert_eq!(r.metrics.completed(), n, "N={n}");
+        }
+    }
+
+    #[test]
+    fn root_enters_for_free() {
+        let trace = FixedTrace::new(vec![(SimTime::from_ticks(0), NodeId::new(0))]);
+        let cfg = SimConfig::paper(7, 0);
+        let r = Engine::new(cfg, trace, Raymond::new).run();
+        assert_eq!(r.metrics.messages_sent(), 0);
+    }
+
+    #[test]
+    fn leaf_costs_two_messages_per_tree_hop() {
+        // Node 3 is at depth 2 of a 7-node tree: 2 requests up + 2
+        // privilege hops down.
+        let trace = FixedTrace::new(vec![(SimTime::from_ticks(0), NodeId::new(3))]);
+        let cfg = SimConfig::paper(7, 0);
+        let r = Engine::new(cfg, trace, Raymond::new).run();
+        assert_eq!(r.metrics.messages_sent(), 4);
+        // Response time: 4 hops * Tn.
+        assert_eq!(r.metrics.response_time().mean, 20.0);
+    }
+
+    #[test]
+    fn privilege_pointer_flips_along_path() {
+        let trace = FixedTrace::new(vec![(SimTime::from_ticks(0), NodeId::new(3))]);
+        let cfg = SimConfig::paper(7, 0);
+        let (r, nodes) =
+            Engine::new(cfg, trace, Raymond::new).run_collecting();
+        assert!(r.is_safe());
+        assert!(nodes[3].holds_privilege(), "privilege must end at the requester");
+        assert!(!nodes[0].holds_privilege());
+    }
+
+    #[test]
+    fn heavy_load_message_count_stays_low() {
+        // Raymond's selling point: ~4 messages per CS under load, ~O(log N)
+        // otherwise. In a 15-node burst the average must stay below
+        // 2*log2(15) ≈ 7.8.
+        let r = run_burst(15, 1);
+        let nme = r.metrics.nme().unwrap();
+        assert!(nme < 8.0, "NME {nme} unexpectedly high for Raymond");
+    }
+
+    #[test]
+    fn interleaved_requests_progress() {
+        let trace = FixedTrace::new(vec![
+            (SimTime::from_ticks(0), NodeId::new(5)),
+            (SimTime::from_ticks(3), NodeId::new(1)),
+            (SimTime::from_ticks(6), NodeId::new(6)),
+            (SimTime::from_ticks(100), NodeId::new(5)),
+        ]);
+        let cfg = SimConfig::paper(7, 2);
+        let r = Engine::new(cfg, trace, Raymond::new).run();
+        assert!(r.is_safe());
+        assert_eq!(r.metrics.completed(), 4);
+    }
+}

@@ -1,0 +1,223 @@
+//! Ricart–Agrawala (CACM 1981): the classic permission-based algorithm the
+//! paper labels "Ricart".
+//!
+//! A requester timestamps its request and asks **every** other node; a node
+//! replies immediately unless it is inside the CS or has an older pending
+//! request of its own, in which case the reply is deferred until release.
+//! Exactly `2(N−1)` messages per CS execution; response time `2·Tn` at
+//! light load.
+
+use rcv_simnet::{Ctx, MutexProtocol, NodeId, ProtocolMessage};
+
+use crate::common::{LamportClock, Priority};
+
+/// Ricart–Agrawala message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RaMessage {
+    /// Timestamped CS request.
+    Request {
+        /// Lamport timestamp of the request.
+        ts: u64,
+    },
+    /// Permission grant.
+    Reply,
+}
+
+impl ProtocolMessage for RaMessage {
+    fn kind(&self) -> &'static str {
+        match self {
+            RaMessage::Request { .. } => "REQUEST",
+            RaMessage::Reply => "REPLY",
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        match self {
+            RaMessage::Request { .. } => 12,
+            RaMessage::Reply => 4,
+        }
+    }
+}
+
+/// Requester lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    Waiting,
+    InCs,
+}
+
+/// One Ricart–Agrawala node.
+pub struct RicartAgrawala {
+    me: NodeId,
+    n: usize,
+    clock: LamportClock,
+    phase: Phase,
+    /// Priority of my outstanding request, if any.
+    my_priority: Option<Priority>,
+    /// Which peers have granted me permission.
+    replies: Vec<bool>,
+    replies_needed: usize,
+    /// Peers whose requests I deferred while mine was stronger.
+    deferred: Vec<NodeId>,
+}
+
+impl RicartAgrawala {
+    /// Creates node `me` of an `n`-node system.
+    pub fn new(me: NodeId, n: usize) -> Self {
+        assert!(n >= 1 && me.index() < n);
+        RicartAgrawala {
+            me,
+            n,
+            clock: LamportClock::new(),
+            phase: Phase::Idle,
+            my_priority: None,
+            replies: vec![false; n],
+            replies_needed: 0,
+            deferred: Vec::new(),
+        }
+    }
+
+    /// Number of peers whose grant is still missing (white-box tests).
+    pub fn pending_replies(&self) -> usize {
+        self.replies_needed
+    }
+
+    fn enter(&mut self, ctx: &mut Ctx<'_, RaMessage>) {
+        self.phase = Phase::InCs;
+        ctx.enter_cs();
+    }
+}
+
+impl MutexProtocol for RicartAgrawala {
+    type Message = RaMessage;
+
+    fn name(&self) -> &'static str {
+        "ricart-agrawala"
+    }
+
+    fn on_request(&mut self, ctx: &mut Ctx<'_, RaMessage>) {
+        debug_assert_eq!(self.phase, Phase::Idle);
+        let ts = self.clock.tick();
+        self.my_priority = Some(Priority::new(ts, self.me));
+        self.phase = Phase::Waiting;
+        self.replies.iter_mut().for_each(|r| *r = false);
+        self.replies_needed = self.n - 1;
+        if self.replies_needed == 0 {
+            self.enter(ctx);
+            return;
+        }
+        for peer in NodeId::all(self.n).filter(|&p| p != self.me) {
+            ctx.send(peer, RaMessage::Request { ts });
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: RaMessage, ctx: &mut Ctx<'_, RaMessage>) {
+        match msg {
+            RaMessage::Request { ts } => {
+                self.clock.observe(ts);
+                let their = Priority::new(ts, from);
+                let mine_wins = match (self.phase, self.my_priority) {
+                    (Phase::InCs, _) => true,
+                    (Phase::Waiting, Some(mine)) => mine < their,
+                    _ => false,
+                };
+                if mine_wins {
+                    self.deferred.push(from);
+                } else {
+                    ctx.send(from, RaMessage::Reply);
+                }
+            }
+            RaMessage::Reply => {
+                debug_assert_eq!(self.phase, Phase::Waiting, "reply outside a wait");
+                if !self.replies[from.index()] {
+                    self.replies[from.index()] = true;
+                    self.replies_needed -= 1;
+                    if self.replies_needed == 0 {
+                        self.enter(ctx);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_cs_released(&mut self, ctx: &mut Ctx<'_, RaMessage>) {
+        debug_assert_eq!(self.phase, Phase::InCs);
+        self.phase = Phase::Idle;
+        self.my_priority = None;
+        for peer in core::mem::take(&mut self.deferred) {
+            ctx.send(peer, RaMessage::Reply);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcv_simnet::{BurstOnce, DelayModel, Engine, SimConfig};
+
+    fn run_burst(n: usize, seed: u64, delay: DelayModel) -> rcv_simnet::SimReport {
+        let cfg = SimConfig { delay, ..SimConfig::paper(n, seed) };
+        Engine::new(cfg, BurstOnce, RicartAgrawala::new).run()
+    }
+
+    #[test]
+    fn burst_is_safe_and_live() {
+        for n in [1, 2, 3, 5, 10, 20] {
+            let r = run_burst(n, 42, DelayModel::paper_constant());
+            assert!(r.is_safe());
+            assert_eq!(r.metrics.completed(), n);
+        }
+    }
+
+    #[test]
+    fn message_count_is_exactly_2n_minus_2_per_cs() {
+        // The hallmark of Ricart-Agrawala: 2(N-1) messages per execution,
+        // independent of load.
+        for n in [2, 5, 10] {
+            let r = run_burst(n, 7, DelayModel::paper_constant());
+            let expected = (2 * (n - 1) * n) as u64;
+            assert_eq!(r.metrics.messages_sent(), expected, "N={n}");
+            assert_eq!(r.metrics.nme(), Some(2.0 * (n as f64 - 1.0)));
+        }
+    }
+
+    #[test]
+    fn grants_follow_timestamp_order_in_burst() {
+        // All request at t=0 with the same Lamport ts=1, so ties break by
+        // node id: entry order must be 0, 1, 2, ... under constant delay.
+        let n = 6;
+        let cfg = SimConfig::paper(n, 3);
+        let (report, _) =
+            Engine::new(cfg, BurstOnce, RicartAgrawala::new).run_collecting();
+        let mut entries: Vec<(u64, u32)> = report
+            .metrics
+            .records()
+            .iter()
+            .map(|r| (r.entered.unwrap().ticks(), r.node.raw()))
+            .collect();
+        entries.sort();
+        let order: Vec<u32> = entries.iter().map(|&(_, id)| id).collect();
+        assert_eq!(order, (0..n as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn non_fifo_delivery_is_tolerated_with_ids() {
+        // RA is correct without FIFO as long as requests are identified by
+        // (ts, node); our reply bookkeeping is per-node, so jitter is fine.
+        for seed in 0..8 {
+            let r = run_burst(9, seed, DelayModel::paper_jittered());
+            assert!(r.is_safe(), "seed={seed}");
+            assert_eq!(r.metrics.completed(), 9);
+        }
+    }
+
+    #[test]
+    fn light_load_response_time_is_2tn() {
+        use rcv_simnet::{FixedTrace, SimTime};
+        let trace = FixedTrace::new(vec![(SimTime::from_ticks(0), NodeId::new(2))]);
+        let cfg = SimConfig::paper(5, 0);
+        let r = Engine::new(cfg, trace, RicartAgrawala::new).run();
+        assert_eq!(r.metrics.response_time().mean, 10.0, "2 * Tn with Tn=5");
+    }
+}

@@ -1,0 +1,236 @@
+//! Suzuki–Kasami broadcast token algorithm (TOCS 1985) — the paper's
+//! "Broadcast" comparator.
+//!
+//! A single token circulates; a node that wants the CS and lacks the token
+//! broadcasts a sequence-numbered request to everyone. The token carries,
+//! per node, the sequence number of that node's last *served* request
+//! (`LN`), plus a FIFO queue of requesters. `N` messages per CS when the
+//! token must move (`N−1` requests + 1 token), zero when the holder
+//! re-enters.
+
+use std::collections::VecDeque;
+
+use rcv_simnet::{Ctx, MutexProtocol, NodeId, ProtocolMessage};
+
+/// The circulating token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// `LN[j]`: sequence number of node j's most recently served request.
+    pub last_served: Vec<u64>,
+    /// Nodes waiting for the token, in service order.
+    pub queue: VecDeque<NodeId>,
+}
+
+impl Token {
+    fn new(n: usize) -> Self {
+        Token { last_served: vec![0; n], queue: VecDeque::new() }
+    }
+}
+
+/// Suzuki–Kasami message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SkMessage {
+    /// Broadcast CS request: `(requesting node implied by sender, seq)`.
+    Request {
+        /// The requester's sequence number for this request.
+        seq: u64,
+    },
+    /// The token in flight.
+    Token(Box<Token>),
+}
+
+impl ProtocolMessage for SkMessage {
+    fn kind(&self) -> &'static str {
+        match self {
+            SkMessage::Request { .. } => "REQUEST",
+            SkMessage::Token(_) => "TOKEN",
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        match self {
+            SkMessage::Request { .. } => 12,
+            SkMessage::Token(t) => 8 * t.last_served.len() + 4 * t.queue.len() + 8,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    Waiting,
+    InCs,
+}
+
+/// One Suzuki–Kasami node.
+pub struct SuzukiKasami {
+    me: NodeId,
+    n: usize,
+    /// `RN[j]`: highest request sequence number heard from node j.
+    request_numbers: Vec<u64>,
+    token: Option<Token>,
+    phase: Phase,
+}
+
+impl SuzukiKasami {
+    /// Creates node `me` of an `n`-node system; node 0 holds the token
+    /// initially.
+    pub fn new(me: NodeId, n: usize) -> Self {
+        assert!(n >= 1 && me.index() < n);
+        SuzukiKasami {
+            me,
+            n,
+            request_numbers: vec![0; n],
+            token: (me == NodeId::new(0)).then(|| Token::new(n)),
+            phase: Phase::Idle,
+        }
+    }
+
+    /// Whether this node currently holds the token (white-box tests).
+    pub fn has_token(&self) -> bool {
+        self.token.is_some()
+    }
+
+    /// If idle with the token, forward it to the next queued requester.
+    fn dispatch_token(&mut self, ctx: &mut Ctx<'_, SkMessage>) {
+        if self.phase == Phase::InCs {
+            return;
+        }
+        let Some(token) = &mut self.token else { return };
+        // Refresh the queue with anyone whose pending request is not yet
+        // queued (outstanding = RN[j] == LN[j] + 1).
+        for j in NodeId::all(self.n) {
+            if j != self.me
+                && self.request_numbers[j.index()] == token.last_served[j.index()] + 1
+                && !token.queue.contains(&j)
+            {
+                token.queue.push_back(j);
+            }
+        }
+        if let Some(next) = token.queue.pop_front() {
+            let token = self.token.take().expect("checked above");
+            ctx.send(next, SkMessage::Token(Box::new(token)));
+        }
+    }
+}
+
+impl MutexProtocol for SuzukiKasami {
+    type Message = SkMessage;
+
+    fn name(&self) -> &'static str {
+        "suzuki-kasami"
+    }
+
+    fn on_request(&mut self, ctx: &mut Ctx<'_, SkMessage>) {
+        debug_assert_eq!(self.phase, Phase::Idle);
+        self.request_numbers[self.me.index()] += 1;
+        if self.token.is_some() {
+            // Token already here: enter without any message.
+            self.phase = Phase::InCs;
+            ctx.enter_cs();
+            return;
+        }
+        self.phase = Phase::Waiting;
+        let seq = self.request_numbers[self.me.index()];
+        for peer in NodeId::all(self.n).filter(|&p| p != self.me) {
+            ctx.send(peer, SkMessage::Request { seq });
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: SkMessage, ctx: &mut Ctx<'_, SkMessage>) {
+        match msg {
+            SkMessage::Request { seq } => {
+                let rn = &mut self.request_numbers[from.index()];
+                *rn = (*rn).max(seq);
+                // Outdated duplicate requests (seq <= LN[from]) are ignored
+                // by the dispatch condition.
+                self.dispatch_token(ctx);
+            }
+            SkMessage::Token(token) => {
+                debug_assert_eq!(self.phase, Phase::Waiting, "unsolicited token");
+                self.token = Some(*token);
+                self.phase = Phase::InCs;
+                ctx.enter_cs();
+            }
+        }
+    }
+
+    fn on_cs_released(&mut self, ctx: &mut Ctx<'_, SkMessage>) {
+        debug_assert_eq!(self.phase, Phase::InCs);
+        self.phase = Phase::Idle;
+        let me = self.me.index();
+        let token = self.token.as_mut().expect("holder must have the token");
+        token.last_served[me] = self.request_numbers[me];
+        self.dispatch_token(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcv_simnet::{BurstOnce, DelayModel, Engine, FixedTrace, SimConfig, SimTime};
+
+    fn run_burst(n: usize, seed: u64, delay: DelayModel) -> rcv_simnet::SimReport {
+        let cfg = SimConfig { delay, ..SimConfig::paper(n, seed) };
+        Engine::new(cfg, BurstOnce, SuzukiKasami::new).run()
+    }
+
+    #[test]
+    fn burst_is_safe_and_live() {
+        for n in [1, 2, 5, 10, 25] {
+            let r = run_burst(n, 0, DelayModel::paper_constant());
+            assert!(r.is_safe(), "N={n}");
+            assert_eq!(r.metrics.completed(), n, "N={n}");
+        }
+    }
+
+    #[test]
+    fn token_holder_enters_for_free() {
+        let trace = FixedTrace::new(vec![(SimTime::from_ticks(0), NodeId::new(0))]);
+        let cfg = SimConfig::paper(8, 0);
+        let r = Engine::new(cfg, trace, SuzukiKasami::new).run();
+        assert_eq!(r.metrics.messages_sent(), 0, "holder must not send anything");
+        assert_eq!(r.metrics.response_time().mean, 0.0);
+    }
+
+    #[test]
+    fn non_holder_costs_n_messages() {
+        // N-1 broadcast requests + 1 token transfer.
+        for n in [4, 9, 16] {
+            let trace = FixedTrace::new(vec![(SimTime::from_ticks(0), NodeId::new(1))]);
+            let cfg = SimConfig::paper(n, 0);
+            let r = Engine::new(cfg, trace, SuzukiKasami::new).run();
+            assert_eq!(r.metrics.messages_sent() as usize, n, "N={n}");
+        }
+    }
+
+    #[test]
+    fn sequence_numbers_deduplicate_requests() {
+        // Two consecutive requests by the same node: the token must come
+        // back the second time too (no stale-queue confusion).
+        let trace = FixedTrace::new(vec![
+            (SimTime::from_ticks(0), NodeId::new(2)),
+            (SimTime::from_ticks(200), NodeId::new(2)),
+        ]);
+        let cfg = SimConfig::paper(5, 0);
+        let r = Engine::new(cfg, trace, SuzukiKasami::new).run();
+        assert_eq!(r.metrics.completed(), 2);
+    }
+
+    #[test]
+    fn non_fifo_jitter_is_tolerated() {
+        // Suzuki-Kasami is famously FIFO-free (sequence numbers dedupe).
+        for seed in 0..8 {
+            let r = run_burst(12, seed, DelayModel::paper_jittered());
+            assert!(r.is_safe(), "seed={seed}");
+            assert_eq!(r.metrics.completed(), 12, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn heavy_load_keeps_token_moving() {
+        let r = run_burst(10, 3, DelayModel::paper_constant());
+        let by_class = r.metrics.messages_by_class();
+        assert_eq!(by_class["TOKEN"], 9, "token moves to each of the 9 non-holders once");
+    }
+}

@@ -1,0 +1,46 @@
+//! **Ablation** — the paper's future work (§7): "investigate how to improve
+//! the algorithm by designing different methods for forwarding the request
+//! messages". Benchmarks each RM forwarding policy on the burst workload;
+//! the `repro`-style summary (NME per policy) is printed once at the end of
+//! each measurement, so `cargo bench` output doubles as the ablation table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rcv_core::ForwardPolicy;
+use rcv_workload::algo::Algo;
+use rcv_workload::runner::run_burst;
+
+fn ablation(c: &mut Criterion) {
+    let policies = [
+        ForwardPolicy::Random,
+        ForwardPolicy::Sequential,
+        ForwardPolicy::MostStale,
+        ForwardPolicy::Freshest,
+    ];
+
+    // One-shot summary so the bench log records the ablation's *result*
+    // (messages per CS), not just its wall time.
+    println!("\nforwarding-policy ablation (N=20 burst, mean NME over 5 seeds):");
+    for p in policies {
+        let mean: f64 =
+            (1..=5).map(|s| run_burst(Algo::Rcv(p), 20, s).nme).sum::<f64>() / 5.0;
+        println!("  {:<12} {:>6.1}", p.label(), mean);
+    }
+
+    let mut g = c.benchmark_group("ablation_forwarding");
+    g.sample_size(10);
+    for p in policies {
+        g.bench_with_input(BenchmarkId::new(p.label(), 20), &p, |b, &p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_burst(Algo::Rcv(p), 20, seed).nme)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! **FIG4 bench** — the burst experiment behind Figure 4 (mean messages
+//! per CS execution vs node count), one benchmark per (algorithm, N)
+//! point. The measured quantity is the wall time to simulate the burst;
+//! the regenerated figure itself comes from the `repro` binary, which
+//! shares this code path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rcv_workload::algo::Algo;
+use rcv_workload::runner::run_burst;
+
+fn fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_nme_vs_n");
+    g.sample_size(10);
+    for n in [10usize, 30] {
+        for algo in Algo::paper_four() {
+            g.bench_with_input(
+                BenchmarkId::new(algo.name().replace(' ', "_"), n),
+                &n,
+                |b, &n| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        let o = run_burst(algo, n, seed);
+                        black_box(o.nme)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! **FIG5 bench** — the burst experiment behind Figure 5 (mean response
+//! time vs node count). Same runs as FIG4; the extracted series is the
+//! response time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rcv_workload::algo::Algo;
+use rcv_workload::runner::run_burst;
+
+fn fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_rt_vs_n");
+    g.sample_size(10);
+    for n in [10usize, 30] {
+        for algo in Algo::paper_four() {
+            g.bench_with_input(
+                BenchmarkId::new(algo.name().replace(' ', "_"), n),
+                &n,
+                |b, &n| {
+                    let mut seed = 100u64;
+                    b.iter(|| {
+                        seed += 1;
+                        let o = run_burst(algo, n, seed);
+                        black_box(o.rt_mean)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

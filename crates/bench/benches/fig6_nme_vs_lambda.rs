@@ -1,0 +1,46 @@
+//! **FIG6 bench** — the Poisson experiment behind Figure 6 (mean messages
+//! per CS vs 1/λ, RCV vs Maekawa at N = 30). The bench uses a reduced
+//! 10 000-tick horizon so criterion's repetitions stay affordable; the
+//! `repro` binary runs the paper's full 100 000 ticks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rcv_simnet::{SimConfig, SimTime};
+use rcv_workload::algo::Algo;
+use rcv_workload::arrival::PoissonWorkload;
+use rcv_workload::runner::Outcome;
+
+fn run_short(algo: Algo, n: usize, inv_lambda: f64, seed: u64) -> Outcome {
+    let cfg = SimConfig::paper(n, seed);
+    let workload = PoissonWorkload {
+        mean_interarrival: inv_lambda,
+        horizon: SimTime::from_ticks(10_000),
+    };
+    Outcome::from_report(&algo.run(cfg, workload))
+}
+
+fn fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_nme_vs_lambda");
+    g.sample_size(10);
+    let n = 30;
+    for inv_lambda in [2u64, 20] {
+        for algo in [Algo::paper_four()[0], Algo::Maekawa] {
+            g.bench_with_input(
+                BenchmarkId::new(algo.name().replace(' ', "_"), inv_lambda),
+                &inv_lambda,
+                |b, &il| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        black_box(run_short(algo, n, il as f64, seed).nme)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! **FIG7 bench** — the Poisson experiment behind Figure 7 (mean response
+//! time vs 1/λ for all four algorithms at N = 30), reduced horizon as in
+//! the FIG6 bench.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rcv_simnet::{SimConfig, SimTime};
+use rcv_workload::algo::Algo;
+use rcv_workload::arrival::PoissonWorkload;
+use rcv_workload::runner::Outcome;
+
+fn run_short(algo: Algo, n: usize, inv_lambda: f64, seed: u64) -> Outcome {
+    let cfg = SimConfig::paper(n, seed);
+    let workload = PoissonWorkload {
+        mean_interarrival: inv_lambda,
+        horizon: SimTime::from_ticks(10_000),
+    };
+    Outcome::from_report(&algo.run(cfg, workload))
+}
+
+fn fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_rt_vs_lambda");
+    g.sample_size(10);
+    let n = 30;
+    for inv_lambda in [2u64, 20] {
+        for algo in Algo::paper_four() {
+            g.bench_with_input(
+                BenchmarkId::new(algo.name().replace(' ', "_"), inv_lambda),
+                &inv_lambda,
+                |b, &il| {
+                    let mut seed = 50u64;
+                    b.iter(|| {
+                        seed += 1;
+                        black_box(run_short(algo, n, il as f64, seed).rt_mean)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

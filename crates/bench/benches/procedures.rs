@@ -1,0 +1,80 @@
+//! **Microbenchmarks** of the protocol's hot procedures: the Order ranking
+//! loop, the Exchange merge, and the wire codec. These are the per-message
+//! costs a deployment would pay on every hop of a roaming RM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rcv_core::{exchange, order, MsgBody, Nonl, ReqTuple, Si};
+use rcv_simnet::NodeId;
+
+/// Builds an SI with `n` rows where `m` requests are spread across rows in
+/// rotated arrival orders — a dense contention snapshot.
+fn dense_si(n: usize, m: usize) -> Si {
+    let mut si = Si::new(n);
+    let reqs: Vec<ReqTuple> =
+        (0..m).map(|i| ReqTuple::new(NodeId::new(i as u32), 1)).collect();
+    for r in 0..n {
+        let row = si.nsit.row_mut(NodeId::new(r as u32));
+        row.ts = 1 + r as u64;
+        for k in 0..m {
+            row.mnl.push(reqs[(k + r) % m]);
+        }
+    }
+    si
+}
+
+fn bench_order(c: &mut Criterion) {
+    let mut g = c.benchmark_group("order_procedure");
+    for (n, m) in [(10usize, 5usize), (30, 15), (50, 25)] {
+        g.bench_with_input(BenchmarkId::new("dense", format!("n{n}_m{m}")), &(n, m), |b, &(n, m)| {
+            let proto = dense_si(n, m);
+            let home = ReqTuple::new(NodeId::new((m - 1) as u32), 1);
+            b.iter(|| {
+                let mut si = proto.clone();
+                black_box(order(&mut si, home))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_exchange(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exchange_procedure");
+    for n in [10usize, 30, 50] {
+        g.bench_with_input(BenchmarkId::new("merge", n), &n, |b, &n| {
+            let local = dense_si(n, n / 2);
+            let remote = dense_si(n, n / 2);
+            let body_proto = MsgBody { monl: Nonl::new(), msit: remote.nsit.clone() };
+            b.iter(|| {
+                let mut si = local.clone();
+                let mut body = body_proto.clone();
+                black_box(exchange(&mut si, &mut body, None))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_codec");
+    for n in [10usize, 30] {
+        let si = dense_si(n, n / 2);
+        let msg = rcv_core::RcvMessage::Rm {
+            home: ReqTuple::new(NodeId::new(0), 1),
+            ul: NodeId::all(n).skip(1).collect(),
+            body: MsgBody { monl: Nonl::new(), msit: si.nsit.clone() },
+        };
+        let encoded = rcv_runtime::wire::encode(&msg);
+        g.bench_with_input(BenchmarkId::new("encode", n), &n, |b, _| {
+            b.iter(|| black_box(rcv_runtime::wire::encode(&msg)))
+        });
+        g.bench_with_input(BenchmarkId::new("decode", n), &n, |b, _| {
+            b.iter(|| black_box(rcv_runtime::wire::decode(encoded.clone()).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_order, bench_exchange, bench_codec);
+criterion_main!(benches);

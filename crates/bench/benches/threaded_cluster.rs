@@ -1,0 +1,55 @@
+//! **Runtime bench** — throughput of the real-thread cluster: wall time
+//! for N threads to each complete a round of CS executions through the
+//! full RCV protocol (channels, delay injection, optional byte codec).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use rcv_core::RcvConfig;
+use rcv_runtime::{run_rcv_cluster, with_codec_verification, ClusterSpec, NetDelay};
+
+fn spec(n: usize, rounds: u32, seed: u64) -> ClusterSpec<rcv_core::RcvMessage> {
+    let mut s = ClusterSpec::quick(n, seed);
+    s.rounds = rounds;
+    s.think = Duration::from_micros(50);
+    s.cs_duration = Duration::from_micros(200);
+    s.delay = NetDelay::Uniform {
+        min: Duration::from_micros(20),
+        max: Duration::from_micros(200),
+    };
+    s.timeout = Duration::from_secs(30);
+    s
+}
+
+fn threaded(c: &mut Criterion) {
+    let mut g = c.benchmark_group("threaded_cluster");
+    g.sample_size(10);
+    for n in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("plain", n), &n, |b, &n| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let r = run_rcv_cluster(spec(n, 2, seed), RcvConfig::paper());
+                assert!(r.is_clean(2 * n as u64), "{r:?}");
+                black_box(r.messages)
+            })
+        });
+    }
+    g.bench_with_input(BenchmarkId::new("codec_verified", 4usize), &4usize, |b, &n| {
+        let mut seed = 100;
+        b.iter(|| {
+            seed += 1;
+            let r = run_rcv_cluster(
+                with_codec_verification(spec(n, 2, seed)),
+                RcvConfig::paper(),
+            );
+            assert!(r.is_clean(2 * n as u64), "{r:?}");
+            black_box(r.messages)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, threaded);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Cross-node invariant checkers used by integration and property tests.
+//!
+//! These correspond to the paper's lemmas: Lemma 1 (MNL uniqueness) per
+//! node, and Lemma 6/7 (prefix-consistent NONLs) across every pair of
+//! nodes.
+
+use crate::node::RcvNode;
+
+/// Checks the per-node structural invariants of every node, returning the
+/// first failure description.
+pub fn check_local_invariants(nodes: &[RcvNode]) -> Result<(), String> {
+    for node in nodes {
+        node.si().invariants_ok(node.id())?;
+    }
+    Ok(())
+}
+
+/// Lemma 6/7: any two NONLs must order their common tuples identically
+/// (one is a prefix of the other after completion pruning). Because pruning
+/// is lazy, we check the weaker but safety-sufficient property directly:
+/// the relative order of tuples present in both lists must agree.
+pub fn check_nonl_consistency(nodes: &[RcvNode]) -> Result<(), String> {
+    for (i, a) in nodes.iter().enumerate() {
+        for b in &nodes[i + 1..] {
+            let la = &a.si().nonl;
+            let lb = &b.si().nonl;
+            // Common subsequence order check.
+            let common_a: Vec<_> = la.iter().filter(|t| lb.contains(t)).collect();
+            let common_b: Vec<_> = lb.iter().filter(|t| la.contains(t)).collect();
+            if common_a != common_b {
+                return Err(format!(
+                    "NONL order disagreement between {} and {}: {:?} vs {:?}",
+                    a.id(),
+                    b.id(),
+                    common_a,
+                    common_b
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Sums the anomaly counters across nodes (expected zero).
+pub fn total_anomalies(nodes: &[RcvNode]) -> u64 {
+    nodes.iter().map(|n| n.stats().anomalies()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcv_simnet::NodeId;
+
+    #[test]
+    fn fresh_nodes_pass_all_checks() {
+        let nodes: Vec<RcvNode> =
+            (0..4).map(|i| RcvNode::new(NodeId::new(i), 4)).collect();
+        assert!(check_local_invariants(&nodes).is_ok());
+        assert!(check_nonl_consistency(&nodes).is_ok());
+        assert_eq!(total_anomalies(&nodes), 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! MNL — *Maintained Node List*: the arrival-ordered list of outstanding
+//! request tuples known to one NSIT row.
+//!
+//! Semantics (paper §3 + §4.2, with DESIGN.md interpretation #1): the row
+//! owner appends a tuple when it initializes or receives a request message;
+//! tuples are removed when the request is *ordered* (moves to the NONL) or
+//! known *completed*. The **front** tuple is the row's current "vote" in the
+//! Relative Consensus Voting scheme.
+//!
+//! Invariant (paper Lemma 1): an MNL never holds two tuples for the same
+//! node — a node has at most one outstanding request.
+
+use rcv_simnet::NodeId;
+
+use crate::tuple::ReqTuple;
+
+/// Arrival-ordered list of outstanding requests, at most one per node.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Mnl {
+    items: Vec<ReqTuple>,
+}
+
+impl Mnl {
+    /// Empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The row's current vote: the oldest outstanding request it knows.
+    #[inline]
+    pub fn top(&self) -> Option<ReqTuple> {
+        self.items.first().copied()
+    }
+
+    /// Whether the exact tuple is present.
+    pub fn contains(&self, t: &ReqTuple) -> bool {
+        self.items.contains(t)
+    }
+
+    /// Whether any tuple of `node` is present.
+    pub fn contains_node(&self, node: NodeId) -> bool {
+        self.items.iter().any(|t| t.node == node)
+    }
+
+    /// The tuple of `node`, if present.
+    pub fn tuple_of(&self, node: NodeId) -> Option<ReqTuple> {
+        self.items.iter().find(|t| t.node == node).copied()
+    }
+
+    /// Appends `t` at the back.
+    ///
+    /// If a tuple for the same node is already present the Lemma 1 invariant
+    /// is at stake: an *older* tuple is superseded (removed first; this is
+    /// the Exchange procedure's "delete the one with smaller timestamp"
+    /// reconciliation), a *newer or equal* one makes the append a no-op.
+    /// Returns whether `t` is in the list afterwards at the back.
+    pub fn push(&mut self, t: ReqTuple) -> bool {
+        if let Some(existing) = self.tuple_of(t.node) {
+            if existing.ts >= t.ts {
+                return false;
+            }
+            self.remove_node(t.node);
+        }
+        self.items.push(t);
+        true
+    }
+
+    /// Removes the exact tuple; returns whether it was present.
+    pub fn remove(&mut self, t: &ReqTuple) -> bool {
+        let before = self.items.len();
+        self.items.retain(|x| x != t);
+        self.items.len() != before
+    }
+
+    /// Removes any tuple of `node`; returns whether one was present.
+    pub fn remove_node(&mut self, node: NodeId) -> bool {
+        let before = self.items.len();
+        self.items.retain(|x| x.node != node);
+        self.items.len() != before
+    }
+
+    /// Keeps only tuples also present in `other`, preserving order.
+    ///
+    /// Used when two copies of the same row carry the same version: the
+    /// append-sets are then identical and the copies differ only by
+    /// deletions of ordered/completed tuples, so applying both sides'
+    /// deletions (set intersection) is the sound merge
+    /// (DESIGN.md interpretation #3).
+    pub fn intersect(&mut self, other: &Mnl) {
+        self.items.retain(|x| other.contains(x));
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the list is empty (the row is an RCV "unknown").
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates tuples in arrival order.
+    pub fn iter(&self) -> core::slice::Iter<'_, ReqTuple> {
+        self.items.iter()
+    }
+
+    /// Lemma 1 invariant check: no two tuples share a node.
+    pub fn invariant_one_per_node(&self) -> bool {
+        let mut seen: Vec<NodeId> = Vec::with_capacity(self.items.len());
+        for t in &self.items {
+            if seen.contains(&t.node) {
+                return false;
+            }
+            seen.push(t.node);
+        }
+        true
+    }
+
+    /// Rough serialized size (for the wire-size metric).
+    pub fn wire_size(&self) -> usize {
+        self.items.len() * 12
+    }
+}
+
+impl FromIterator<ReqTuple> for Mnl {
+    fn from_iter<I: IntoIterator<Item = ReqTuple>>(iter: I) -> Self {
+        let mut m = Mnl::new();
+        for t in iter {
+            m.push(t);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u32, ts: u64) -> ReqTuple {
+        ReqTuple::new(NodeId::new(n), ts)
+    }
+
+    #[test]
+    fn top_is_front() {
+        let m: Mnl = [t(2, 1), t(0, 1), t(1, 1)].into_iter().collect();
+        assert_eq!(m.top(), Some(t(2, 1)));
+    }
+
+    #[test]
+    fn push_supersedes_older_tuple_of_same_node() {
+        let mut m = Mnl::new();
+        assert!(m.push(t(3, 1)));
+        assert!(m.push(t(3, 2)), "newer tuple must supersede");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.top(), Some(t(3, 2)));
+        assert!(!m.push(t(3, 1)), "older tuple must be rejected");
+        assert_eq!(m.top(), Some(t(3, 2)));
+    }
+
+    #[test]
+    fn push_duplicate_is_noop() {
+        let mut m = Mnl::new();
+        m.push(t(3, 1));
+        assert!(!m.push(t(3, 1)));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn remove_exact_and_by_node() {
+        let mut m: Mnl = [t(0, 1), t(1, 5)].into_iter().collect();
+        assert!(!m.remove(&t(1, 4)), "wrong ts must not match");
+        assert!(m.remove(&t(1, 5)));
+        assert!(m.remove_node(NodeId::new(0)));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn intersect_applies_both_deletion_sets() {
+        let mut a: Mnl = [t(0, 1), t(1, 1), t(2, 1)].into_iter().collect();
+        let b: Mnl = [t(0, 1), t(2, 1)].into_iter().collect(); // other side deleted t(1,..)
+        a.intersect(&b);
+        assert_eq!(a.iter().copied().collect::<Vec<_>>(), vec![t(0, 1), t(2, 1)]);
+    }
+
+    #[test]
+    fn invariant_detects_duplicates() {
+        let good: Mnl = [t(0, 1), t(1, 1)].into_iter().collect();
+        assert!(good.invariant_one_per_node());
+        // Build a corrupt list bypassing push():
+        let bad = Mnl { items: vec![t(0, 1), t(0, 2)] };
+        assert!(!bad.invariant_one_per_node());
+    }
+
+    #[test]
+    fn preserves_arrival_order() {
+        let m: Mnl = [t(5, 1), t(1, 2), t(3, 1)].into_iter().collect();
+        let order: Vec<u32> = m.iter().map(|x| x.node.raw()).collect();
+        assert_eq!(order, vec![5, 1, 3]);
+    }
+}

@@ -1,0 +1,196 @@
+//! NONL — *Node Ordered Node List*: the replicated sequence of requests
+//! whose order of CS entry has been decided by Relative Consensus Voting.
+//!
+//! Every node (and every in-flight message) carries a copy; the paper's
+//! Lemmas 6–7 establish that any two copies, after pruning of completed
+//! entries, order their common elements identically — one is a prefix of the
+//! other. [`Nonl::prefix_consistent_with`] checks exactly that and is used
+//! throughout the test battery.
+
+use rcv_simnet::NodeId;
+
+use crate::tuple::ReqTuple;
+
+/// An ordered list of requests granted the CS, front = next/current holder.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Nonl {
+    items: Vec<ReqTuple>,
+}
+
+impl Nonl {
+    /// Empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The request currently at the head (executing or next to execute).
+    pub fn head(&self) -> Option<ReqTuple> {
+        self.items.first().copied()
+    }
+
+    /// Whether the exact tuple is present.
+    pub fn contains(&self, t: &ReqTuple) -> bool {
+        self.items.contains(t)
+    }
+
+    /// Position of `t`, if present.
+    pub fn position(&self, t: &ReqTuple) -> Option<usize> {
+        self.items.iter().position(|x| x == t)
+    }
+
+    /// The tuple immediately preceding `t` in the order, if any.
+    pub fn predecessor_of(&self, t: &ReqTuple) -> Option<ReqTuple> {
+        match self.position(t) {
+            Some(0) | None => None,
+            Some(i) => Some(self.items[i - 1]),
+        }
+    }
+
+    /// Appends a newly ordered request at the back (Order procedure
+    /// line 14). No-op if already present (idempotent under re-learning).
+    pub fn append(&mut self, t: ReqTuple) {
+        if !self.contains(&t) {
+            self.items.push(t);
+        }
+    }
+
+    /// Removes the exact tuple (CS completion); returns whether present.
+    pub fn remove(&mut self, t: &ReqTuple) -> bool {
+        let before = self.items.len();
+        self.items.retain(|x| x != t);
+        self.items.len() != before
+    }
+
+    /// Removes `t` *and every tuple preceding it* (Exchange lines 1–4: if a
+    /// request is known completed, everything ordered before it completed
+    /// too). Returns how many tuples were removed.
+    pub fn remove_through(&mut self, t: &ReqTuple) -> usize {
+        match self.position(t) {
+            Some(i) => {
+                self.items.drain(..=i);
+                i + 1
+            }
+            None => 0,
+        }
+    }
+
+    /// Removes every tuple strictly preceding `t` (EM receipt: all my
+    /// predecessors have finished). No-op if `t` is absent.
+    pub fn remove_predecessors_of(&mut self, t: &ReqTuple) -> usize {
+        match self.position(t) {
+            Some(i) => {
+                self.items.drain(..i);
+                i
+            }
+            None => 0,
+        }
+    }
+
+    /// Number of ordered requests.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates in CS-entry order.
+    pub fn iter(&self) -> core::slice::Iter<'_, ReqTuple> {
+        self.items.iter()
+    }
+
+    /// Tuples present in `self` but not in `other`, in order.
+    pub fn difference<'a>(&'a self, other: &'a Nonl) -> impl Iterator<Item = &'a ReqTuple> {
+        self.items.iter().filter(move |t| !other.contains(t))
+    }
+
+    /// Whether any tuple of `node` is present.
+    pub fn contains_node(&self, node: NodeId) -> bool {
+        self.items.iter().any(|t| t.node == node)
+    }
+
+    /// Lemma 6/7 check: after pruning, one list must be a prefix of the
+    /// other.
+    pub fn prefix_consistent_with(&self, other: &Nonl) -> bool {
+        let (short, long) =
+            if self.len() <= other.len() { (self, other) } else { (other, self) };
+        short.items.iter().zip(long.items.iter()).all(|(a, b)| a == b)
+    }
+
+    /// Rough serialized size (for the wire-size metric).
+    pub fn wire_size(&self) -> usize {
+        self.items.len() * 12
+    }
+}
+
+impl FromIterator<ReqTuple> for Nonl {
+    fn from_iter<I: IntoIterator<Item = ReqTuple>>(iter: I) -> Self {
+        let mut n = Nonl::new();
+        for t in iter {
+            n.append(t);
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u32, ts: u64) -> ReqTuple {
+        ReqTuple::new(NodeId::new(n), ts)
+    }
+
+    #[test]
+    fn head_and_predecessor() {
+        let l: Nonl = [t(3, 1), t(1, 1), t(2, 2)].into_iter().collect();
+        assert_eq!(l.head(), Some(t(3, 1)));
+        assert_eq!(l.predecessor_of(&t(1, 1)), Some(t(3, 1)));
+        assert_eq!(l.predecessor_of(&t(3, 1)), None);
+        assert_eq!(l.predecessor_of(&t(9, 9)), None);
+    }
+
+    #[test]
+    fn append_is_idempotent() {
+        let mut l = Nonl::new();
+        l.append(t(0, 1));
+        l.append(t(0, 1));
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn remove_through_drops_prefix() {
+        let mut l: Nonl = [t(0, 1), t(1, 1), t(2, 1)].into_iter().collect();
+        assert_eq!(l.remove_through(&t(1, 1)), 2);
+        assert_eq!(l.head(), Some(t(2, 1)));
+    }
+
+    #[test]
+    fn remove_predecessors_keeps_target() {
+        let mut l: Nonl = [t(0, 1), t(1, 1), t(2, 1)].into_iter().collect();
+        assert_eq!(l.remove_predecessors_of(&t(2, 1)), 2);
+        assert_eq!(l.head(), Some(t(2, 1)));
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn prefix_consistency() {
+        let a: Nonl = [t(0, 1), t(1, 1)].into_iter().collect();
+        let b: Nonl = [t(0, 1), t(1, 1), t(2, 1)].into_iter().collect();
+        let c: Nonl = [t(1, 1), t(0, 1)].into_iter().collect();
+        assert!(a.prefix_consistent_with(&b));
+        assert!(b.prefix_consistent_with(&a));
+        assert!(!a.prefix_consistent_with(&c));
+        assert!(Nonl::new().prefix_consistent_with(&a));
+    }
+
+    #[test]
+    fn difference_lists_missing() {
+        let a: Nonl = [t(0, 1), t(1, 1), t(2, 1)].into_iter().collect();
+        let b: Nonl = [t(0, 1)].into_iter().collect();
+        let d: Vec<_> = a.difference(&b).copied().collect();
+        assert_eq!(d, vec![t(1, 1), t(2, 1)]);
+    }
+}

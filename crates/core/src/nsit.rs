@@ -1,0 +1,164 @@
+//! NSIT — *Node System Information Table*: one row per system node.
+//!
+//! Row `r` is the (possibly stale) copy of node `r`'s knowledge: a version
+//! counter `ts` and an [`Mnl`] of outstanding requests node `r` has
+//! registered. Only node `r` itself ever advances row `r`'s version (at
+//! request initialization, at RM reception and at CS release); every other
+//! copy in the system is a snapshot that propagates through messages and is
+//! reconciled by the Exchange procedure (fresher version wins wholesale,
+//! equal versions intersect — see DESIGN.md interpretation #3).
+
+use rcv_simnet::NodeId;
+
+use crate::mnl::Mnl;
+use crate::tuple::ReqTuple;
+
+/// One NSIT row: the recorded state of a single node.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NsitRow {
+    /// Version counter ("TS" in the paper): how up to date this copy is.
+    pub ts: u64,
+    /// Outstanding requests registered by the row's owner, arrival order.
+    pub mnl: Mnl,
+}
+
+/// The full table, indexed by node id.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Nsit {
+    rows: Vec<NsitRow>,
+}
+
+impl Nsit {
+    /// A fresh table for an `n`-node system: all rows empty at version 0.
+    pub fn new(n: usize) -> Self {
+        Nsit { rows: vec![NsitRow::default(); n] }
+    }
+
+    /// Number of rows (= system size `N`).
+    pub fn n(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Immutable row access.
+    pub fn row(&self, node: NodeId) -> &NsitRow {
+        &self.rows[node.index()]
+    }
+
+    /// Mutable row access.
+    pub fn row_mut(&mut self, node: NodeId) -> &mut NsitRow {
+        &mut self.rows[node.index()]
+    }
+
+    /// Iterates `(owner, row)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &NsitRow)> {
+        self.rows.iter().enumerate().map(|(i, r)| (NodeId::new(i as u32), r))
+    }
+
+    /// Largest version across all rows (MPM line 36 uses `max(...)+1`).
+    pub fn max_ts(&self) -> u64 {
+        self.rows.iter().map(|r| r.ts).max().unwrap_or(0)
+    }
+
+    /// Deletes the exact tuple from **every** row (Order line 15, Exchange
+    /// completion purges). Returns the number of rows it was removed from.
+    pub fn delete_everywhere(&mut self, t: &ReqTuple) -> usize {
+        self.rows.iter_mut().map(|r| usize::from(r.mnl.remove(t))).sum()
+    }
+
+    /// Number of rows with an empty MNL — the RCV "unknowns"
+    /// (`N − Σ S_h` in Order line 13).
+    pub fn empty_rows(&self) -> usize {
+        self.rows.iter().filter(|r| r.mnl.is_empty()).count()
+    }
+
+    /// Current votes: the top tuple of every non-empty row.
+    pub fn votes(&self) -> impl Iterator<Item = ReqTuple> + '_ {
+        self.rows.iter().filter_map(|r| r.mnl.top())
+    }
+
+    /// All distinct tuples present anywhere in the table.
+    pub fn distinct_tuples(&self) -> Vec<ReqTuple> {
+        let mut out: Vec<ReqTuple> = Vec::new();
+        for r in &self.rows {
+            for t in r.mnl.iter() {
+                if !out.contains(t) {
+                    out.push(*t);
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the exact tuple appears in any row.
+    pub fn contains_anywhere(&self, t: &ReqTuple) -> bool {
+        self.rows.iter().any(|r| r.mnl.contains(t))
+    }
+
+    /// Lemma 1 invariant across all rows.
+    pub fn invariant_lemma1(&self) -> bool {
+        self.rows.iter().all(|r| r.mnl.invariant_one_per_node() && r.mnl.len() <= self.n())
+    }
+
+    /// Rough serialized size (for the wire-size metric).
+    pub fn wire_size(&self) -> usize {
+        self.rows.iter().map(|r| 12 + r.mnl.wire_size()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u32, ts: u64) -> ReqTuple {
+        ReqTuple::new(NodeId::new(n), ts)
+    }
+
+    fn table() -> Nsit {
+        let mut s = Nsit::new(4);
+        s.row_mut(NodeId::new(0)).mnl.push(t(0, 1));
+        s.row_mut(NodeId::new(0)).mnl.push(t(1, 1));
+        s.row_mut(NodeId::new(1)).mnl.push(t(1, 1));
+        s.row_mut(NodeId::new(0)).ts = 2;
+        s.row_mut(NodeId::new(1)).ts = 1;
+        s
+    }
+
+    #[test]
+    fn votes_are_row_tops() {
+        let s = table();
+        let v: Vec<_> = s.votes().collect();
+        assert_eq!(v, vec![t(0, 1), t(1, 1)]);
+    }
+
+    #[test]
+    fn empty_rows_counts_unknowns() {
+        assert_eq!(table().empty_rows(), 2);
+        assert_eq!(Nsit::new(3).empty_rows(), 3);
+    }
+
+    #[test]
+    fn delete_everywhere_hits_all_rows() {
+        let mut s = table();
+        assert_eq!(s.delete_everywhere(&t(1, 1)), 2);
+        assert!(!s.contains_anywhere(&t(1, 1)));
+        assert!(s.contains_anywhere(&t(0, 1)));
+    }
+
+    #[test]
+    fn max_ts_scans_rows() {
+        assert_eq!(table().max_ts(), 2);
+        assert_eq!(Nsit::new(2).max_ts(), 0);
+    }
+
+    #[test]
+    fn distinct_tuples_dedupes() {
+        let d = table().distinct_tuples();
+        assert_eq!(d.len(), 2);
+        assert!(d.contains(&t(0, 1)) && d.contains(&t(1, 1)));
+    }
+
+    #[test]
+    fn lemma1_holds_for_valid_table() {
+        assert!(table().invariant_lemma1());
+    }
+}

@@ -1,0 +1,164 @@
+//! SI — the *System Information* a node maintains (paper Figure 2):
+//! `Next`, `NONL` and `NSIT`.
+
+use rcv_simnet::NodeId;
+
+use crate::nonl::Nonl;
+use crate::nsit::Nsit;
+use crate::tuple::ReqTuple;
+
+/// A node's complete replicated view of the system.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Si {
+    /// The request to hand the CS to when this node releases it (set by an
+    /// Inform Message). We keep the full tuple rather than the paper's bare
+    /// node id so a stale IM for a node's *previous* request can never be
+    /// confused with its current one.
+    pub next: Option<ReqTuple>,
+    /// The agreed order of requests granted the CS.
+    pub nonl: Nonl,
+    /// Per-node knowledge table.
+    pub nsit: Nsit,
+}
+
+impl Si {
+    /// Fresh state for a node in an `n`-node system ("when the system is
+    /// initialized, each node knows nothing about others").
+    pub fn new(n: usize) -> Self {
+        Si { next: None, nonl: Nonl::new(), nsit: Nsit::new(n) }
+    }
+
+    /// System size.
+    pub fn n(&self) -> usize {
+        self.nsit.n()
+    }
+
+    /// True when, from this node's view, the request `t` has **completed**:
+    /// the home row's information is at least as new as the request itself
+    /// (`ts >= t.ts`), yet the request is listed neither in the home row's
+    /// MNL nor in the NONL. (A request always lives in its home row's MNL
+    /// from initialization until it is *ordered*, and in the NONL from
+    /// ordering until CS exit — so fresh-enough information showing it in
+    /// neither place proves it finished. DESIGN.md interpretation/repair #3.)
+    pub fn knows_completed(&self, t: &ReqTuple) -> bool {
+        let home_row = self.nsit.row(t.node);
+        home_row.ts >= t.ts && !home_row.mnl.contains(t) && !self.nonl.contains(t)
+    }
+
+    /// Removes every tuple of the NONL from every MNL of the NSIT — ordered
+    /// requests must not keep voting. Called after merges that may import
+    /// row copies from nodes that had not yet heard of an ordering.
+    /// Returns the number of deletions performed.
+    pub fn scrub_ordered_from_mnls(&mut self) -> usize {
+        let ordered: Vec<ReqTuple> = self.nonl.iter().copied().collect();
+        ordered.iter().map(|t| self.nsit.delete_everywhere(t)).sum()
+    }
+
+    /// Purges tuples with completion evidence from every MNL (repair #3 in
+    /// DESIGN.md: stale third-party row copies can carry "zombie" tuples of
+    /// already-finished requests back in; left alone they could vote, win an
+    /// ordering and wedge the EM chain). Returns the purged tuples.
+    pub fn purge_completed(&mut self) -> Vec<ReqTuple> {
+        let mut purged = Vec::new();
+        for t in self.nsit.distinct_tuples() {
+            if self.knows_completed(&t) {
+                self.nsit.delete_everywhere(&t);
+                purged.push(t);
+            }
+        }
+        purged
+    }
+
+    /// Structural invariants bundled for tests/property checks.
+    pub fn invariants_ok(&self, me: NodeId) -> Result<(), String> {
+        if !self.nsit.invariant_lemma1() {
+            return Err(format!("{me}: Lemma 1 violated (duplicate node in an MNL)"));
+        }
+        for t in self.nonl.iter() {
+            if self.nsit.contains_anywhere(t) {
+                return Err(format!("{me}: ordered tuple {t} still present in an MNL"));
+            }
+        }
+        let mut seen: Vec<NodeId> = Vec::new();
+        for t in self.nonl.iter() {
+            if seen.contains(&t.node) {
+                return Err(format!("{me}: two NONL entries for {}", t.node));
+            }
+            seen.push(t.node);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u32, ts: u64) -> ReqTuple {
+        ReqTuple::new(NodeId::new(n), ts)
+    }
+
+    #[test]
+    fn fresh_state_is_clean() {
+        let si = Si::new(3);
+        assert_eq!(si.n(), 3);
+        assert!(si.nonl.is_empty());
+        assert!(si.next.is_none());
+        assert!(si.invariants_ok(NodeId::new(0)).is_ok());
+    }
+
+    #[test]
+    fn knows_completed_requires_fresh_absence() {
+        let mut si = Si::new(2);
+        let req = t(1, 3);
+        // Stale row (ts < req.ts): cannot conclude completion.
+        si.nsit.row_mut(NodeId::new(1)).ts = 2;
+        assert!(!si.knows_completed(&req));
+        // Fresh row, request still listed: outstanding.
+        si.nsit.row_mut(NodeId::new(1)).ts = 3;
+        si.nsit.row_mut(NodeId::new(1)).mnl.push(req);
+        assert!(!si.knows_completed(&req));
+        // Ordered: in NONL, not in MNL.
+        si.nsit.row_mut(NodeId::new(1)).mnl.remove(&req);
+        si.nonl.append(req);
+        assert!(!si.knows_completed(&req));
+        // Completed: fresh row, in neither place.
+        si.nonl.remove(&req);
+        si.nsit.row_mut(NodeId::new(1)).ts = 4;
+        assert!(si.knows_completed(&req));
+    }
+
+    #[test]
+    fn scrub_removes_ordered_votes() {
+        let mut si = Si::new(2);
+        let req = t(0, 1);
+        si.nsit.row_mut(NodeId::new(0)).mnl.push(req);
+        si.nsit.row_mut(NodeId::new(1)).mnl.push(req);
+        si.nonl.append(req);
+        assert_eq!(si.scrub_ordered_from_mnls(), 2);
+        assert!(!si.nsit.contains_anywhere(&req));
+        assert!(si.invariants_ok(NodeId::new(0)).is_ok());
+    }
+
+    #[test]
+    fn purge_completed_removes_zombies() {
+        let mut si = Si::new(3);
+        let zombie = t(1, 1);
+        // Home row of node 1 is fresher than the request and lists nothing:
+        si.nsit.row_mut(NodeId::new(1)).ts = 5;
+        // ...but a stale third-party row copy still carries the tuple:
+        si.nsit.row_mut(NodeId::new(2)).mnl.push(zombie);
+        let purged = si.purge_completed();
+        assert_eq!(purged, vec![zombie]);
+        assert!(!si.nsit.contains_anywhere(&zombie));
+    }
+
+    #[test]
+    fn invariants_catch_ordered_tuple_in_mnl() {
+        let mut si = Si::new(2);
+        let req = t(0, 1);
+        si.nonl.append(req);
+        si.nsit.row_mut(NodeId::new(1)).mnl.push(req);
+        assert!(si.invariants_ok(NodeId::new(0)).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! Per-node protocol counters, exposed for white-box tests and ablations.
+
+/// Counters a single RCV node accumulates over its lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RcvNodeStats {
+    /// Requests this node initiated.
+    pub requests: u64,
+    /// CS entries performed.
+    pub cs_entries: u64,
+    /// RMs received (own-home RMs never come back, so these are others').
+    pub rms_received: u64,
+    /// RMs forwarded onwards (home's initial send not included).
+    pub rms_forwarded: u64,
+    /// EMs sent (either as orderer or as releasing predecessor).
+    pub ems_sent: u64,
+    /// IMs sent.
+    pub ims_sent: u64,
+    /// EMs received that no longer matched an outstanding request and were
+    /// dropped (DESIGN.md guard #7). Expected to stay 0; asserted by tests.
+    pub stale_ems: u64,
+    /// RMs received for requests already known completed and dropped.
+    /// Expected to stay 0 under reliable delivery; asserted by tests.
+    pub zombie_rms: u64,
+    /// IMs that arrived after the predecessor had already released; the
+    /// node answered with an immediate EM (paper lines 26-29).
+    pub late_ims: u64,
+    /// IMs applied normally (Next field set).
+    pub ims_applied: u64,
+    /// Times an RM exhausted its unvisited list without ordering. Lemma 3
+    /// proves this cannot happen; it is counted rather than assumed.
+    pub ul_exhausted: u64,
+    /// Requests ordered by this node's Order invocations (any home).
+    pub orderings: u64,
+    /// Lemma 6 violations observed during Exchange. Expected 0.
+    pub lemma6_violations: u64,
+    /// RMs re-issued by the retransmission extension.
+    pub retransmissions: u64,
+}
+
+impl RcvNodeStats {
+    /// Sum of the "should never happen" counters; tests assert it is zero.
+    pub fn anomalies(&self) -> u64 {
+        self.ul_exhausted + self.lemma6_violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anomalies_aggregates_error_counters() {
+        let mut s = RcvNodeStats::default();
+        assert_eq!(s.anomalies(), 0);
+        s.ul_exhausted = 1;
+        s.lemma6_violations = 2;
+        assert_eq!(s.anomalies(), 3);
+    }
+}

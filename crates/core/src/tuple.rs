@@ -1,0 +1,60 @@
+//! Request tuples — the paper's `<NodeID, TS>` pairs.
+
+use core::fmt;
+
+use rcv_simnet::NodeId;
+
+/// One outstanding CS request: *node `node` asked at its local timestamp
+/// `ts`*.
+///
+/// The timestamp is the value of the home node's own NSIT row counter at the
+/// moment the request was initialized (MPM algorithm lines 4–5), so a node's
+/// successive requests carry strictly increasing timestamps and a
+/// `(node, ts)` pair globally identifies a request.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReqTuple {
+    /// The requesting (home) node.
+    pub node: NodeId,
+    /// The home node's row timestamp when the request was initialized.
+    pub ts: u64,
+}
+
+impl ReqTuple {
+    /// Convenience constructor.
+    #[inline]
+    pub const fn new(node: NodeId, ts: u64) -> Self {
+        ReqTuple { node, ts }
+    }
+}
+
+impl fmt::Debug for ReqTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{},{}>", self.node, self.ts)
+    }
+}
+
+impl fmt::Display for ReqTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{},{}>", self.node, self.ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_both_fields() {
+        let a = ReqTuple::new(NodeId::new(1), 3);
+        let b = ReqTuple::new(NodeId::new(1), 4);
+        let c = ReqTuple::new(NodeId::new(2), 3);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, ReqTuple::new(NodeId::new(1), 3));
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", ReqTuple::new(NodeId::new(7), 2)), "<N7,2>");
+    }
+}

@@ -1,0 +1,174 @@
+//! Scripted conformance walkthrough: a fully deterministic 3-node burst,
+//! driven message by message, pinning the protocol's observable behaviour
+//! at every step — the executable version of the paper's §4 narrative.
+//!
+//! Scenario (constant Tn = 5, Tc = 10, sequential forwarding for
+//! determinism): all three nodes request at t = 0.
+
+use rcv_core::{ForwardPolicy, RcvConfig, RcvNode, ReqState, ReqTuple};
+use rcv_simnet::{
+    BurstOnce, Engine, EventKind, NodeId, SimConfig, TraceEvent,
+};
+
+fn nid(n: u32) -> NodeId {
+    NodeId::new(n)
+}
+
+fn t(n: u32, ts: u64) -> ReqTuple {
+    ReqTuple::new(nid(n), ts)
+}
+
+/// Runs the scripted burst and returns (report, nodes).
+fn run() -> (rcv_simnet::SimReport, Vec<RcvNode>) {
+    let mut cfg = SimConfig::paper(3, 0);
+    cfg.trace_capacity = 1_000;
+    Engine::new(cfg, BurstOnce, |id, n| {
+        RcvNode::with_config(
+            id,
+            n,
+            RcvConfig { forward: ForwardPolicy::Sequential, ..RcvConfig::paper() },
+        )
+    })
+    .run_collecting()
+}
+
+#[test]
+fn walkthrough_grants_in_consensus_order() {
+    let (report, nodes) = run();
+    assert!(report.is_safe());
+    assert_eq!(report.metrics.completed(), 3);
+
+    // With sequential forwarding: RM(N0)→N1, RM(N1)→N0, RM(N2)→N0.
+    // At t=5, N0 processes RM(N1): rows vote N0 (own) and N1 — no
+    // unassailable lead, forwarded. N0 then processes RM(N2) and the
+    // cascade eventually orders all three with the smallest id first.
+    let entries: Vec<(u64, u32)> = report
+        .trace
+        .events()
+        .filter_map(|e| match *e {
+            TraceEvent::CsEnter { at, node } => Some((at.ticks(), node.raw())),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(entries.len(), 3);
+    // Entry order is a permutation fixed by the deterministic run; the
+    // crucial properties: no overlap and minimal handoff gaps.
+    let exits: Vec<(u64, u32)> = report
+        .trace
+        .events()
+        .filter_map(|e| match *e {
+            TraceEvent::CsExit { at, node } => Some((at.ticks(), node.raw())),
+            _ => None,
+        })
+        .collect();
+    for (i, &(exit_at, _)) in exits.iter().take(2).enumerate() {
+        let (next_enter, _) = entries[i + 1];
+        assert_eq!(
+            next_enter - exit_at,
+            5,
+            "handoff {i}: synchronization delay must be exactly Tn"
+        );
+    }
+
+    // Every node ends idle with empty Next and consistent views.
+    for node in &nodes {
+        assert_eq!(node.state(), ReqState::Idle);
+        assert!(node.si().next.is_none());
+        assert_eq!(node.stats().anomalies(), 0);
+    }
+}
+
+#[test]
+fn walkthrough_message_budget() {
+    let (report, _) = run();
+    let by_class = report.metrics.messages_by_class();
+    // 3 initial RM sends + forwards: each RM is forwarded at most N-1 = 2
+    // times; EMs: exactly one per CS entry... first entrant gets an EM from
+    // the orderer, the other two from their predecessors. IMs wire the two
+    // successor links (possibly re-signalled once if two RMs discover the
+    // same ordering — the deterministic count is pinned here).
+    assert_eq!(by_class["EM"], 3, "{by_class:?}");
+    assert!(by_class["RM"] <= 6, "{by_class:?}");
+    assert!(by_class.get("IM").copied().unwrap_or(0) <= 3, "{by_class:?}");
+    // Total NME well under Ricart's 2(N-1) = 4 per CS.
+    assert!(report.metrics.nme().unwrap() <= 4.0);
+}
+
+#[test]
+fn walkthrough_order_cascade_is_visible_in_nonl_history() {
+    // Re-run manually up to the first ordering and inspect the orderer's
+    // NONL: the Order procedure must have ordered more than one request in
+    // a single invocation at some node (the paper's "several nodes can be
+    // decided and ordered" claim).
+    let (_report, nodes) = run();
+    // "Orderings" counts per-node view events: the same request may be
+    // ordered independently at several nodes before the exchange spreads
+    // the news (Lemma 7 guarantees they all agree on the order), so the
+    // total is at least one per request but may exceed it.
+    let total_orderings: u64 = nodes.iter().map(|n| n.stats().orderings).sum();
+    assert!((3..=9).contains(&total_orderings), "got {total_orderings}");
+    let max_at_one_node = nodes.iter().map(|n| n.stats().orderings).max().unwrap();
+    assert!(
+        max_at_one_node >= 2,
+        "at least one Order invocation must have ordered multiple requests"
+    );
+}
+
+#[test]
+fn two_node_scripted_exchange() {
+    // Smallest interesting system, fully pinned: N=2, only node 1 requests.
+    let mut cfg = SimConfig::paper(2, 0);
+    cfg.trace_capacity = 100;
+    let trace_wl = rcv_simnet::FixedTrace::new(vec![(rcv_simnet::SimTime::ZERO, nid(1))]);
+    let (report, nodes) = Engine::new(cfg, trace_wl, |id, n| {
+        RcvNode::with_config(
+            id,
+            n,
+            RcvConfig { forward: ForwardPolicy::Sequential, ..RcvConfig::paper() },
+        )
+    })
+    .run_collecting();
+
+    assert!(report.is_safe());
+    assert_eq!(report.metrics.completed(), 1);
+    // Exactly: RM(N1→N0) at t=0, EM(N0→N1) at t=5, enter at t=10.
+    assert_eq!(report.metrics.messages_sent(), 2);
+    let enter_at = report
+        .trace
+        .events()
+        .find_map(|e| match *e {
+            TraceEvent::CsEnter { at, node } if node == nid(1) => Some(at.ticks()),
+            _ => None,
+        })
+        .expect("node 1 must enter");
+    assert_eq!(enter_at, 10, "2 hops * Tn");
+
+    // Node 0's view after the run: knows <1,1> completed (row 1 fresh,
+    // empty; not in NONL)... after node 1 releases nobody tells node 0 —
+    // release sends no message when Next is empty. So node 0 still holds
+    // the ordered tuple in its NONL: lazily stale, by design.
+    let n0 = &nodes[0];
+    assert!(n0.si().nonl.contains(&t(1, 1)), "N0's knowledge is lazily stale");
+    // Node 1's own state is authoritative: request done, NONL empty.
+    let n1 = &nodes[1];
+    assert!(n1.si().nonl.is_empty());
+    assert_eq!(n1.si().nsit.row(nid(1)).ts, 2, "request bump + release bump");
+}
+
+#[test]
+fn deterministic_trace_is_stable_across_runs() {
+    // The same config must produce byte-identical traces (regression guard
+    // for engine determinism).
+    let render = |(report, _): (rcv_simnet::SimReport, Vec<RcvNode>)| report.trace.render();
+    assert_eq!(render(run()), render(run()));
+}
+
+#[test]
+fn event_kind_is_public_api() {
+    // EventKind is re-exported for custom harnesses; pin the variants.
+    let ev: EventKind<()> = EventKind::Arrival { node: nid(0) };
+    match ev {
+        EventKind::Arrival { node } => assert_eq!(node, nid(0)),
+        _ => unreachable!(),
+    }
+}

@@ -1,0 +1,262 @@
+//! Bounded model checking: exhaustive exploration of **every** possible
+//! message interleaving for small configurations.
+//!
+//! The simulator and property tests sample schedules; this harness
+//! enumerates them. A system state is the tuple (all node states, multiset
+//! of in-flight events); from each state the checker branches on every
+//! pending event (message delivery or CS exit) and recurses, deduplicating
+//! visited states by a canonical fingerprint. In every reachable state it
+//! asserts mutual exclusion (at most one node executing), and in every
+//! *terminal* state (nothing in flight) it asserts that all issued
+//! requests ran to completion — i.e. deadlock/starvation freedom holds on
+//! the entire reachable state space, not just on sampled runs.
+//!
+//! Nondeterminism from the RM forwarding policy is removed with
+//! `ForwardPolicy::Sequential`; the interleaving nondeterminism the paper
+//! cares about (arbitrary, non-FIFO delivery) is exactly what the checker
+//! enumerates.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rcv_core::{ForwardPolicy, RcvConfig, RcvMessage, RcvNode, ReqState};
+use rcv_simnet::{Ctx, MutexProtocol, NodeId, SimDuration, SimTime};
+use std::collections::HashSet;
+
+/// An event that can fire next.
+#[derive(Clone, Debug)]
+enum Ev {
+    Deliver { from: NodeId, to: NodeId, msg: RcvMessage },
+    /// The node currently in the CS finishes executing.
+    Exit { node: NodeId },
+}
+
+#[derive(Clone)]
+struct McState {
+    nodes: Vec<RcvNode>,
+    pending: Vec<Ev>,
+}
+
+impl McState {
+    /// Canonical fingerprint: node debug states + sorted pending events.
+    /// (Debug formatting is fully deterministic for these types.)
+    fn fingerprint(&self) -> String {
+        let mut pend: Vec<String> = self.pending.iter().map(|e| format!("{e:?}")).collect();
+        pend.sort();
+        format!("{:?}|{}", self.nodes, pend.join(";"))
+    }
+
+    fn in_cs_count(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n.state(), ReqState::InCs(_))).count()
+    }
+}
+
+struct Checker {
+    visited: HashSet<String>,
+    states_explored: u64,
+    terminals: u64,
+    max_states: u64,
+    /// Node ids expected to complete exactly one request.
+    requesters: Vec<NodeId>,
+}
+
+impl Checker {
+    /// Runs one protocol handler on `state.nodes[node]`, turning intents
+    /// into pending events.
+    fn dispatch(
+        state: &mut McState,
+        node: NodeId,
+        f: impl FnOnce(&mut RcvNode, &mut Ctx<'_, RcvMessage>),
+    ) {
+        let mut outbox: Vec<(NodeId, RcvMessage)> = Vec::new();
+        let mut enter = false;
+        let mut timers: Vec<(SimDuration, u64)> = Vec::new();
+        // The sequential policy never consumes randomness, so a fixed rng
+        // keeps dispatch deterministic.
+        let mut rng = SmallRng::seed_from_u64(0);
+        {
+            let mut ctx =
+                Ctx::new(node, SimTime::ZERO, &mut rng, &mut outbox, &mut enter, &mut timers);
+            f(&mut state.nodes[node.index()], &mut ctx);
+        }
+        assert!(timers.is_empty(), "paper config must not arm timers");
+        for (to, msg) in outbox {
+            state.pending.push(Ev::Deliver { from: node, to, msg });
+        }
+        if enter {
+            state.pending.push(Ev::Exit { node });
+        }
+    }
+
+    /// Applies pending event `idx` to a clone of `state`.
+    fn apply(state: &McState, idx: usize) -> McState {
+        let mut next = state.clone();
+        let ev = next.pending.swap_remove(idx);
+        match ev {
+            Ev::Deliver { from, to, msg } => {
+                Self::dispatch(&mut next, to, |p, ctx| p.on_message(from, msg, ctx));
+            }
+            Ev::Exit { node } => {
+                Self::dispatch(&mut next, node, |p, ctx| p.on_cs_released(ctx));
+            }
+        }
+        next
+    }
+
+    fn explore(&mut self, initial: McState) {
+        let mut stack = vec![initial];
+        while let Some(state) = stack.pop() {
+            // SAFETY (Theorem 1) on every reachable state.
+            assert!(
+                state.in_cs_count() <= 1,
+                "MUTUAL EXCLUSION VIOLATED in state: {:#?}",
+                state.nodes
+            );
+            if state.pending.is_empty() {
+                // Terminal: LIVENESS (Theorems 2-3) — everyone done.
+                self.terminals += 1;
+                for &r in &self.requesters {
+                    let node = &state.nodes[r.index()];
+                    assert_eq!(
+                        node.state(),
+                        ReqState::Idle,
+                        "terminal state with {r} not idle"
+                    );
+                    assert_eq!(
+                        node.stats().cs_entries,
+                        1,
+                        "terminal state where {r} never entered the CS"
+                    );
+                    assert_eq!(node.stats().anomalies(), 0);
+                }
+                continue;
+            }
+            for idx in 0..state.pending.len() {
+                let next = Self::apply(&state, idx);
+                if self.visited.insert(next.fingerprint()) {
+                    self.states_explored += 1;
+                    assert!(
+                        self.states_explored <= self.max_states,
+                        "state space exceeded {} states — raise the bound deliberately",
+                        self.max_states
+                    );
+                    stack.push(next);
+                }
+            }
+        }
+    }
+}
+
+/// Builds the initial state: `requesters` all issue their request before
+/// anything is delivered (the paper's synchronized burst — requests do not
+/// interact at issue time, so issue order is irrelevant).
+fn initial_state(n: usize, requesters: &[NodeId], policy: ForwardPolicy) -> McState {
+    let mut state = McState {
+        nodes: (0..n)
+            .map(|i| {
+                RcvNode::with_config(
+                    NodeId::new(i as u32),
+                    n,
+                    RcvConfig { forward: policy, ..RcvConfig::paper() },
+                )
+            })
+            .collect(),
+        pending: Vec::new(),
+    };
+    for &r in requesters {
+        Checker::dispatch(&mut state, r, |p, ctx| p.on_request(ctx));
+    }
+    state
+}
+
+/// Deterministic policies only: the checker's dispatch must be a pure
+/// function of the state. (`MostStale`/`Freshest` consult only row
+/// versions; `Sequential` only ids.)
+const POLICIES: [ForwardPolicy; 3] =
+    [ForwardPolicy::Sequential, ForwardPolicy::MostStale, ForwardPolicy::Freshest];
+
+fn check(
+    n: usize,
+    requesters: Vec<NodeId>,
+    policy: ForwardPolicy,
+    max_states: u64,
+) -> (u64, u64) {
+    let initial = initial_state(n, &requesters, policy);
+    let mut checker = Checker {
+        visited: HashSet::new(),
+        states_explored: 0,
+        terminals: 0,
+        max_states,
+        requesters,
+    };
+    checker.visited.insert(initial.fingerprint());
+    checker.explore(initial);
+    assert!(checker.terminals > 0, "exploration found no terminal state");
+    (checker.states_explored, checker.terminals)
+}
+
+fn check_all_policies(n: usize, requesters: Vec<NodeId>, max_states: u64) -> (u64, u64) {
+    let mut totals = (0, 0);
+    for policy in POLICIES {
+        let (s, t) = check(n, requesters.clone(), policy, max_states);
+        totals.0 += s;
+        totals.1 += t;
+    }
+    totals
+}
+
+#[test]
+fn exhaustive_n2_both_request() {
+    let (states, terminals) =
+        check_all_policies(2, vec![NodeId::new(0), NodeId::new(1)], 100_000);
+    println!("N=2 both: {states} states, {terminals} terminal");
+}
+
+#[test]
+fn exhaustive_n3_two_requesters() {
+    let (states, terminals) =
+        check_all_policies(3, vec![NodeId::new(0), NodeId::new(2)], 2_000_000);
+    println!("N=3 two requesters: {states} states, {terminals} terminal");
+}
+
+#[test]
+fn exhaustive_n3_full_burst() {
+    let (states, terminals) =
+        check_all_policies(3, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)], 5_000_000);
+    println!("N=3 burst: {states} states, {terminals} terminal");
+}
+
+#[test]
+fn exhaustive_n4_two_requesters() {
+    let (states, terminals) =
+        check_all_policies(4, vec![NodeId::new(1), NodeId::new(3)], 5_000_000);
+    println!("N=4 two requesters: {states} states, {terminals} terminal");
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "large state space; run under --release")]
+fn exhaustive_n4_three_requesters() {
+    let (states, terminals) = check_all_policies(
+        4,
+        vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)],
+        20_000_000,
+    );
+    println!("N=4 three requesters: {states} states, {terminals} terminal");
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "342k states; run under --release")]
+fn exhaustive_n4_full_burst() {
+    let (states, terminals) = check_all_policies(
+        4,
+        NodeId::all(4).collect(),
+        50_000_000,
+    );
+    println!("N=4 burst: {states} states, {terminals} terminal");
+}
+
+#[test]
+fn exhaustive_n5_two_requesters() {
+    let (states, terminals) =
+        check_all_policies(5, vec![NodeId::new(0), NodeId::new(4)], 20_000_000);
+    println!("N=5 two requesters: {states} states, {terminals} terminal");
+}

@@ -1,0 +1,442 @@
+//! The thread-per-node cluster: runs any [`MutexProtocol`] over real OS
+//! threads and crossbeam channels, with an impairment layer that injects
+//! random per-message delays (and therefore reordering — the channels stop
+//! being FIFO, exactly the property the RCV algorithm claims not to need).
+//!
+//! Topology:
+//!
+//! ```text
+//! node thread 0 ─┐                        ┌─▶ node inbox 0
+//! node thread 1 ─┼─▶ network thread ──────┼─▶ node inbox 1
+//!      ...       │   (delay heap)         └─▶ ...
+//! node thread N ─┘
+//! ```
+//!
+//! Each node thread owns its protocol state machine, issues its workload's
+//! requests, executes the CS by *sleeping* for `cs_duration` (registering
+//! entry/exit with the shared [`CsChecker`]), and keeps serving protocol
+//! messages between and after its own requests until the whole cluster is
+//! done.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rcv_simnet::{Ctx, MutexProtocol, NodeId, SimDuration, SimTime};
+
+use crate::checker::CsChecker;
+
+/// Per-message network impairment.
+#[derive(Clone, Copy, Debug)]
+pub enum NetDelay {
+    /// Deliver as fast as the channels go (still asynchronous).
+    None,
+    /// Uniformly random delay in `[min, max]` — reorders messages.
+    Uniform {
+        /// Minimum injected delay.
+        min: Duration,
+        /// Maximum injected delay.
+        max: Duration,
+    },
+}
+
+impl NetDelay {
+    fn sample(&self, rng: &mut SmallRng) -> Duration {
+        match *self {
+            NetDelay::None => Duration::ZERO,
+            NetDelay::Uniform { min, max } => {
+                let span = max.saturating_sub(min);
+                min + span.mul_f64(rng.gen::<f64>())
+            }
+        }
+    }
+}
+
+/// Optional hook applied to every message on the wire (e.g. the codec
+/// round-trip installed by [`crate::with_codec_verification`]).
+pub type WireHook<M> = Arc<dyn Fn(M) -> M + Send + Sync>;
+
+/// Cluster parameters.
+#[derive(Clone)]
+pub struct ClusterSpec<M> {
+    /// Number of nodes (threads).
+    pub n: usize,
+    /// CS requests each node performs.
+    pub rounds: u32,
+    /// Pause between a node's CS completion and its next request.
+    pub think: Duration,
+    /// How long the CS is held.
+    pub cs_duration: Duration,
+    /// Network impairment.
+    pub delay: NetDelay,
+    /// Seed for all per-node RNG streams.
+    pub seed: u64,
+    /// Abort the run (reporting `timed_out`) after this long.
+    pub timeout: Duration,
+    /// Optional on-wire transformation (codec verification, tampering).
+    pub wire_hook: Option<WireHook<M>>,
+}
+
+impl<M> ClusterSpec<M> {
+    /// A small default: `n` nodes, one request each, jittered delivery.
+    pub fn quick(n: usize, seed: u64) -> Self {
+        ClusterSpec {
+            n,
+            rounds: 1,
+            think: Duration::from_millis(1),
+            cs_duration: Duration::from_millis(2),
+            delay: NetDelay::Uniform {
+                min: Duration::from_micros(50),
+                max: Duration::from_millis(2),
+            },
+            seed,
+            timeout: Duration::from_secs(30),
+            wire_hook: None,
+        }
+    }
+}
+
+/// What the cluster observed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterReport {
+    /// CS executions completed across all nodes.
+    pub completed: u64,
+    /// CS entries seen by the checker (should equal `completed`).
+    pub cs_entries: u64,
+    /// Mutual exclusion violations (0 ⇔ safe).
+    pub violations: u64,
+    /// Messages that crossed the network thread.
+    pub messages: u64,
+    /// True if the run hit the timeout before all rounds completed.
+    pub timed_out: bool,
+}
+
+impl ClusterReport {
+    /// Whether the run was safe and fully live.
+    pub fn is_clean(&self, expected: u64) -> bool {
+        !self.timed_out && self.violations == 0 && self.completed == expected
+    }
+}
+
+struct Envelope<M> {
+    from: NodeId,
+    to: NodeId,
+    msg: M,
+}
+
+enum Packet<M> {
+    Msg { from: NodeId, msg: M },
+    Shutdown,
+}
+
+/// Heap entry ordered by due time then sequence.
+struct Pending<M> {
+    due: Instant,
+    seq: u64,
+    env: Envelope<M>,
+}
+
+impl<M> PartialEq for Pending<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<M> Eq for Pending<M> {}
+impl<M> PartialOrd for Pending<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Pending<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+/// Runs a cluster of `spec.n` protocol nodes to completion.
+pub fn run_cluster<P>(
+    spec: ClusterSpec<P::Message>,
+    mut make_node: impl FnMut(NodeId, usize) -> P,
+) -> ClusterReport
+where
+    P: MutexProtocol + Send + 'static,
+{
+    assert!(spec.n >= 1);
+    let n = spec.n;
+    let checker = Arc::new(CsChecker::new());
+    let messages = Arc::new(AtomicU64::new(0));
+    let completed = Arc::new(AtomicU64::new(0));
+
+    // Inboxes.
+    let mut inbox_tx = Vec::with_capacity(n);
+    let mut inbox_rx = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded::<Packet<P::Message>>();
+        inbox_tx.push(tx);
+        inbox_rx.push(rx);
+    }
+
+    // Network thread.
+    let (net_tx, net_rx) = unbounded::<Pending<P::Message>>();
+    let net_out: Vec<Sender<Packet<P::Message>>> = inbox_tx.clone();
+    let hook = spec.wire_hook.clone();
+    let net_handle = std::thread::Builder::new()
+        .name("rcv-net".into())
+        .spawn(move || network_thread(net_rx, net_out, hook))
+        .expect("spawn network thread");
+
+    // Done notifications.
+    let (done_tx, done_rx) = unbounded::<NodeId>();
+
+    // Node threads.
+    let mut seeder = SmallRng::seed_from_u64(spec.seed);
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(n);
+    for (idx, rx) in inbox_rx.into_iter().enumerate() {
+        let me = NodeId::new(idx as u32);
+        let proto = make_node(me, n);
+        let rng = SmallRng::seed_from_u64(seeder.gen());
+        let ctxt = NodeThread {
+            me,
+            proto,
+            rx,
+            net_tx: net_tx.clone(),
+            checker: Arc::clone(&checker),
+            messages: Arc::clone(&messages),
+            completed: Arc::clone(&completed),
+            done_tx: done_tx.clone(),
+            rng,
+            rounds: spec.rounds,
+            think: spec.think,
+            cs_duration: spec.cs_duration,
+            delay: spec.delay,
+            start,
+            timers: Vec::new(),
+        };
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("rcv-node-{idx}"))
+                .spawn(move || ctxt.run())
+                .expect("spawn node thread"),
+        );
+    }
+    drop(net_tx);
+    drop(done_tx);
+
+    // Wait for every node to finish its rounds (or time out).
+    let deadline = Instant::now() + spec.timeout;
+    let mut finished = 0usize;
+    let mut timed_out = false;
+    while finished < n {
+        let now = Instant::now();
+        if now >= deadline {
+            timed_out = true;
+            break;
+        }
+        match done_rx.recv_timeout(deadline - now) {
+            Ok(_) => finished += 1,
+            Err(RecvTimeoutError::Timeout) => {
+                timed_out = true;
+                break;
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+
+    // Tear down: stop node threads, then the network drains and exits.
+    for tx in &inbox_tx {
+        let _ = tx.send(Packet::Shutdown);
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let _ = net_handle.join();
+
+    ClusterReport {
+        completed: completed.load(Ordering::Relaxed),
+        cs_entries: checker.entries(),
+        violations: checker.violations(),
+        messages: messages.load(Ordering::Relaxed),
+        timed_out,
+    }
+}
+
+fn network_thread<M>(
+    rx: Receiver<Pending<M>>,
+    out: Vec<Sender<Packet<M>>>,
+    hook: Option<WireHook<M>>,
+) {
+    let mut heap: BinaryHeap<Reverse<Pending<M>>> = BinaryHeap::new();
+    let mut disconnected = false;
+    loop {
+        // Deliver everything due.
+        let now = Instant::now();
+        while heap.peek().is_some_and(|Reverse(p)| p.due <= now) {
+            let Reverse(p) = heap.pop().expect("peeked");
+            let msg = match &hook {
+                Some(h) => h(p.env.msg),
+                None => p.env.msg,
+            };
+            // A closed inbox just means that node already shut down.
+            let _ = out[p.env.to.index()].send(Packet::Msg { from: p.env.from, msg });
+        }
+        if disconnected && heap.is_empty() {
+            return;
+        }
+        let wait = heap
+            .peek()
+            .map(|Reverse(p)| p.due.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(50));
+        if disconnected {
+            std::thread::sleep(wait);
+            continue;
+        }
+        match rx.recv_timeout(wait.max(Duration::from_micros(100))) {
+            Ok(p) => heap.push(Reverse(p)),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => disconnected = true,
+        }
+    }
+}
+
+struct NodeThread<P: MutexProtocol> {
+    me: NodeId,
+    proto: P,
+    rx: Receiver<Packet<P::Message>>,
+    net_tx: Sender<Pending<P::Message>>,
+    checker: Arc<CsChecker>,
+    messages: Arc<AtomicU64>,
+    completed: Arc<AtomicU64>,
+    done_tx: Sender<NodeId>,
+    rng: SmallRng,
+    rounds: u32,
+    think: Duration,
+    cs_duration: Duration,
+    delay: NetDelay,
+    start: Instant,
+    /// Armed one-shot timers: `(due, tag)`. SimDuration ticks map to
+    /// microseconds in the threaded runtime (same scale as `now()`).
+    timers: Vec<(Instant, u64)>,
+}
+
+impl<P: MutexProtocol> NodeThread<P> {
+    fn now(&self) -> SimTime {
+        SimTime::from_ticks(self.start.elapsed().as_micros() as u64)
+    }
+
+    /// Dispatches one protocol handler and materializes its intents.
+    /// Returns whether the node entered (and finished) a CS execution.
+    fn dispatch(&mut self, f: impl FnOnce(&mut P, &mut Ctx<'_, P::Message>)) -> bool {
+        let mut outbox: Vec<(NodeId, P::Message)> = Vec::new();
+        let mut enter = false;
+        let mut armed: Vec<(SimDuration, u64)> = Vec::new();
+        {
+            let now = self.now();
+            let mut ctx =
+                Ctx::new(self.me, now, &mut self.rng, &mut outbox, &mut enter, &mut armed);
+            f(&mut self.proto, &mut ctx);
+        }
+        for (delay, tag) in armed {
+            self.timers.push((Instant::now() + Duration::from_micros(delay.ticks()), tag));
+        }
+        for (to, msg) in outbox {
+            let delay = self.delay.sample(&mut self.rng);
+            self.messages.fetch_add(1, Ordering::Relaxed);
+            let p = Pending {
+                due: Instant::now() + delay,
+                seq: self.messages.load(Ordering::Relaxed),
+                env: Envelope { from: self.me, to, msg },
+            };
+            if self.net_tx.send(p).is_err() {
+                return false; // network gone: shutting down
+            }
+        }
+        if enter {
+            self.execute_cs();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Holds the CS for `cs_duration`, then releases through the protocol.
+    fn execute_cs(&mut self) {
+        self.checker.enter(self.me);
+        std::thread::sleep(self.cs_duration);
+        self.checker.exit(self.me);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        // The release handler may send messages but never re-enters.
+        let entered_again = self.dispatch(|p, ctx| p.on_cs_released(ctx));
+        debug_assert!(!entered_again, "release must not re-enter the CS");
+    }
+
+    fn run(mut self) {
+        let mut remaining = self.rounds;
+        let mut waiting_grant = false;
+        let mut next_request: Option<Instant> = (remaining > 0).then(Instant::now);
+        let mut announced_done = remaining == 0;
+        if announced_done {
+            let _ = self.done_tx.send(self.me);
+        }
+
+        loop {
+            // Issue the next request when due and not already outstanding.
+            if let Some(at) = next_request {
+                if !waiting_grant && Instant::now() >= at {
+                    next_request = None;
+                    remaining -= 1;
+                    waiting_grant = true;
+                    if self.dispatch(|p, ctx| p.on_request(ctx)) {
+                        waiting_grant = false; // entered synchronously
+                    }
+                }
+            }
+            if !waiting_grant && next_request.is_none() {
+                if remaining > 0 {
+                    next_request = Some(Instant::now() + self.think);
+                } else if !announced_done {
+                    announced_done = true;
+                    let _ = self.done_tx.send(self.me);
+                }
+            }
+
+            // Fire due timers before blocking.
+            let now = Instant::now();
+            let due: Vec<u64> = {
+                let (fire, keep): (Vec<_>, Vec<_>) =
+                    self.timers.drain(..).partition(|&(at, _)| at <= now);
+                self.timers = keep;
+                fire.into_iter().map(|(_, tag)| tag).collect()
+            };
+            for tag in due {
+                if self.dispatch(|p, ctx| p.on_timer(tag, ctx)) {
+                    waiting_grant = false;
+                }
+            }
+
+            let next_timer = self.timers.iter().map(|&(at, _)| at).min();
+            let timeout = [next_request, next_timer]
+                .into_iter()
+                .flatten()
+                .min()
+                .map(|at| at.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::from_millis(20))
+                .max(Duration::from_micros(50));
+            match self.rx.recv_timeout(timeout) {
+                Ok(Packet::Msg { from, msg }) => {
+                    if self.dispatch(|p, ctx| p.on_message(from, msg, ctx)) {
+                        waiting_grant = false; // CS executed to completion
+                    }
+                }
+                Ok(Packet::Shutdown) => return,
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+}

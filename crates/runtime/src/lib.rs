@@ -1,0 +1,34 @@
+//! # rcv-runtime — real-thread message-passing runtime
+//!
+//! The simulator in `rcv-simnet` validates the protocols deterministically;
+//! this crate validates them under *real* concurrency. Every node of the
+//! distributed system becomes an OS thread with a crossbeam-channel inbox;
+//! a network thread injects per-message random delays (making channels
+//! non-FIFO, the condition the RCV paper claims to tolerate); a shared
+//! [`CsChecker`] observes every CS entry/exit.
+//!
+//! There is deliberately **no shared memory between protocol nodes** — the
+//! paper's system model (§3) — and the [`wire`] module goes one step
+//! further: RCV messages can be serialized to bytes and parsed back on
+//! every hop ([`with_codec_verification`]), proving the protocol state is
+//! plain data.
+//!
+//! ```
+//! use rcv_runtime::{run_rcv_cluster, ClusterSpec};
+//! use rcv_core::RcvConfig;
+//!
+//! let report = run_rcv_cluster(ClusterSpec::quick(3, 42), RcvConfig::paper());
+//! assert!(report.is_clean(3)); // 3 nodes, one CS execution each, no overlap
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checker;
+mod cluster;
+mod rcv_cluster;
+pub mod wire;
+
+pub use checker::CsChecker;
+pub use cluster::{run_cluster, ClusterReport, ClusterSpec, NetDelay, WireHook};
+pub use rcv_cluster::{run_rcv_cluster, with_codec_verification};

@@ -1,0 +1,80 @@
+//! Convenience entry points for running the **RCV** protocol on the
+//! threaded cluster, including codec-verified mode where every message is
+//! serialized to bytes and parsed back on the wire.
+
+use std::sync::Arc;
+
+use rcv_core::{RcvConfig, RcvNode};
+use rcv_simnet::NodeId;
+
+use crate::cluster::{run_cluster, ClusterReport, ClusterSpec};
+use crate::wire;
+
+/// Runs an RCV cluster per `spec`.
+pub fn run_rcv_cluster(
+    spec: ClusterSpec<rcv_core::RcvMessage>,
+    config: RcvConfig,
+) -> ClusterReport {
+    run_cluster(spec, move |id: NodeId, n| RcvNode::with_config(id, n, config))
+}
+
+/// Adds the encode/decode round-trip hook to a spec: every message crosses
+/// the network as real bytes (panicking loudly if the codec is lossy).
+pub fn with_codec_verification(
+    mut spec: ClusterSpec<rcv_core::RcvMessage>,
+) -> ClusterSpec<rcv_core::RcvMessage> {
+    spec.wire_hook = Some(Arc::new(|msg| {
+        let bytes = wire::encode(&msg);
+        wire::decode(bytes).expect("wire codec must round-trip every live message")
+    }));
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::NetDelay;
+    use std::time::Duration;
+
+    #[test]
+    fn rcv_threads_one_round_is_safe() {
+        let spec = ClusterSpec::quick(4, 1);
+        let r = run_rcv_cluster(spec, RcvConfig::paper());
+        assert!(r.is_clean(4), "{r:?}");
+        assert_eq!(r.cs_entries, 4);
+    }
+
+    #[test]
+    fn rcv_threads_multi_round_contention() {
+        let mut spec = ClusterSpec::quick(5, 2);
+        spec.rounds = 3;
+        spec.think = Duration::from_micros(200);
+        let r = run_rcv_cluster(spec, RcvConfig::paper());
+        assert!(r.is_clean(15), "{r:?}");
+    }
+
+    #[test]
+    fn rcv_threads_with_codec_on_the_wire() {
+        let spec = with_codec_verification(ClusterSpec::quick(4, 3));
+        let r = run_rcv_cluster(spec, RcvConfig::paper());
+        assert!(r.is_clean(4), "{r:?}");
+        assert!(r.messages > 0);
+    }
+
+    #[test]
+    fn rcv_threads_without_injected_delay() {
+        let mut spec = ClusterSpec::quick(6, 4);
+        spec.delay = NetDelay::None;
+        let r = run_rcv_cluster(spec, RcvConfig::paper());
+        assert!(r.is_clean(6), "{r:?}");
+    }
+
+    #[test]
+    fn single_node_cluster() {
+        let mut spec = ClusterSpec::quick(1, 5);
+        spec.rounds = 3;
+        let r = run_rcv_cluster(spec, RcvConfig::paper());
+        assert!(r.is_clean(3), "{r:?}");
+        assert_eq!(r.messages, 0, "one node never needs the network");
+    }
+}

@@ -1,0 +1,261 @@
+//! Binary wire codec for [`RcvMessage`] — proof that the protocol's
+//! messages are plain data that can cross a real network, with no shared
+//! memory behind the scenes (system model, paper §3).
+//!
+//! The format is a straightforward length-prefixed layout built with
+//! `bytes`:
+//!
+//! ```text
+//! message   := tag:u8 payload
+//! tag       := 0 (RM) | 1 (EM) | 2 (IM)
+//! tuple     := node:u32 ts:u64
+//! list<T>   := len:u32 T*
+//! row       := ts:u64 list<tuple>
+//! body      := list<tuple> (MONL)  list<row> (MSIT)
+//! RM        := tuple (home) list<u32> (UL) body
+//! EM        := tuple (for_req) body
+//! IM        := tuple (pred) tuple (next) body
+//! ```
+//!
+//! The threaded cluster can run in `verify_codec` mode, round-tripping
+//! every RCV message through this codec on delivery.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rcv_core::{MsgBody, Nonl, Nsit, RcvMessage, ReqTuple};
+use rcv_simnet::NodeId;
+
+/// Decoding failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer ended before the structure was complete.
+    Truncated,
+    /// Unknown message tag.
+    BadTag(u8),
+    /// A length prefix exceeded the sanity limit.
+    LengthOverflow(u32),
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated message"),
+            WireError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            WireError::LengthOverflow(l) => write!(f, "implausible length prefix {l}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+const MAX_LEN: u32 = 1 << 20;
+
+fn put_tuple(buf: &mut BytesMut, t: &ReqTuple) {
+    buf.put_u32(t.node.raw());
+    buf.put_u64(t.ts);
+}
+
+fn get_tuple(buf: &mut Bytes) -> Result<ReqTuple, WireError> {
+    if buf.remaining() < 12 {
+        return Err(WireError::Truncated);
+    }
+    let node = NodeId::new(buf.get_u32());
+    let ts = buf.get_u64();
+    Ok(ReqTuple::new(node, ts))
+}
+
+fn get_len(buf: &mut Bytes) -> Result<u32, WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let len = buf.get_u32();
+    if len > MAX_LEN {
+        return Err(WireError::LengthOverflow(len));
+    }
+    Ok(len)
+}
+
+fn put_tuple_list<'a>(buf: &mut BytesMut, items: impl ExactSizeIterator<Item = &'a ReqTuple>) {
+    buf.put_u32(items.len() as u32);
+    for t in items {
+        put_tuple(buf, t);
+    }
+}
+
+fn put_body(buf: &mut BytesMut, body: &MsgBody) {
+    put_tuple_list(buf, body.monl.iter());
+    buf.put_u32(body.msit.n() as u32);
+    for (_, row) in body.msit.iter() {
+        buf.put_u64(row.ts);
+        put_tuple_list(buf, row.mnl.iter());
+    }
+}
+
+fn get_body(buf: &mut Bytes) -> Result<MsgBody, WireError> {
+    let monl_len = get_len(buf)?;
+    let mut monl = Nonl::new();
+    for _ in 0..monl_len {
+        monl.append(get_tuple(buf)?);
+    }
+    let n = get_len(buf)? as usize;
+    let mut msit = Nsit::new(n);
+    for i in 0..n {
+        if buf.remaining() < 8 {
+            return Err(WireError::Truncated);
+        }
+        let ts = buf.get_u64();
+        let row = msit.row_mut(NodeId::new(i as u32));
+        row.ts = ts;
+        let mnl_len = get_len(buf)?;
+        for _ in 0..mnl_len {
+            row.mnl.push(get_tuple(buf)?);
+        }
+    }
+    Ok(MsgBody { monl, msit })
+}
+
+/// Serializes an [`RcvMessage`].
+pub fn encode(msg: &RcvMessage) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    match msg {
+        RcvMessage::Rm { home, ul, body } => {
+            buf.put_u8(0);
+            put_tuple(&mut buf, home);
+            buf.put_u32(ul.len() as u32);
+            for h in ul {
+                buf.put_u32(h.raw());
+            }
+            put_body(&mut buf, body);
+        }
+        RcvMessage::Em { for_req, body } => {
+            buf.put_u8(1);
+            put_tuple(&mut buf, for_req);
+            put_body(&mut buf, body);
+        }
+        RcvMessage::Im { pred, next, body } => {
+            buf.put_u8(2);
+            put_tuple(&mut buf, pred);
+            put_tuple(&mut buf, next);
+            put_body(&mut buf, body);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes an [`RcvMessage`].
+pub fn decode(mut buf: Bytes) -> Result<RcvMessage, WireError> {
+    if buf.remaining() < 1 {
+        return Err(WireError::Truncated);
+    }
+    let tag = buf.get_u8();
+    let msg = match tag {
+        0 => {
+            let home = get_tuple(&mut buf)?;
+            let ul_len = get_len(&mut buf)?;
+            let mut ul = Vec::with_capacity(ul_len as usize);
+            for _ in 0..ul_len {
+                if buf.remaining() < 4 {
+                    return Err(WireError::Truncated);
+                }
+                ul.push(NodeId::new(buf.get_u32()));
+            }
+            let body = get_body(&mut buf)?;
+            RcvMessage::Rm { home, ul, body }
+        }
+        1 => {
+            let for_req = get_tuple(&mut buf)?;
+            let body = get_body(&mut buf)?;
+            RcvMessage::Em { for_req, body }
+        }
+        2 => {
+            let pred = get_tuple(&mut buf)?;
+            let next = get_tuple(&mut buf)?;
+            let body = get_body(&mut buf)?;
+            RcvMessage::Im { pred, next, body }
+        }
+        t => return Err(WireError::BadTag(t)),
+    };
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u32, ts: u64) -> ReqTuple {
+        ReqTuple::new(NodeId::new(n), ts)
+    }
+
+    fn sample_body() -> MsgBody {
+        let mut monl = Nonl::new();
+        monl.append(t(1, 3));
+        monl.append(t(0, 2));
+        let mut msit = Nsit::new(3);
+        msit.row_mut(NodeId::new(0)).ts = 7;
+        msit.row_mut(NodeId::new(0)).mnl.push(t(2, 1));
+        msit.row_mut(NodeId::new(2)).ts = 4;
+        msit.row_mut(NodeId::new(2)).mnl.push(t(2, 1));
+        msit.row_mut(NodeId::new(2)).mnl.push(t(0, 2));
+        MsgBody { monl, msit }
+    }
+
+    #[test]
+    fn rm_roundtrip() {
+        let msg = RcvMessage::Rm {
+            home: t(0, 2),
+            ul: vec![NodeId::new(1), NodeId::new(2)],
+            body: sample_body(),
+        };
+        assert_eq!(decode(encode(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn em_roundtrip() {
+        let msg = RcvMessage::Em { for_req: t(1, 3), body: sample_body() };
+        assert_eq!(decode(encode(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn im_roundtrip() {
+        let msg = RcvMessage::Im { pred: t(0, 2), next: t(1, 3), body: sample_body() };
+        assert_eq!(decode(encode(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn empty_structures_roundtrip() {
+        let msg = RcvMessage::Em {
+            for_req: t(0, 1),
+            body: MsgBody { monl: Nonl::new(), msit: Nsit::new(1) },
+        };
+        assert_eq!(decode(encode(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let full = encode(&RcvMessage::Em { for_req: t(1, 3), body: sample_body() });
+        for cut in 0..full.len() {
+            let partial = full.slice(..cut);
+            assert!(
+                decode(partial).is_err(),
+                "decoding a {cut}-byte prefix of a {}-byte message succeeded",
+                full.len()
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tag_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(9);
+        assert_eq!(decode(buf.freeze()), Err(WireError::BadTag(9)));
+    }
+
+    #[test]
+    fn length_overflow_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(1); // EM
+        buf.put_u32(0); // for_req node
+        buf.put_u64(1); // for_req ts
+        buf.put_u32(u32::MAX); // absurd MONL length
+        assert!(matches!(decode(buf.freeze()), Err(WireError::LengthOverflow(_))));
+    }
+}

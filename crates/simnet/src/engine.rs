@@ -1,0 +1,525 @@
+//! The discrete-event simulation engine.
+//!
+//! Drives `N` protocol state machines over a virtual network: pops events in
+//! timestamp order, hands them to the owning node, and turns the node's
+//! intents (sends, CS entry) back into future events. The engine is fully
+//! deterministic for a given `(SimConfig, workload)` pair — delays and
+//! protocol randomness come from seeded per-purpose RNG streams, and ties in
+//! the event queue fire in insertion order.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::delay::DelayModel;
+use crate::event::{EventKind, EventQueue};
+use crate::faults::FaultPlan;
+use crate::ids::NodeId;
+use crate::metrics::SimMetrics;
+use crate::monitor::{SafetyMonitor, Violation};
+use crate::protocol::{Ctx, MutexProtocol, ProtocolMessage};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Trace, TraceEvent};
+use crate::workload::{ArrivalSink, Workload};
+
+/// Engine parameters.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Number of nodes, `N`.
+    pub n: usize,
+    /// Message propagation delay model (`Tn`).
+    pub delay: DelayModel,
+    /// CS execution time (`Tc`).
+    pub cs_duration: SimDuration,
+    /// Master seed; every stream (network delays, per-node protocol
+    /// randomness, workload) is derived from it.
+    pub seed: u64,
+    /// Hard cap on processed events, to turn a livelock into a test failure
+    /// instead of a hang.
+    pub max_events: u64,
+    /// Panic the moment mutual exclusion is violated (tests) instead of
+    /// recording and continuing (surveys).
+    pub panic_on_violation: bool,
+    /// Failure injection (duplication, crash-stop). Defaults to none — the
+    /// paper's reliable model.
+    pub faults: FaultPlan,
+    /// Keep a ring of the last this-many events for post-mortem narration
+    /// (0 = off; tracing formats every message, so leave it off in
+    /// experiments).
+    pub trace_capacity: usize,
+}
+
+impl SimConfig {
+    /// The paper's settings: `Tn = 5`, `Tc = 10`, constant delay.
+    pub fn paper(n: usize, seed: u64) -> Self {
+        SimConfig {
+            n,
+            delay: DelayModel::paper_constant(),
+            cs_duration: SimDuration::from_ticks(10),
+            seed,
+            max_events: 200_000_000,
+            panic_on_violation: true,
+            faults: FaultPlan::none(),
+            trace_capacity: 0,
+        }
+    }
+
+    /// Paper settings but with jittered (non-FIFO) delivery.
+    pub fn paper_non_fifo(n: usize, seed: u64) -> Self {
+        SimConfig { delay: DelayModel::paper_jittered(), ..Self::paper(n, seed) }
+    }
+}
+
+/// Outcome of one simulation run.
+#[derive(Debug)]
+pub struct SimReport {
+    /// Clock value when the run ended.
+    pub end_time: SimTime,
+    /// Events processed.
+    pub events: u64,
+    /// True if the event queue drained while requests were still
+    /// outstanding — i.e. the system deadlocked/starved.
+    pub deadlocked: bool,
+    /// True if the run stopped because `max_events` was hit.
+    pub truncated: bool,
+    /// All request / message counters.
+    pub metrics: SimMetrics,
+    /// Mutual exclusion violations (empty ⇔ safe).
+    pub violations: Vec<Violation>,
+    /// Raw exit→entry gaps for the synchronization delay metric.
+    pub sync_gaps: Vec<SimDuration>,
+    /// Total CS entries observed by the monitor.
+    pub cs_entries: u64,
+    /// Execution trace (empty unless `trace_capacity` was set).
+    pub trace: Trace,
+}
+
+impl SimReport {
+    /// Whether mutual exclusion held.
+    pub fn is_safe(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Whether every issued request ran to completion.
+    pub fn all_completed(&self) -> bool {
+        !self.deadlocked && !self.truncated && self.metrics.outstanding() == 0
+    }
+}
+
+/// The engine itself, generic over the protocol under test.
+pub struct Engine<P: MutexProtocol, W: Workload> {
+    cfg: SimConfig,
+    nodes: Vec<P>,
+    node_rngs: Vec<SmallRng>,
+    queue: EventQueue<P::Message>,
+    net_rng: SmallRng,
+    wl_rng: SmallRng,
+    monitor: SafetyMonitor,
+    metrics: SimMetrics,
+    workload: W,
+    sink: ArrivalSink,
+    in_cs: Vec<bool>,
+    events: u64,
+    trace: Trace,
+}
+
+impl<P: MutexProtocol, W: Workload> Engine<P, W> {
+    /// Builds an engine; `make_node(id, n)` constructs each protocol node.
+    pub fn new(cfg: SimConfig, workload: W, mut make_node: impl FnMut(NodeId, usize) -> P) -> Self {
+        assert!(cfg.n >= 1, "need at least one node");
+        let mut seeder = SmallRng::seed_from_u64(cfg.seed);
+        let node_rngs =
+            (0..cfg.n).map(|_| SmallRng::seed_from_u64(seeder.gen())).collect::<Vec<_>>();
+        let net_rng = SmallRng::seed_from_u64(seeder.gen());
+        let wl_rng = SmallRng::seed_from_u64(seeder.gen());
+        let nodes = NodeId::all(cfg.n).map(|id| make_node(id, cfg.n)).collect();
+        Engine {
+            trace: Trace::with_capacity(cfg.trace_capacity),
+            in_cs: vec![false; cfg.n],
+            nodes,
+            node_rngs,
+            queue: EventQueue::new(),
+            net_rng,
+            wl_rng,
+            monitor: SafetyMonitor::new(),
+            metrics: SimMetrics::new(),
+            workload,
+            sink: ArrivalSink::new(),
+            events: 0,
+            cfg,
+        }
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    pub fn run(self) -> SimReport {
+        self.run_collecting().0
+    }
+
+    /// Runs the simulation and also hands back the final protocol states,
+    /// for white-box invariant checks.
+    pub fn run_collecting(mut self) -> (SimReport, Vec<P>) {
+        self.workload.init(self.cfg.n, &mut self.wl_rng, &mut self.sink);
+        self.flush_arrivals();
+
+        let mut truncated = false;
+        while let Some(ev) = self.queue.pop() {
+            self.events += 1;
+            if self.events > self.cfg.max_events {
+                truncated = true;
+                break;
+            }
+            let now = ev.at;
+            match ev.kind {
+                EventKind::Arrival { node } => self.handle_arrival(node, now),
+                EventKind::Deliver { from, to, msg } => self.handle_deliver(from, to, msg, now),
+                EventKind::CsExit { node } => self.handle_cs_exit(node, now),
+                EventKind::Timer { node, tag } => self.handle_timer(node, tag, now),
+            }
+        }
+
+        let deadlocked = !truncated && self.metrics.outstanding() > 0;
+        let report = SimReport {
+            end_time: self.queue.now(),
+            events: self.events,
+            deadlocked,
+            truncated,
+            violations: self.monitor.violations().to_vec(),
+            sync_gaps: self.monitor.sync_gaps().to_vec(),
+            cs_entries: self.monitor.entries(),
+            metrics: self.metrics,
+            trace: self.trace,
+        };
+        (report, self.nodes)
+    }
+
+    fn flush_arrivals(&mut self) {
+        // Drain into a scratch vec to release the borrow on `self.sink`.
+        let pending: Vec<_> = self.sink.drain().collect();
+        for (at, node) in pending {
+            assert!(node.index() < self.cfg.n, "workload scheduled unknown node {node:?}");
+            self.queue.schedule(at, EventKind::Arrival { node });
+        }
+    }
+
+    fn handle_arrival(&mut self, node: NodeId, now: SimTime) {
+        if self.cfg.faults.is_crashed(node, now) {
+            return; // a crashed node issues nothing
+        }
+        self.trace.record(TraceEvent::Arrival { at: now, node });
+        assert!(
+            !self.metrics.has_outstanding(node),
+            "workload violated the one-outstanding-request rule for {node:?}"
+        );
+        self.metrics.request_issued(node, now);
+        self.dispatch(node, now, |p, ctx| p.on_request(ctx));
+    }
+
+    fn handle_deliver(&mut self, from: NodeId, to: NodeId, msg: P::Message, now: SimTime) {
+        if self.cfg.faults.is_crashed(to, now) {
+            self.metrics.message_dropped();
+            self.trace.record(TraceEvent::Dropped { at: now, to });
+            return;
+        }
+        if self.trace.enabled() {
+            self.trace.record(TraceEvent::Deliver { at: now, from, to, kind: msg.kind() });
+        }
+        self.dispatch(to, now, |p, ctx| p.on_message(from, msg, ctx));
+    }
+
+    fn handle_cs_exit(&mut self, node: NodeId, now: SimTime) {
+        if self.cfg.faults.is_crashed(node, now) {
+            // Crashed while holding the CS: the node never releases; the
+            // monitor keeps it as occupant and successors starve — the
+            // honest consequence, surfaced via `deadlocked`.
+            return;
+        }
+        debug_assert!(self.in_cs[node.index()], "CsExit for a node not in the CS");
+        self.trace.record(TraceEvent::CsExit { at: now, node });
+        self.in_cs[node.index()] = false;
+        self.monitor.exit(node, now);
+        self.metrics.cs_exited(node, now);
+        self.dispatch(node, now, |p, ctx| p.on_cs_released(ctx));
+        self.workload.on_complete(node, now, &mut self.wl_rng, &mut self.sink);
+        self.flush_arrivals();
+    }
+
+    fn handle_timer(&mut self, node: NodeId, tag: u64, now: SimTime) {
+        if self.cfg.faults.is_crashed(node, now) {
+            return;
+        }
+        self.trace.record(TraceEvent::Timer { at: now, node, tag });
+        self.dispatch(node, now, |p, ctx| p.on_timer(tag, ctx));
+    }
+
+    /// Runs one protocol handler and materializes its intents.
+    fn dispatch(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        f: impl FnOnce(&mut P, &mut Ctx<'_, P::Message>),
+    ) {
+        let mut outbox: Vec<(NodeId, P::Message)> = Vec::new();
+        let mut enter = false;
+        let mut timers: Vec<(crate::SimDuration, u64)> = Vec::new();
+        {
+            let idx = node.index();
+            let mut ctx = Ctx::new(
+                node,
+                now,
+                &mut self.node_rngs[idx],
+                &mut outbox,
+                &mut enter,
+                &mut timers,
+            );
+            f(&mut self.nodes[idx], &mut ctx);
+        }
+        for (delay, tag) in timers {
+            self.queue.schedule(now + delay, EventKind::Timer { node, tag });
+        }
+        for (to, msg) in outbox {
+            assert!(to.index() < self.cfg.n, "{node:?} sent to unknown node {to:?}");
+            if self.trace.enabled() {
+                self.trace.record(TraceEvent::Send {
+                    at: now,
+                    from: node,
+                    to,
+                    kind: msg.kind(),
+                    detail: format!("{msg:?}"),
+                });
+            }
+            self.metrics.message_sent(msg.kind(), msg.wire_size());
+            let d = self.cfg.delay.sample(&mut self.net_rng);
+            if self.cfg.faults.duplicates(self.metrics.messages_sent()) {
+                let d2 = self.cfg.delay.sample(&mut self.net_rng);
+                self.queue.schedule(
+                    now + d2,
+                    EventKind::Deliver { from: node, to, msg: msg.clone() },
+                );
+            }
+            self.queue.schedule(now + d, EventKind::Deliver { from: node, to, msg });
+        }
+        if enter {
+            self.grant_cs(node, now);
+        }
+    }
+
+    fn grant_cs(&mut self, node: NodeId, now: SimTime) {
+        assert!(!self.in_cs[node.index()], "{node:?} entered the CS it already holds");
+        self.monitor.enter(node, now);
+        if self.cfg.panic_on_violation && !self.monitor.is_safe() {
+            let v = self.monitor.violations().last().unwrap();
+            panic!(
+                "MUTUAL EXCLUSION VIOLATED at {:?}: {:?} entered while {:?} was inside",
+                v.at, v.intruder, v.holder
+            );
+        }
+        self.trace.record(TraceEvent::CsEnter { at: now, node });
+        self.in_cs[node.index()] = true;
+        self.metrics.cs_entered(node, now);
+        let exit_at = now + self.cfg.cs_duration;
+        self.queue.schedule(exit_at, EventKind::CsExit { node });
+        self.dispatch(node, now, |p, ctx| p.on_cs_granted(ctx));
+    }
+
+    /// Read-only access to a node, for white-box assertions in tests.
+    pub fn node(&self, id: NodeId) -> &P {
+        &self.nodes[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! Engine-level tests use a deliberately trivial "centralized permission"
+    //! protocol: node 0 is the coordinator holding a queue. This exercises
+    //! every engine path without depending on the real algorithms.
+
+    use super::*;
+    use crate::protocol::ProtocolMessage;
+    use crate::workload::{BurstOnce, FixedTrace};
+    use std::collections::VecDeque;
+
+    #[derive(Clone, Debug)]
+    enum CMsg {
+        Ask,
+        Grant,
+        Done,
+    }
+
+    impl ProtocolMessage for CMsg {
+        fn kind(&self) -> &'static str {
+            match self {
+                CMsg::Ask => "ASK",
+                CMsg::Grant => "GRANT",
+                CMsg::Done => "DONE",
+            }
+        }
+    }
+
+    /// Minimal centralized mutex: everyone asks node 0; node 0 serializes.
+    struct Central {
+        me: NodeId,
+        queue: VecDeque<NodeId>,
+        busy: bool,
+    }
+
+    impl Central {
+        fn new(me: NodeId) -> Self {
+            Central { me, queue: VecDeque::new(), busy: false }
+        }
+
+        fn coordinator(&self) -> bool {
+            self.me == NodeId::new(0)
+        }
+
+        fn pump(&mut self, ctx: &mut Ctx<'_, CMsg>) {
+            if !self.busy {
+                if let Some(next) = self.queue.pop_front() {
+                    self.busy = true;
+                    if next == self.me {
+                        ctx.enter_cs();
+                    } else {
+                        ctx.send(next, CMsg::Grant);
+                    }
+                }
+            }
+        }
+    }
+
+    impl MutexProtocol for Central {
+        type Message = CMsg;
+
+        fn name(&self) -> &'static str {
+            "central-test"
+        }
+
+        fn on_request(&mut self, ctx: &mut Ctx<'_, CMsg>) {
+            if self.coordinator() {
+                let me = self.me;
+                self.queue.push_back(me);
+                self.pump(ctx);
+            } else {
+                ctx.send(NodeId::new(0), CMsg::Ask);
+            }
+        }
+
+        fn on_message(&mut self, from: NodeId, msg: CMsg, ctx: &mut Ctx<'_, CMsg>) {
+            match msg {
+                CMsg::Ask => {
+                    self.queue.push_back(from);
+                    self.pump(ctx);
+                }
+                CMsg::Grant => ctx.enter_cs(),
+                CMsg::Done => {
+                    self.busy = false;
+                    self.pump(ctx);
+                }
+            }
+        }
+
+        fn on_cs_released(&mut self, ctx: &mut Ctx<'_, CMsg>) {
+            if self.coordinator() {
+                self.busy = false;
+                self.pump(ctx);
+            } else {
+                ctx.send(NodeId::new(0), CMsg::Done);
+            }
+        }
+    }
+
+    fn run_burst(n: usize, seed: u64, delay: DelayModel) -> SimReport {
+        let mut cfg = SimConfig::paper(n, seed);
+        cfg.delay = delay;
+        Engine::new(cfg, BurstOnce, |id, _n| Central::new(id)).run()
+    }
+
+    #[test]
+    fn burst_completes_all_requests() {
+        let r = run_burst(8, 42, DelayModel::paper_constant());
+        assert!(r.is_safe());
+        assert!(r.all_completed());
+        assert_eq!(r.metrics.completed(), 8);
+        assert_eq!(r.cs_entries, 8);
+        assert!(!r.deadlocked);
+    }
+
+    #[test]
+    fn non_fifo_delivery_still_completes() {
+        let r = run_burst(8, 7, DelayModel::paper_jittered());
+        assert!(r.is_safe());
+        assert_eq!(r.metrics.completed(), 8);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_burst(10, 123, DelayModel::paper_jittered());
+        let b = run_burst(10, 123, DelayModel::paper_jittered());
+        assert_eq!(a.end_time, b.end_time);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.metrics.messages_sent(), b.metrics.messages_sent());
+        assert_eq!(a.metrics.response_time(), b.metrics.response_time());
+    }
+
+    #[test]
+    fn different_seeds_diverge_under_jitter() {
+        let a = run_burst(10, 1, DelayModel::paper_jittered());
+        let b = run_burst(10, 2, DelayModel::paper_jittered());
+        // With 10 competing nodes and jittered delays some observable
+        // quantity differs with overwhelming probability.
+        assert!(
+            a.end_time != b.end_time || a.metrics.messages_sent() != b.metrics.messages_sent(),
+            "two different seeds produced identical runs"
+        );
+    }
+
+    #[test]
+    fn single_node_system() {
+        let r = run_burst(1, 0, DelayModel::paper_constant());
+        assert!(r.all_completed());
+        assert_eq!(r.metrics.completed(), 1);
+        assert_eq!(r.metrics.messages_sent(), 0);
+        // Coordinator enters at t=0 and leaves at Tc.
+        assert_eq!(r.end_time.ticks(), 10);
+    }
+
+    #[test]
+    fn fixed_trace_sequencing() {
+        let trace = FixedTrace::new(vec![
+            (SimTime::from_ticks(0), NodeId::new(1)),
+            (SimTime::from_ticks(100), NodeId::new(2)),
+        ]);
+        let cfg = SimConfig::paper(3, 9);
+        let r = Engine::new(cfg, trace, |id, _| Central::new(id)).run();
+        assert!(r.all_completed());
+        assert_eq!(r.metrics.completed(), 2);
+        // Light load: second request waited for nobody.
+        let rt = r.metrics.response_time();
+        assert_eq!(rt.count, 2);
+        assert_eq!(rt.mean, 10.0); // Ask(5) + Grant(5) each
+    }
+
+    #[test]
+    fn sync_gap_under_saturation_is_positive() {
+        let r = run_burst(6, 3, DelayModel::paper_constant());
+        assert!(!r.sync_gaps.is_empty());
+        // Central protocol: exit -> Done(5) -> Grant(5) = 10tu gaps for
+        // non-coordinator handoffs.
+        assert!(r.sync_gaps.iter().all(|g| g.ticks() <= 10));
+    }
+
+    #[test]
+    fn nme_matches_hand_count() {
+        // 2 nodes: node1 asks (1), grant (1), done (1); node0 requests
+        // locally (0 messages). Total 3 messages / 2 CS executions.
+        let r = run_burst(2, 5, DelayModel::paper_constant());
+        assert_eq!(r.metrics.messages_sent(), 3);
+        assert_eq!(r.metrics.nme(), Some(1.5));
+    }
+
+    #[test]
+    fn report_flags_truncation() {
+        let mut cfg = SimConfig::paper(8, 11);
+        cfg.max_events = 3;
+        let r = Engine::new(cfg, BurstOnce, |id, _| Central::new(id)).run();
+        assert!(r.truncated);
+        assert!(!r.all_completed());
+    }
+}

@@ -1,0 +1,201 @@
+//! Simulation events and the deterministic event queue.
+
+use core::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::ids::NodeId;
+use crate::time::SimTime;
+
+/// What happens when an event fires.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind<M> {
+    /// A message sent by `from` reaches `to`'s incoming message queue.
+    Deliver {
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Payload.
+        msg: M,
+    },
+    /// The workload makes `node` request the critical section.
+    Arrival {
+        /// The requesting node.
+        node: NodeId,
+    },
+    /// `node` finishes executing the critical section.
+    CsExit {
+        /// The node leaving the CS.
+        node: NodeId,
+    },
+    /// A timer set by `node` via [`crate::Ctx::set_timer`] fires.
+    Timer {
+        /// The node whose timer fires.
+        node: NodeId,
+        /// The tag the protocol attached when arming the timer.
+        tag: u64,
+    },
+}
+
+/// An event scheduled at a virtual time.
+#[derive(Clone, Debug)]
+pub struct Event<M> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// What fires.
+    pub kind: EventKind<M>,
+}
+
+/// Heap entry; ordered by `(time, seq)` so that events that tie on time fire
+/// in insertion order, keeping runs bit-for-bit deterministic.
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Deterministic future-event list.
+///
+/// A thin wrapper over [`BinaryHeap`] that (a) tie-breaks equal timestamps by
+/// insertion sequence and (b) refuses (in debug builds) to schedule into the
+/// past, which would silently corrupt causality.
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Scheduled<M>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// Creates an empty queue positioned at `t = 0`.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+    }
+
+    /// The time of the most recently popped event (the simulation clock).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `kind` to fire at `at`.
+    ///
+    /// `at` must not precede the current clock; this is a causality bug in
+    /// the caller and is rejected with a debug assertion.
+    pub fn schedule(&mut self, at: SimTime, kind: EventKind<M>) {
+        debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, kind });
+    }
+
+    /// Pops the earliest event and advances the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        let s = self.heap.pop()?;
+        self.now = s.at;
+        Some(Event { at: s.at, kind: s.kind })
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(x: u64) -> SimTime {
+        SimTime::from_ticks(x)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule(t(5), EventKind::Arrival { node: NodeId::new(0) });
+        q.schedule(t(1), EventKind::Arrival { node: NodeId::new(1) });
+        q.schedule(t(3), EventKind::Arrival { node: NodeId::new(2) });
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.ticks()).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        for i in 0..8u32 {
+            q.schedule(t(7), EventKind::Arrival { node: NodeId::new(i) });
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Arrival { node } => node.raw(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule(t(4), EventKind::CsExit { node: NodeId::new(0) });
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.peek_time(), Some(t(4)));
+        q.pop();
+        assert_eq!(q.now(), t(4));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    #[cfg(debug_assertions)]
+    fn rejects_past_scheduling() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule(t(10), EventKind::CsExit { node: NodeId::new(0) });
+        q.pop();
+        q.schedule(t(3), EventKind::CsExit { node: NodeId::new(0) });
+    }
+
+    #[test]
+    fn schedule_at_now_is_allowed() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule(t(2), EventKind::Arrival { node: NodeId::new(0) });
+        q.pop();
+        // Zero-delay local events at the current instant are legal.
+        q.schedule(q.now() + SimDuration::ZERO, EventKind::Arrival { node: NodeId::new(1) });
+        assert_eq!(q.pop().unwrap().at, t(2));
+    }
+}

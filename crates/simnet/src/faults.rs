@@ -1,0 +1,94 @@
+//! Failure injection.
+//!
+//! The paper's system model (§3) assumes reliable channels and no crashes,
+//! but makes two resiliency claims worth probing: the algorithm "does not
+//! require the FIFO property" (§1) and "the correct operation ... does not
+//! depend on any specific node, crash of nodes will not affect the
+//! algorithm's execution" (§4, inherited from MCV). Non-FIFO delivery is a
+//! delay-model concern ([`crate::DelayModel`]); this module adds the two
+//! fault classes beyond the model:
+//!
+//! * **duplication** — every k-th message is delivered twice (with an
+//!   independently sampled delay). The protocol's idempotence guards must
+//!   absorb the copies.
+//! * **crash-stop** — a node stops processing *anything* (deliveries,
+//!   arrivals, even its own CS exit) from a given instant. Messages to it
+//!   vanish. This deliberately includes the harsh case of crashing while
+//!   holding the CS.
+
+use crate::ids::NodeId;
+use crate::time::SimTime;
+
+/// Failure injection plan for one run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Deliver every `k`-th message twice (`None` = no duplication).
+    pub duplicate_every: Option<u64>,
+    /// Crash-stop faults: `(node, at)` — the node processes nothing from
+    /// `at` (inclusive) onwards.
+    pub crashes: Vec<(NodeId, SimTime)>,
+}
+
+impl FaultPlan {
+    /// The fault-free plan (the paper's model).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Plan with duplication only.
+    pub fn duplicating(every: u64) -> Self {
+        assert!(every >= 1, "duplicate_every must be >= 1");
+        FaultPlan { duplicate_every: Some(every), crashes: Vec::new() }
+    }
+
+    /// Plan with a single crash.
+    pub fn crash(node: NodeId, at: SimTime) -> Self {
+        FaultPlan { duplicate_every: None, crashes: vec![(node, at)] }
+    }
+
+    /// Whether `node` is crashed at time `now`.
+    pub fn is_crashed(&self, node: NodeId, now: SimTime) -> bool {
+        self.crashes.iter().any(|&(n, at)| n == node && now >= at)
+    }
+
+    /// Whether the `seq`-th message (1-based) should be duplicated.
+    pub fn duplicates(&self, seq: u64) -> bool {
+        match self.duplicate_every {
+            Some(k) => seq % k == 0,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inert() {
+        let f = FaultPlan::none();
+        assert!(!f.is_crashed(NodeId::new(0), SimTime::from_ticks(100)));
+        assert!(!f.duplicates(5));
+    }
+
+    #[test]
+    fn crash_takes_effect_at_time() {
+        let f = FaultPlan::crash(NodeId::new(2), SimTime::from_ticks(10));
+        assert!(!f.is_crashed(NodeId::new(2), SimTime::from_ticks(9)));
+        assert!(f.is_crashed(NodeId::new(2), SimTime::from_ticks(10)));
+        assert!(!f.is_crashed(NodeId::new(1), SimTime::from_ticks(99)));
+    }
+
+    #[test]
+    fn duplication_period() {
+        let f = FaultPlan::duplicating(3);
+        let dups: Vec<u64> = (1..=9).filter(|&s| f.duplicates(s)).collect();
+        assert_eq!(dups, vec![3, 6, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 1")]
+    fn zero_period_rejected() {
+        FaultPlan::duplicating(0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Node identifiers.
+
+use core::fmt;
+
+/// Identifier of a node in the distributed system.
+///
+/// The paper numbers the `N` nodes `N0 .. N(N-1)`; node ids double as tie
+/// breakers in the RCV ranking (smaller id wins), so the ordering of
+/// `NodeId` is semantically meaningful.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Builds a node id from its index.
+    #[inline]
+    pub const fn new(raw: u32) -> Self {
+        NodeId(raw)
+    }
+
+    /// The raw numeric id.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The id as a `usize` index into per-node tables.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterates over all node ids of a system of `n` nodes.
+    pub fn all(n: usize) -> impl Iterator<Item = NodeId> + Clone {
+        (0..n as u32).map(NodeId)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(raw: u32) -> Self {
+        NodeId(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_enumerates_in_order() {
+        let ids: Vec<_> = NodeId::all(3).collect();
+        assert_eq!(ids, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+    }
+
+    #[test]
+    fn ordering_matches_raw() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(NodeId::new(7).index(), 7);
+        assert_eq!(NodeId::from(9u32).raw(), 9);
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", NodeId::new(4)), "N4");
+    }
+}

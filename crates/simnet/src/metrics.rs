@@ -1,0 +1,247 @@
+//! Per-run metric collection: the paper's three performance measures.
+//!
+//! * **NME** — number of messages exchanged per CS execution (§6: "message
+//!   complexity"), with a per-message-class breakdown (RM/EM/IM, REQUEST/
+//!   REPLY, …).
+//! * **RT** — response time: from the instant a request is issued until the
+//!   requester *enters* the CS. (The paper's prose definition — "until its CS
+//!   execution is over" — is inconsistent with its own light-load formula
+//!   `([N/2]+2)·Tn`, which excludes `Tc`; we use the entry-time reading and
+//!   record exit times too so either can be reported.)
+//! * **Synchronization delay** — collected by the [`crate::SafetyMonitor`].
+
+use std::collections::BTreeMap;
+
+use crate::ids::NodeId;
+use crate::stats::Summary;
+use crate::time::{SimDuration, SimTime};
+
+/// Lifecycle of one CS request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// The requesting node.
+    pub node: NodeId,
+    /// When the request was issued (RM initialized).
+    pub issued: SimTime,
+    /// When the requester entered the CS.
+    pub entered: Option<SimTime>,
+    /// When the requester left the CS.
+    pub exited: Option<SimTime>,
+}
+
+impl RequestRecord {
+    /// Response time (issue → entry), if the request completed its wait.
+    pub fn response_time(&self) -> Option<SimDuration> {
+        self.entered.map(|e| e - self.issued)
+    }
+
+    /// Total turnaround (issue → exit).
+    pub fn turnaround(&self) -> Option<SimDuration> {
+        self.exited.map(|e| e - self.issued)
+    }
+}
+
+/// Aggregated counters for one simulation run.
+#[derive(Debug, Default)]
+pub struct SimMetrics {
+    /// Completed + in-flight request lifecycles.
+    records: Vec<RequestRecord>,
+    /// Open request per node → index into `records`.
+    open: BTreeMap<NodeId, usize>,
+    /// Total messages handed to the network.
+    messages_sent: u64,
+    /// Message counts by protocol-defined class label.
+    by_class: BTreeMap<&'static str, u64>,
+    /// Total approximate wire bytes.
+    wire_bytes: u64,
+    /// Deliveries dropped by fault injection (crashed receiver).
+    messages_dropped: u64,
+}
+
+impl SimMetrics {
+    /// Creates an empty metric set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A request was issued by `node` at `now`.
+    ///
+    /// Panics if the node already has an outstanding request — the system
+    /// model (§3) forbids that, and the workload layer enforces it.
+    pub fn request_issued(&mut self, node: NodeId, now: SimTime) {
+        let prev = self.open.insert(
+            node,
+            {
+                self.records.push(RequestRecord {
+                    node,
+                    issued: now,
+                    entered: None,
+                    exited: None,
+                });
+                self.records.len() - 1
+            },
+        );
+        assert!(prev.is_none(), "{node:?} issued a second outstanding request");
+    }
+
+    /// `node` entered the CS at `now`.
+    pub fn cs_entered(&mut self, node: NodeId, now: SimTime) {
+        if let Some(&idx) = self.open.get(&node) {
+            let rec = &mut self.records[idx];
+            assert!(rec.entered.is_none(), "{node:?} entered the CS twice for one request");
+            rec.entered = Some(now);
+        }
+    }
+
+    /// `node` exited the CS at `now`; its request is now complete.
+    pub fn cs_exited(&mut self, node: NodeId, now: SimTime) {
+        if let Some(idx) = self.open.remove(&node) {
+            self.records[idx].exited = Some(now);
+        }
+    }
+
+    /// One message of class `kind` and approximate size `bytes` was sent.
+    pub fn message_sent(&mut self, kind: &'static str, bytes: usize) {
+        self.messages_sent += 1;
+        *self.by_class.entry(kind).or_insert(0) += 1;
+        self.wire_bytes += bytes as u64;
+    }
+
+    /// A delivery was dropped because the receiver had crashed.
+    pub fn message_dropped(&mut self) {
+        self.messages_dropped += 1;
+    }
+
+    /// Deliveries dropped by fault injection.
+    pub fn messages_dropped(&self) -> u64 {
+        self.messages_dropped
+    }
+
+    /// Whether `node` currently has an outstanding request.
+    pub fn has_outstanding(&self, node: NodeId) -> bool {
+        self.open.contains_key(&node)
+    }
+
+    /// Number of requests that ran to completion (exited the CS).
+    pub fn completed(&self) -> usize {
+        self.records.iter().filter(|r| r.exited.is_some()).count()
+    }
+
+    /// Number of requests still waiting or executing.
+    pub fn outstanding(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Total messages sent.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Total approximate bytes sent.
+    pub fn wire_bytes(&self) -> u64 {
+        self.wire_bytes
+    }
+
+    /// Message count per class label.
+    pub fn messages_by_class(&self) -> &BTreeMap<&'static str, u64> {
+        &self.by_class
+    }
+
+    /// All request records (completed and in-flight).
+    pub fn records(&self) -> &[RequestRecord] {
+        &self.records
+    }
+
+    /// **NME**: mean number of messages exchanged per completed CS
+    /// execution. `None` when nothing completed.
+    pub fn nme(&self) -> Option<f64> {
+        let done = self.completed();
+        (done > 0).then(|| self.messages_sent as f64 / done as f64)
+    }
+
+    /// Summary of response times over completed waits.
+    pub fn response_time(&self) -> Summary {
+        let samples: Vec<f64> = self
+            .records
+            .iter()
+            .filter_map(|r| r.response_time())
+            .map(|d| d.as_f64())
+            .collect();
+        Summary::of(&samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: u64) -> SimTime {
+        SimTime::from_ticks(x)
+    }
+
+    #[test]
+    fn lifecycle_and_nme() {
+        let mut m = SimMetrics::new();
+        m.request_issued(NodeId::new(0), t(0));
+        m.message_sent("RM", 10);
+        m.message_sent("RM", 10);
+        m.message_sent("EM", 8);
+        m.cs_entered(NodeId::new(0), t(15));
+        m.cs_exited(NodeId::new(0), t(25));
+        assert_eq!(m.completed(), 1);
+        assert_eq!(m.messages_sent(), 3);
+        assert_eq!(m.nme(), Some(3.0));
+        assert_eq!(m.wire_bytes(), 28);
+        assert_eq!(m.messages_by_class()["RM"], 2);
+        let rt = m.response_time();
+        assert_eq!(rt.count, 1);
+        assert_eq!(rt.mean, 15.0);
+    }
+
+    #[test]
+    fn second_request_after_completion_is_fine() {
+        let mut m = SimMetrics::new();
+        m.request_issued(NodeId::new(0), t(0));
+        m.cs_entered(NodeId::new(0), t(5));
+        m.cs_exited(NodeId::new(0), t(10));
+        m.request_issued(NodeId::new(0), t(20));
+        assert_eq!(m.records().len(), 2);
+        assert!(m.has_outstanding(NodeId::new(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "second outstanding request")]
+    fn double_request_panics() {
+        let mut m = SimMetrics::new();
+        m.request_issued(NodeId::new(0), t(0));
+        m.request_issued(NodeId::new(0), t(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "entered the CS twice")]
+    fn double_entry_panics() {
+        let mut m = SimMetrics::new();
+        m.request_issued(NodeId::new(0), t(0));
+        m.cs_entered(NodeId::new(0), t(1));
+        m.cs_entered(NodeId::new(0), t(2));
+    }
+
+    #[test]
+    fn nme_none_when_nothing_completed() {
+        let mut m = SimMetrics::new();
+        m.message_sent("RM", 1);
+        assert_eq!(m.nme(), None);
+    }
+
+    #[test]
+    fn record_durations() {
+        let r = RequestRecord {
+            node: NodeId::new(3),
+            issued: t(10),
+            entered: Some(t(30)),
+            exited: Some(t(45)),
+        };
+        assert_eq!(r.response_time().unwrap().ticks(), 20);
+        assert_eq!(r.turnaround().unwrap().ticks(), 35);
+    }
+}

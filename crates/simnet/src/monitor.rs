@@ -1,0 +1,167 @@
+//! Global safety monitor.
+//!
+//! The monitor is the simulation's omniscient observer: it sees every CS
+//! entry and exit and checks the paper's Theorem 1 (mutual exclusion)
+//! externally, independent of any protocol bookkeeping. It also records the
+//! raw material for the **synchronization delay** metric (§6.1.2): the gap
+//! between one CS exit and the next CS entry.
+
+use crate::ids::NodeId;
+use crate::time::{SimDuration, SimTime};
+
+/// A recorded mutual exclusion violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// When the second node entered.
+    pub at: SimTime,
+    /// Who already held the CS.
+    pub holder: NodeId,
+    /// Who entered on top of them.
+    pub intruder: NodeId,
+}
+
+/// Tracks CS occupancy and collects safety/synchronization observations.
+#[derive(Debug, Default)]
+pub struct SafetyMonitor {
+    occupant: Option<NodeId>,
+    last_exit: Option<SimTime>,
+    entries: u64,
+    exits: u64,
+    violations: Vec<Violation>,
+    /// Gap between each CS exit and the immediately following CS entry.
+    sync_gaps: Vec<SimDuration>,
+}
+
+impl SafetyMonitor {
+    /// Fresh monitor, CS free.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `node` entering the CS at `now`.
+    ///
+    /// If the CS is already occupied the violation is recorded (and the new
+    /// node becomes the tracked occupant so subsequent exits stay coherent).
+    pub fn enter(&mut self, node: NodeId, now: SimTime) {
+        if let Some(holder) = self.occupant {
+            self.violations.push(Violation { at: now, holder, intruder: node });
+        }
+        if let Some(exit) = self.last_exit.take() {
+            self.sync_gaps.push(now.saturating_since(exit));
+        }
+        self.occupant = Some(node);
+        self.entries += 1;
+    }
+
+    /// Records `node` leaving the CS at `now`.
+    ///
+    /// Exiting a CS one does not hold is also a violation of the protocol
+    /// contract; it is surfaced via a panic in debug builds and ignored in
+    /// release (the monitor stays coherent either way).
+    pub fn exit(&mut self, node: NodeId, now: SimTime) {
+        debug_assert_eq!(
+            self.occupant,
+            Some(node),
+            "node {node:?} exited a CS it does not hold at {now:?}"
+        );
+        if self.occupant == Some(node) {
+            self.occupant = None;
+            self.last_exit = Some(now);
+        }
+        self.exits += 1;
+    }
+
+    /// Current occupant, if any.
+    pub fn occupant(&self) -> Option<NodeId> {
+        self.occupant
+    }
+
+    /// Total number of CS entries observed.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Total number of CS exits observed.
+    pub fn exits(&self) -> u64 {
+        self.exits
+    }
+
+    /// All recorded violations (empty ⇔ mutual exclusion held).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Whether mutual exclusion held for the whole run.
+    pub fn is_safe(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Raw exit→entry gaps. Under saturation these *are* the paper's
+    /// synchronization delay samples; under light load they include idle
+    /// time and must be filtered by the caller (see `rcv-workload`).
+    pub fn sync_gaps(&self) -> &[SimDuration] {
+        &self.sync_gaps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: u64) -> SimTime {
+        SimTime::from_ticks(x)
+    }
+
+    #[test]
+    fn clean_alternation_is_safe() {
+        let mut m = SafetyMonitor::new();
+        m.enter(NodeId::new(0), t(10));
+        m.exit(NodeId::new(0), t(20));
+        m.enter(NodeId::new(1), t(25));
+        m.exit(NodeId::new(1), t(35));
+        assert!(m.is_safe());
+        assert_eq!(m.entries(), 2);
+        assert_eq!(m.exits(), 2);
+        assert_eq!(m.occupant(), None);
+    }
+
+    #[test]
+    fn overlap_is_recorded() {
+        let mut m = SafetyMonitor::new();
+        m.enter(NodeId::new(0), t(10));
+        m.enter(NodeId::new(1), t(12));
+        assert!(!m.is_safe());
+        assert_eq!(
+            m.violations(),
+            &[Violation { at: t(12), holder: NodeId::new(0), intruder: NodeId::new(1) }]
+        );
+    }
+
+    #[test]
+    fn sync_gaps_measure_exit_to_entry() {
+        let mut m = SafetyMonitor::new();
+        m.enter(NodeId::new(0), t(0));
+        m.exit(NodeId::new(0), t(10));
+        m.enter(NodeId::new(1), t(15)); // gap 5
+        m.exit(NodeId::new(1), t(25));
+        m.enter(NodeId::new(2), t(30)); // gap 5
+        let gaps: Vec<u64> = m.sync_gaps().iter().map(|d| d.ticks()).collect();
+        assert_eq!(gaps, vec![5, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exited a CS it does not hold")]
+    #[cfg(debug_assertions)]
+    fn foreign_exit_panics_in_debug() {
+        let mut m = SafetyMonitor::new();
+        m.enter(NodeId::new(0), t(1));
+        m.exit(NodeId::new(1), t(2));
+    }
+
+    #[test]
+    fn first_entry_has_no_gap() {
+        let mut m = SafetyMonitor::new();
+        m.enter(NodeId::new(0), t(7));
+        assert!(m.sync_gaps().is_empty());
+    }
+}

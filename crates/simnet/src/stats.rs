@@ -1,0 +1,115 @@
+//! Small, dependency-free summary statistics used by the metric pipeline.
+
+use core::fmt;
+
+/// Summary of a sample of non-negative measurements.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Median (nearest rank).
+    pub p50: f64,
+    /// 95th percentile (nearest rank).
+    pub p95: f64,
+}
+
+impl Summary {
+    /// An all-zero summary for an empty sample.
+    pub fn empty() -> Self {
+        Summary { count: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0, p50: 0.0, p95: 0.0 }
+    }
+
+    /// Computes a summary; `samples` need not be sorted.
+    pub fn of(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::empty();
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / count as f64;
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in statistics sample"));
+        Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            p50: percentile_sorted(&sorted, 0.50),
+            p95: percentile_sorted(&sorted, 0.95),
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2} sd={:.2} min={:.0} p50={:.1} p95={:.1} max={:.0}",
+            self.count, self.mean, self.std_dev, self.min, self.p50, self.p95, self.max
+        )
+    }
+}
+
+/// Nearest-rank percentile of an already sorted slice, `q` in `[0, 1]`.
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    debug_assert!((0.0..=1.0).contains(&q));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&[4.0]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.p50, 4.0);
+        assert_eq!(s.p95, 4.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.p50, 2.0); // nearest-rank: ceil(0.5*4)=2nd element
+        assert_eq!(s.p95, 4.0);
+        assert!((s.std_dev - 1.118).abs() < 1e-3);
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let a = Summary::of(&[3.0, 1.0, 2.0]);
+        let b = Summary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn percentile_edges() {
+        let sorted = [10.0, 20.0, 30.0];
+        assert_eq!(percentile_sorted(&sorted, 0.0), 10.0);
+        assert_eq!(percentile_sorted(&sorted, 1.0), 30.0);
+    }
+}

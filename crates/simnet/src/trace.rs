@@ -1,0 +1,348 @@
+//! Bounded execution traces for debugging and exposition.
+//!
+//! When enabled ([`crate::SimConfig::trace_capacity`] > 0) the engine
+//! records every event into a ring buffer; [`Trace::render`] produces a
+//! human-readable narrative. Tracing costs one formatted string per
+//! message, so it defaults to off for experiments.
+
+use std::collections::VecDeque;
+
+use crate::ids::NodeId;
+use crate::time::SimTime;
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The workload issued a request.
+    Arrival {
+        /// When.
+        at: SimTime,
+        /// Who.
+        node: NodeId,
+    },
+    /// A message left a node.
+    Send {
+        /// When.
+        at: SimTime,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Message class label.
+        kind: &'static str,
+        /// Debug rendering of the payload.
+        detail: String,
+    },
+    /// A message reached its receiver.
+    Deliver {
+        /// When.
+        at: SimTime,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Message class label.
+        kind: &'static str,
+    },
+    /// A node entered the CS.
+    CsEnter {
+        /// When.
+        at: SimTime,
+        /// Who.
+        node: NodeId,
+    },
+    /// A node left the CS.
+    CsExit {
+        /// When.
+        at: SimTime,
+        /// Who.
+        node: NodeId,
+    },
+    /// A protocol timer fired.
+    Timer {
+        /// When.
+        at: SimTime,
+        /// Whose timer.
+        node: NodeId,
+        /// The protocol's tag.
+        tag: u64,
+    },
+    /// A delivery was dropped by fault injection.
+    Dropped {
+        /// When.
+        at: SimTime,
+        /// The crashed receiver.
+        to: NodeId,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            TraceEvent::Arrival { at, .. }
+            | TraceEvent::Send { at, .. }
+            | TraceEvent::Deliver { at, .. }
+            | TraceEvent::CsEnter { at, .. }
+            | TraceEvent::CsExit { at, .. }
+            | TraceEvent::Timer { at, .. }
+            | TraceEvent::Dropped { at, .. } => at,
+        }
+    }
+
+    fn render_line(&self) -> String {
+        match self {
+            TraceEvent::Arrival { at, node } => {
+                format!("t={at:<6} {node} requests the CS")
+            }
+            TraceEvent::Send { at, from, to, kind, detail } => {
+                format!("t={at:<6} {from} --{kind}--> {to}  {detail}")
+            }
+            TraceEvent::Deliver { at, from, to, kind } => {
+                format!("t={at:<6} {to} <--{kind}-- {from} (delivered)")
+            }
+            TraceEvent::CsEnter { at, node } => {
+                format!("t={at:<6} {node} ENTERS the critical section")
+            }
+            TraceEvent::CsExit { at, node } => {
+                format!("t={at:<6} {node} exits the critical section")
+            }
+            TraceEvent::Timer { at, node, tag } => {
+                format!("t={at:<6} {node} timer fires (tag {tag})")
+            }
+            TraceEvent::Dropped { at, to } => {
+                format!("t={at:<6} delivery to crashed {to} dropped")
+            }
+        }
+    }
+}
+
+/// A bounded ring of [`TraceEvent`]s.
+#[derive(Debug, Default)]
+pub struct Trace {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    /// Events discarded because the ring was full.
+    overflowed: u64,
+}
+
+impl Trace {
+    /// A trace keeping at most `capacity` events (0 disables recording).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace { capacity, events: VecDeque::new(), overflowed: 0 }
+    }
+
+    /// Whether recording is enabled.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records an event (dropping the oldest when full).
+    pub fn record(&mut self, ev: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.overflowed += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    /// Recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events that fell off the ring.
+    pub fn overflowed(&self) -> u64 {
+        self.overflowed
+    }
+
+    /// Renders the full narrative, one line per event.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.overflowed > 0 {
+            out.push_str(&format!("... {} earlier events dropped ...\n", self.overflowed));
+        }
+        for ev in &self.events {
+            out.push_str(&ev.render_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders an ASCII occupancy timeline: one row per node, `#` while it
+    /// holds the CS, `.` otherwise, one column per `tick_per_col` ticks.
+    /// Makes the paper's one-hop synchronization delay visible at a glance
+    /// (the gap between consecutive `#` blocks is Tn wide).
+    pub fn render_gantt(&self, n: usize, tick_per_col: u64) -> String {
+        assert!(tick_per_col >= 1);
+        let mut spans: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
+        let mut open: Vec<Option<u64>> = vec![None; n];
+        let mut end_tick = 0u64;
+        for ev in &self.events {
+            end_tick = end_tick.max(ev.at().ticks());
+            match *ev {
+                TraceEvent::CsEnter { at, node } => {
+                    if node.index() < n {
+                        open[node.index()] = Some(at.ticks());
+                    }
+                }
+                TraceEvent::CsExit { at, node } => {
+                    if node.index() < n {
+                        if let Some(start) = open[node.index()].take() {
+                            spans[node.index()].push((start, at.ticks()));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Still-open holds run to the trace end.
+        for (i, o) in open.iter().enumerate() {
+            if let Some(start) = o {
+                spans[i].push((*start, end_tick));
+            }
+        }
+        let cols = (end_tick / tick_per_col + 1) as usize;
+        let mut out = String::new();
+        for (i, node_spans) in spans.iter().enumerate() {
+            let mut row = vec![b'.'; cols];
+            for &(s, e) in node_spans {
+                let from = (s / tick_per_col) as usize;
+                let to = (e / tick_per_col) as usize;
+                for c in row.iter_mut().take(to.min(cols - 1) + 1).skip(from) {
+                    *c = b'#';
+                }
+            }
+            out.push_str(&format!(
+                "N{i:<3} |{}|\n",
+                String::from_utf8(row).expect("ascii")
+            ));
+        }
+        out.push_str(&format!(
+            "      (one column = {tick_per_col} tick{}, total {end_tick} ticks)\n",
+            if tick_per_col == 1 { "" } else { "s" }
+        ));
+        out
+    }
+
+    /// Renders only the events involving `node`.
+    pub fn render_for(&self, node: NodeId) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            let relevant = match ev {
+                TraceEvent::Arrival { node: n, .. }
+                | TraceEvent::CsEnter { node: n, .. }
+                | TraceEvent::CsExit { node: n, .. }
+                | TraceEvent::Timer { node: n, .. }
+                | TraceEvent::Dropped { to: n, .. } => *n == node,
+                TraceEvent::Send { from, to, .. } | TraceEvent::Deliver { from, to, .. } => {
+                    *from == node || *to == node
+                }
+            };
+            if relevant {
+                out.push_str(&ev.render_line());
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: u64) -> SimTime {
+        SimTime::from_ticks(x)
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut tr = Trace::with_capacity(0);
+        tr.record(TraceEvent::Arrival { at: t(1), node: NodeId::new(0) });
+        assert!(tr.is_empty());
+        assert!(!tr.enabled());
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut tr = Trace::with_capacity(2);
+        for i in 0..5u64 {
+            tr.record(TraceEvent::CsEnter { at: t(i), node: NodeId::new(0) });
+        }
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.overflowed(), 3);
+        let first = tr.events().next().unwrap();
+        assert_eq!(first.at(), t(3));
+        assert!(tr.render().contains("3 earlier events dropped"));
+    }
+
+    #[test]
+    fn render_mentions_all_parties() {
+        let mut tr = Trace::with_capacity(8);
+        tr.record(TraceEvent::Send {
+            at: t(5),
+            from: NodeId::new(1),
+            to: NodeId::new(2),
+            kind: "RM",
+            detail: "<N1,1>".into(),
+        });
+        let text = tr.render();
+        assert!(text.contains("N1 --RM--> N2"));
+        assert!(text.contains("<N1,1>"));
+    }
+
+    #[test]
+    fn gantt_marks_occupancy() {
+        let mut tr = Trace::with_capacity(16);
+        tr.record(TraceEvent::CsEnter { at: t(0), node: NodeId::new(0) });
+        tr.record(TraceEvent::CsExit { at: t(10), node: NodeId::new(0) });
+        tr.record(TraceEvent::CsEnter { at: t(15), node: NodeId::new(1) });
+        tr.record(TraceEvent::CsExit { at: t(25), node: NodeId::new(1) });
+        let g = tr.render_gantt(2, 5);
+        let lines: Vec<&str> = g.lines().collect();
+        // Columns: 0-5-10-15-20-25 → 6 columns.
+        assert!(lines[0].contains("|###..."), "{g}");
+        assert!(lines[1].contains("|...###"), "{g}");
+    }
+
+    #[test]
+    fn gantt_handles_open_hold() {
+        let mut tr = Trace::with_capacity(8);
+        tr.record(TraceEvent::CsEnter { at: t(2), node: NodeId::new(0) });
+        tr.record(TraceEvent::Arrival { at: t(9), node: NodeId::new(1) });
+        let g = tr.render_gantt(2, 1);
+        assert!(g.lines().next().unwrap().contains("########"), "{g}");
+    }
+
+    #[test]
+    fn per_node_filter() {
+        let mut tr = Trace::with_capacity(8);
+        tr.record(TraceEvent::CsEnter { at: t(1), node: NodeId::new(0) });
+        tr.record(TraceEvent::CsEnter { at: t(2), node: NodeId::new(1) });
+        tr.record(TraceEvent::Send {
+            at: t(3),
+            from: NodeId::new(1),
+            to: NodeId::new(0),
+            kind: "EM",
+            detail: String::new(),
+        });
+        let for0 = tr.render_for(NodeId::new(0));
+        assert!(for0.contains("N0 ENTERS"));
+        assert!(!for0.contains("N1 ENTERS"));
+        assert!(for0.contains("--EM-->"), "messages touching N0 are relevant");
+    }
+}

@@ -1,0 +1,139 @@
+//! Uniform dispatch over all implemented mutual exclusion algorithms.
+
+use rcv_baselines::{Lamport, Maekawa, QuorumSystem, RaDynamic, Raymond, RicartAgrawala, SuzukiKasami};
+use rcv_core::{ForwardPolicy, RcvConfig, RcvNode};
+use rcv_simnet::{Engine, SimConfig, SimReport, Workload};
+
+/// Every algorithm the harness can run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algo {
+    /// The paper's contribution (with its RM forwarding policy).
+    Rcv(ForwardPolicy),
+    /// Ricart–Agrawala ("Ricart" in the figures).
+    Ricart,
+    /// Ricart–Agrawala with the Roucairol–Carvalho dynamic optimization
+    /// (the paper's §2 "\[15\]" remark).
+    RaDynamic,
+    /// Maekawa with grid quorums.
+    Maekawa,
+    /// Maekawa with finite-projective-plane quorums where N permits (falls
+    /// back to grid) — the paper's actual "first method in \[9\]".
+    MaekawaFpp,
+    /// Suzuki–Kasami ("Broadcast" in the figures).
+    Broadcast,
+    /// Lamport 1978 (extension).
+    Lamport,
+    /// Raymond's tree (structured extension).
+    Raymond,
+}
+
+impl Algo {
+    /// Display name matching the paper's figure legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algo::Rcv(_) => "RCV (ours)",
+            Algo::Ricart => "Ricart",
+            Algo::RaDynamic => "RA-dynamic",
+            Algo::Maekawa => "Maekawa",
+            Algo::MaekawaFpp => "Maekawa-FPP",
+            Algo::Broadcast => "Broadcast",
+            Algo::Lamport => "Lamport",
+            Algo::Raymond => "Raymond",
+        }
+    }
+
+    /// The four algorithms of the paper's simulation study, in the order
+    /// the figures list them.
+    pub fn paper_four() -> [Algo; 4] {
+        [Algo::Rcv(ForwardPolicy::Random), Algo::Maekawa, Algo::Ricart, Algo::Broadcast]
+    }
+
+    /// All six principal algorithms (the paper's four + Lamport/Raymond).
+    pub fn all_six() -> [Algo; 6] {
+        [
+            Algo::Rcv(ForwardPolicy::Random),
+            Algo::Maekawa,
+            Algo::Ricart,
+            Algo::Broadcast,
+            Algo::Lamport,
+            Algo::Raymond,
+        ]
+    }
+
+    /// Every implemented algorithm, including the quorum and dynamic-RA
+    /// variants.
+    pub fn all() -> [Algo; 8] {
+        [
+            Algo::Rcv(ForwardPolicy::Random),
+            Algo::Maekawa,
+            Algo::MaekawaFpp,
+            Algo::Ricart,
+            Algo::RaDynamic,
+            Algo::Broadcast,
+            Algo::Lamport,
+            Algo::Raymond,
+        ]
+    }
+
+    /// Whether the algorithm assumes FIFO channels (and must therefore be
+    /// simulated under the constant-delay model, as in the paper).
+    pub fn requires_fifo(&self) -> bool {
+        matches!(self, Algo::Maekawa | Algo::MaekawaFpp | Algo::Lamport | Algo::RaDynamic)
+    }
+
+    /// Runs one simulation of this algorithm.
+    pub fn run<W: Workload>(&self, cfg: SimConfig, workload: W) -> SimReport {
+        match *self {
+            Algo::Rcv(policy) => Engine::new(cfg, workload, |id, n| {
+                RcvNode::with_config(id, n, RcvConfig { forward: policy, ..RcvConfig::paper() })
+            })
+            .run(),
+            Algo::Ricart => {
+                Engine::new(cfg, workload, RicartAgrawala::new).run()
+            }
+            Algo::RaDynamic => {
+                Engine::new(cfg, workload, RaDynamic::new).run()
+            }
+            Algo::Maekawa => Engine::new(cfg, workload, Maekawa::new).run(),
+            Algo::MaekawaFpp => Engine::new(cfg, workload, |id, n| {
+                Maekawa::with_quorums(id, QuorumSystem::best(n))
+            })
+            .run(),
+            Algo::Broadcast => {
+                Engine::new(cfg, workload, SuzukiKasami::new).run()
+            }
+            Algo::Lamport => Engine::new(cfg, workload, Lamport::new).run(),
+            Algo::Raymond => Engine::new(cfg, workload, Raymond::new).run(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcv_simnet::BurstOnce;
+
+    #[test]
+    fn every_algorithm_survives_a_burst() {
+        for algo in Algo::all() {
+            let r = algo.run(SimConfig::paper(9, 11), BurstOnce);
+            assert!(r.is_safe(), "{}", algo.name());
+            assert_eq!(r.metrics.completed(), 9, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn paper_four_are_the_figure_legends() {
+        let names: Vec<_> = Algo::paper_four().iter().map(|a| a.name()).collect();
+        assert_eq!(names, vec!["RCV (ours)", "Maekawa", "Ricart", "Broadcast"]);
+    }
+
+    #[test]
+    fn fifo_requirements_match_the_literature() {
+        assert!(Algo::Maekawa.requires_fifo());
+        assert!(Algo::Lamport.requires_fifo());
+        assert!(!Algo::Rcv(rcv_core::ForwardPolicy::Random).requires_fifo());
+        assert!(!Algo::Broadcast.requires_fifo());
+        assert!(!Algo::Ricart.requires_fifo());
+    }
+}

@@ -1,0 +1,159 @@
+//! Arrival processes: how nodes come to want the critical section.
+//!
+//! The paper's two scenarios (§6.2):
+//!
+//! * **burst** — "all nodes are requesting the CS simultaneously as soon as
+//!   the system is initialized. Every node only requests once" (Figures
+//!   4-5). Provided by [`rcv_simnet::BurstOnce`].
+//! * **Poisson** — "requests for CS execution arrive at a site according to
+//!   Poisson distribution with parameter λ", simulated for 100 000 time
+//!   units (Figures 6-7). Implemented here as [`PoissonWorkload`]: since a
+//!   node may hold at most one outstanding request (§3), each node draws
+//!   its next inter-arrival after its previous request completes (a closed
+//!   loop, the standard reading of the model in \[14\]).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rcv_simnet::{ArrivalSink, NodeId, SimDuration, SimTime, Workload};
+
+/// Closed-loop Poisson arrivals with a horizon.
+#[derive(Clone, Debug)]
+pub struct PoissonWorkload {
+    /// Mean inter-arrival time `1/λ`, in ticks.
+    pub mean_interarrival: f64,
+    /// No arrivals are scheduled at or beyond this time; in-flight requests
+    /// still complete, so the run drains cleanly.
+    pub horizon: SimTime,
+}
+
+impl PoissonWorkload {
+    /// Builds the paper's Figure 6/7 workload: `1/λ` ticks mean
+    /// inter-arrival, horizon 100 000 tu.
+    pub fn paper(inv_lambda: f64) -> Self {
+        PoissonWorkload { mean_interarrival: inv_lambda, horizon: SimTime::from_ticks(100_000) }
+    }
+
+    fn sample_gap(&self, rng: &mut SmallRng) -> SimDuration {
+        debug_assert!(self.mean_interarrival > 0.0);
+        let u: f64 = rng.gen();
+        let ticks = (-self.mean_interarrival * (1.0 - u).ln()).round() as u64;
+        SimDuration::from_ticks(ticks.max(1))
+    }
+
+    fn maybe_schedule(&self, node: NodeId, at: SimTime, sink: &mut ArrivalSink) {
+        if at < self.horizon {
+            sink.schedule(at, node);
+        }
+    }
+}
+
+impl Workload for PoissonWorkload {
+    fn init(&mut self, n: usize, rng: &mut SmallRng, sink: &mut ArrivalSink) {
+        for node in NodeId::all(n) {
+            let gap = self.sample_gap(rng);
+            self.maybe_schedule(node, SimTime::ZERO + gap, sink);
+        }
+    }
+
+    fn on_complete(&mut self, node: NodeId, now: SimTime, rng: &mut SmallRng, sink: &mut ArrivalSink) {
+        let gap = self.sample_gap(rng);
+        self.maybe_schedule(node, now + gap, sink);
+    }
+}
+
+/// Closed-loop saturation: every node re-requests `rounds` more times
+/// immediately (1 tick) after completing. Used for the synchronization
+/// delay and heavy-load response time checks (AN3/AN5).
+#[derive(Clone, Debug)]
+pub struct SaturationWorkload {
+    remaining: Vec<u32>,
+}
+
+impl SaturationWorkload {
+    /// Every node requests `1 + extra_rounds` times total.
+    pub fn new(n: usize, extra_rounds: u32) -> Self {
+        SaturationWorkload { remaining: vec![extra_rounds; n] }
+    }
+
+    /// Total requests this workload will issue.
+    pub fn total_requests(&self) -> usize {
+        self.remaining.iter().map(|&r| r as usize + 1).sum()
+    }
+}
+
+impl Workload for SaturationWorkload {
+    fn init(&mut self, n: usize, _rng: &mut SmallRng, sink: &mut ArrivalSink) {
+        assert_eq!(self.remaining.len(), n, "SaturationWorkload built for a different N");
+        for node in NodeId::all(n) {
+            sink.schedule(SimTime::ZERO, node);
+        }
+    }
+
+    fn on_complete(&mut self, node: NodeId, now: SimTime, _rng: &mut SmallRng, sink: &mut ArrivalSink) {
+        let r = &mut self.remaining[node.index()];
+        if *r > 0 {
+            *r -= 1;
+            sink.schedule(now + SimDuration::from_ticks(1), node);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_initial_arrivals_before_horizon() {
+        let mut w = PoissonWorkload { mean_interarrival: 10.0, horizon: SimTime::from_ticks(1000) };
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut sink = ArrivalSink::new();
+        w.init(8, &mut rng, &mut sink);
+        let arrivals: Vec<_> = sink.drain().collect();
+        assert_eq!(arrivals.len(), 8);
+        assert!(arrivals.iter().all(|&(t, _)| t < SimTime::from_ticks(1000)));
+        assert!(arrivals.iter().all(|&(t, _)| t.ticks() >= 1));
+    }
+
+    #[test]
+    fn poisson_respects_horizon_on_completion() {
+        let mut w = PoissonWorkload { mean_interarrival: 5.0, horizon: SimTime::from_ticks(100) };
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut sink = ArrivalSink::new();
+        // Completing at t=99 may or may not schedule (gap >= 1 pushes past
+        // 100 only if gap >= 1... 99+1=100 == horizon: excluded).
+        for _ in 0..64 {
+            w.on_complete(NodeId::new(0), SimTime::from_ticks(99), &mut rng, &mut sink);
+        }
+        assert!(sink.is_empty(), "99 + gap >= 100 must never schedule");
+    }
+
+    #[test]
+    fn poisson_gap_mean_is_calibrated() {
+        let w = PoissonWorkload { mean_interarrival: 20.0, horizon: SimTime::from_ticks(1) };
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| w.sample_gap(&mut rng).ticks()).sum();
+        let mean = total as f64 / n as f64;
+        assert!((18.5..21.5).contains(&mean), "empirical mean {mean}");
+    }
+
+    #[test]
+    fn saturation_counts_requests() {
+        let w = SaturationWorkload::new(4, 3);
+        assert_eq!(w.total_requests(), 16);
+    }
+
+    #[test]
+    fn saturation_reschedules_until_exhausted() {
+        let mut w = SaturationWorkload::new(2, 1);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut sink = ArrivalSink::new();
+        w.init(2, &mut rng, &mut sink);
+        assert_eq!(sink.drain().count(), 2);
+        w.on_complete(NodeId::new(0), SimTime::from_ticks(10), &mut rng, &mut sink);
+        assert_eq!(sink.drain().count(), 1);
+        w.on_complete(NodeId::new(0), SimTime::from_ticks(20), &mut rng, &mut sink);
+        assert_eq!(sink.drain().count(), 0, "rounds exhausted");
+    }
+}

@@ -1,0 +1,62 @@
+//! **EXT1 (extension)** — bytes on the wire per CS execution.
+//!
+//! The paper counts *messages*; it never reports message *sizes*. That
+//! flatters RCV: a roaming RM carries the MONL plus the whole N-row MSIT
+//! (O(N²) tuples in the worst case), while a Ricart–Agrawala REQUEST is a
+//! single timestamp. This experiment reports approximate bytes per CS for
+//! every algorithm, using each message's [`rcv_simnet::ProtocolMessage::wire_size`]
+//! (for RCV messages the estimate matches the binary codec in
+//! `rcv-runtime::wire` to within framing constants).
+
+use crate::algo::Algo;
+use crate::report::{fmt1, Table};
+use crate::runner::burst_mean;
+
+/// Runs the bandwidth comparison on the burst workload.
+pub fn run(sizes: &[usize], seeds: &[u64]) -> Table {
+    let algos = Algo::all_six();
+    let mut columns = vec!["N".to_string()];
+    columns.extend(algos.iter().map(|a| format!("{} B/CS", a.name())));
+    let mut t = Table::new(
+        "EXT1",
+        "approximate wire bytes per CS execution (burst) — a cost the paper does not report",
+        columns,
+    );
+    for &n in sizes {
+        let mut row = vec![n.to_string()];
+        for algo in algos {
+            let o = burst_mean(algo, n, seeds);
+            row.push(fmt1(o.wire_bytes / o.completed));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rcv_pays_in_bytes_what_it_saves_in_messages() {
+        let t = run(&[10, 20], &[1]);
+        let rcv = t.numeric_column("RCV (ours) B/CS");
+        let ricart = t.numeric_column("Ricart B/CS");
+        for (i, (&r, &ra)) in rcv.iter().zip(&ricart).enumerate() {
+            assert!(
+                r > ra,
+                "row {i}: RCV bytes/CS ({r}) should exceed Ricart's ({ra}) — \
+                 the state-carrying trade-off must be visible"
+            );
+        }
+    }
+
+    #[test]
+    fn bytes_grow_superlinearly_for_rcv() {
+        let t = run(&[10, 20], &[2]);
+        let rcv = t.numeric_column("RCV (ours) B/CS");
+        // Doubling N should much more than double RCV's bytes (payload is
+        // ~O(N) rows × O(pending) tuples, and more hops).
+        assert!(rcv[1] > 2.5 * rcv[0], "{} vs {}", rcv[1], rcv[0]);
+    }
+}

@@ -1,0 +1,114 @@
+//! **Figures 6 and 7** (paper §6.2, second experiment): a 30-node system
+//! under Poisson arrivals, simulated for 100 000 time units; plot mean NME
+//! against the mean inter-arrival time `1/λ` (Figure 6: RCV vs Maekawa) and
+//! mean response time for all four algorithms (Figure 7). Small `1/λ` =
+//! heavy load.
+
+use crate::algo::Algo;
+use crate::report::{fmt1, Table};
+use crate::runner::{poisson_mean, Outcome};
+use crate::sweep::{default_threads, parmap};
+
+/// The paper's system size for this experiment.
+pub const PAPER_N: usize = 30;
+
+/// The paper's x-axis: `1/λ` from light (30) down to heavy (2) — we sweep
+/// heavy→light left-to-right like the figures.
+pub fn paper_inv_lambdas() -> Vec<f64> {
+    vec![2.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0]
+}
+
+/// Runs the Poisson experiment.
+///
+/// Returns `(fig6_nme, fig7_rt)`. Figure 6 plots only RCV and Maekawa (as
+/// the paper does); Figure 7 plots all four.
+pub fn run(n: usize, inv_lambdas: &[f64], seeds: &[u64]) -> (Table, Table) {
+    let fig6_algos = [Algo::paper_four()[0], Algo::Maekawa];
+    let fig7_algos = Algo::paper_four();
+
+    let mut cols6 = vec!["1/lambda".to_string()];
+    cols6.extend(fig6_algos.iter().map(|a| a.name().to_string()));
+    let mut fig6 = Table::new(
+        "FIG6",
+        format!("mean messages per CS vs 1/λ (Poisson, N={n}, horizon 100k ticks)"),
+        cols6,
+    );
+
+    let mut cols7 = vec!["1/lambda".to_string()];
+    cols7.extend(fig7_algos.iter().map(|a| a.name().to_string()));
+    let mut fig7 = Table::new(
+        "FIG7",
+        format!("mean response time (ticks) vs 1/λ (Poisson, N={n})"),
+        cols7,
+    );
+
+    // The fig7 grid covers all four algorithms; fig6 reads the RCV and
+    // Maekawa columns from the same runs. Parallel over grid points.
+    let jobs: Vec<(f64, Algo)> = inv_lambdas
+        .iter()
+        .flat_map(|&il| fig7_algos.iter().map(move |&a| (il, a)))
+        .collect();
+    let outcomes: Vec<Outcome> =
+        parmap(jobs, default_threads(), |(il, algo)| poisson_mean(algo, n, il, seeds));
+
+    for (row_idx, &inv_lambda) in inv_lambdas.iter().enumerate() {
+        let row = &outcomes[row_idx * fig7_algos.len()..(row_idx + 1) * fig7_algos.len()];
+        let mut row6 = vec![fmt1(inv_lambda)];
+        for (col, algo) in fig7_algos.iter().enumerate() {
+            if fig6_algos.contains(algo) {
+                row6.push(fmt1(row[col].nme));
+            }
+        }
+        fig6.push_row(row6);
+
+        let mut row7 = vec![fmt1(inv_lambda)];
+        for o in row {
+            row7.push(fmt1(o.rt_mean));
+        }
+        fig7.push_row(row7);
+    }
+    (fig6, fig7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heavy_load_favours_rcv_over_maekawa_on_messages() {
+        // Reduced scale for test speed: N=12, short horizon comes from the
+        // seeds' runs themselves (full 100k horizon, but only one seed and
+        // two load points).
+        let (fig6, _) = run(12, &[2.0, 30.0], &[5]);
+        let rcv = fig6.numeric_column("RCV (ours)");
+        let mk = fig6.numeric_column("Maekawa");
+        assert!(
+            rcv[0] < mk[0],
+            "under heavy load RCV must use fewer messages (got {} vs {})",
+            rcv[0],
+            mk[0]
+        );
+    }
+
+    #[test]
+    fn rcv_nme_decreases_as_load_rises() {
+        // The paper's headline: the heavier the load, the fewer messages
+        // RCV needs per CS. Heavy = 1/λ small.
+        let (fig6, _) = run(12, &[2.0, 40.0], &[7]);
+        let rcv = fig6.numeric_column("RCV (ours)");
+        assert!(
+            rcv[0] < rcv[1],
+            "RCV NME must shrink under load: heavy={} light={}",
+            rcv[0],
+            rcv[1]
+        );
+    }
+
+    #[test]
+    fn maekawa_response_time_dominates_under_load() {
+        let (_, fig7) = run(12, &[2.0], &[3]);
+        let mk = fig7.numeric_column("Maekawa")[0];
+        let bc = fig7.numeric_column("Broadcast")[0];
+        assert!(mk > bc, "Maekawa RT ({mk}) must exceed Broadcast RT ({bc}) under load");
+    }
+}

@@ -1,0 +1,106 @@
+//! Order-preserving parallel map for experiment sweeps.
+//!
+//! The experiment grids (algorithm × parameter × seed) are embarrassingly
+//! parallel and every run is independent and deterministic, so the tables
+//! are identical whether computed serially or in parallel. Plain
+//! `std::thread::scope` — no extra dependencies.
+
+/// Applies `f` to every item, using up to `threads` worker threads, and
+/// returns the results **in input order**.
+pub fn parmap<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Pre-split into contiguous chunks with remembered offsets.
+    let total = items.len();
+    let chunk = total.div_ceil(threads);
+    let mut chunks: Vec<(usize, Vec<T>)> = Vec::new();
+    let mut items = items;
+    let mut offset = total;
+    while !items.is_empty() {
+        let start = items.len().saturating_sub(chunk);
+        let tail: Vec<T> = items.drain(start..).collect();
+        offset -= tail.len();
+        chunks.push((offset, tail));
+    }
+
+    let f = &f;
+    let mut indexed: Vec<(usize, Vec<R>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|(off, chunk_items)| {
+                s.spawn(move || (off, chunk_items.into_iter().map(f).collect::<Vec<R>>()))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+    });
+    indexed.sort_by_key(|&(off, _)| off);
+    indexed.into_iter().flat_map(|(_, rs)| rs).collect()
+}
+
+/// A sensible worker count for sweeps.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parmap((0..100).collect(), 7, |x: i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let out = parmap(vec![3, 1, 4], 1, |x: i32| x + 1);
+        assert_eq!(out, vec![4, 2, 5]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<i32> = parmap(Vec::<i32>::new(), 4, |x| x);
+        assert!(empty.is_empty());
+        assert_eq!(parmap(vec![9], 4, |x: i32| x - 9), vec![0]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = parmap(vec![1, 2, 3], 64, |x: i32| x * x);
+        assert_eq!(out, vec![1, 4, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker panicked")]
+    fn worker_panic_propagates() {
+        parmap(vec![0, 1], 2, |x: i32| {
+            if x == 1 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn parallel_equals_serial_for_simulation_work() {
+        use crate::algo::Algo;
+        use crate::runner::run_burst;
+        let jobs: Vec<(usize, u64)> = vec![(5, 1), (8, 2), (10, 3), (12, 4)];
+        let serial: Vec<f64> = jobs
+            .iter()
+            .map(|&(n, s)| run_burst(Algo::Broadcast, n, s).nme)
+            .collect();
+        let parallel: Vec<f64> =
+            parmap(jobs, 4, |(n, s)| run_burst(Algo::Broadcast, n, s).nme);
+        assert_eq!(serial, parallel, "determinism must be thread-independent");
+    }
+}

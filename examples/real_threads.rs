@@ -1,0 +1,46 @@
+//! Real concurrency: run the same RCV state machines over actual OS
+//! threads — one thread per node, crossbeam channels for message passing,
+//! random injected delays (so channels are NOT FIFO), and every message
+//! serialized to bytes and parsed back on the wire.
+//!
+//! ```text
+//! cargo run --release --example real_threads
+//! ```
+
+use std::time::Duration;
+
+use rcv::core::RcvConfig;
+use rcv::runtime::{run_rcv_cluster, with_codec_verification, ClusterSpec, NetDelay};
+
+fn main() {
+    let n = 8;
+    let rounds = 5;
+
+    let mut spec = ClusterSpec::quick(n, 7);
+    spec.rounds = rounds;
+    spec.think = Duration::from_micros(300);
+    spec.cs_duration = Duration::from_millis(1);
+    spec.delay = NetDelay::Uniform {
+        min: Duration::from_micros(100),
+        max: Duration::from_millis(3),
+    };
+    spec.timeout = Duration::from_secs(60);
+    // Round-trip every message through the binary wire codec.
+    let spec = with_codec_verification(spec);
+
+    println!(
+        "Threaded RCV cluster: {n} nodes x {rounds} CS rounds, jittered non-FIFO delivery,\n\
+         all messages byte-serialized on the wire...\n"
+    );
+
+    let report = run_rcv_cluster(spec, RcvConfig::paper());
+
+    println!("CS executions completed : {}", report.completed);
+    println!("CS entries (checker)    : {}", report.cs_entries);
+    println!("mutex violations        : {}", report.violations);
+    println!("messages exchanged      : {}", report.messages);
+    println!("timed out               : {}", report.timed_out);
+
+    assert!(report.is_clean((n as u64) * (rounds as u64)), "cluster run was not clean");
+    println!("\nAll {} critical sections executed with zero overlap.", report.completed);
+}

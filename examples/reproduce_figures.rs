@@ -1,0 +1,31 @@
+//! Regenerate the paper's whole evaluation at reduced scale (for the full
+//! sweep use the `repro` binary in `rcv-bench`):
+//!
+//! ```text
+//! cargo run --release --example reproduce_figures
+//! ```
+//!
+//! Prints Figures 4-7 as tables plus the five analytic checks AN1-AN5.
+
+use rcv::workload::experiments::{analysis, fig4_5, fig6_7};
+
+fn main() {
+    let seeds = [1, 2, 3];
+
+    println!("=== Burst experiment (Figures 4 & 5), reduced sweep ===\n");
+    let (fig4, fig5) = fig4_5::run(&[5, 10, 20, 30], &seeds);
+    println!("{fig4}");
+    println!("{fig5}");
+
+    println!("=== Poisson experiment (Figures 6 & 7), reduced sweep ===\n");
+    let (fig6, fig7) = fig6_7::run(20, &[2.0, 10.0, 30.0], &seeds[..2]);
+    println!("{fig6}");
+    println!("{fig7}");
+
+    println!("=== Analytic checks (paper §6.1) ===\n");
+    println!("{}", analysis::an1(&[10, 20, 30], &seeds));
+    println!("{}", analysis::an2(&[10, 20], &seeds));
+    println!("{}", analysis::an3(&[8, 16], &seeds));
+    println!("{}", analysis::an4(&[10, 20, 30], &seeds));
+    println!("{}", analysis::an5(&[10, 20], &seeds));
+}

@@ -1,0 +1,229 @@
+//! Failure injection beyond the paper's model: message duplication and
+//! crash-stop faults.
+//!
+//! What the paper claims (§4): resiliency "inherited from MCV" — correct
+//! operation does not depend on any specific node. What we verify:
+//!
+//! * **Safety is unconditional**: no fault combination ever produces two
+//!   nodes in the CS. The duplicate-EM guard (DESIGN.md #7) carries the
+//!   duplication case.
+//! * **Liveness is conditional**: requests whose roaming RM never needs the
+//!   crashed node still complete; an RM forwarded into a crashed node is
+//!   lost (the paper has no retry machinery, and neither do we — recorded
+//!   honestly in EXPERIMENTS.md).
+//! * **Contrast with token algorithms**: when Suzuki–Kasami's initial token
+//!   holder crashes, *nothing* ever completes; RCV keeps granting.
+
+use rcv_baselines::SuzukiKasami;
+use rcv_core::{RcvConfig, RcvNode};
+use rcv_simnet::{
+    BurstOnce, Engine, FaultPlan, FixedTrace, NodeId, SimConfig, SimTime,
+};
+
+#[test]
+fn duplication_is_absorbed_by_the_guards() {
+    for every in [1u64, 2, 3, 7] {
+        for seed in 0..6 {
+            let mut cfg = SimConfig::paper_non_fifo(12, seed);
+            cfg.faults = FaultPlan::duplicating(every);
+            let (report, nodes) =
+                Engine::new(cfg, BurstOnce, RcvNode::new).run_collecting();
+            assert!(report.is_safe(), "dup={every} seed={seed}: violation");
+            assert!(!report.deadlocked, "dup={every} seed={seed}: deadlock");
+            assert_eq!(report.metrics.completed(), 12, "dup={every} seed={seed}");
+            // Duplicates of EMs are dropped by the stale-EM guard; no node
+            // may ever enter twice for one request (the metrics layer
+            // panics if it does, so reaching here proves it).
+            assert_eq!(rcv_core::total_anomalies(&nodes), 0);
+        }
+    }
+}
+
+#[test]
+fn duplication_under_every_message_doubled() {
+    // The extreme: every single message delivered twice.
+    let mut cfg = SimConfig::paper_non_fifo(8, 3);
+    cfg.faults = FaultPlan::duplicating(1);
+    let report = Engine::new(cfg, BurstOnce, RcvNode::new).run();
+    assert!(report.is_safe());
+    assert_eq!(report.metrics.completed(), 8);
+}
+
+#[test]
+fn crash_of_idle_bystander_is_safe_but_wedges_contended_bursts() {
+    // NEGATIVE RESULT, recorded deliberately (EXPERIMENTS.md §faults):
+    // under contention, every roaming RM eventually forwards into the
+    // crashed node and is lost; a request whose RM died can still get
+    // *ordered* at other nodes (as a side effect of their RMs), but only
+    // the processor of its own RM may signal it — so an ordered-but-dead
+    // request wedges the NONL head and the whole system stalls. The
+    // paper's resiliency claim therefore needs retransmission machinery it
+    // does not specify. Safety, however, is unconditional.
+    let n = 9;
+    for seed in 0..10 {
+        let mut cfg = SimConfig::paper(n, seed);
+        cfg.faults = FaultPlan::crash(NodeId::new((n - 1) as u32), SimTime::ZERO);
+        let arrivals: Vec<(SimTime, NodeId)> =
+            (0..(n - 1) as u32).map(|i| (SimTime::ZERO, NodeId::new(i))).collect();
+        let report =
+            Engine::new(cfg, FixedTrace::new(arrivals), RcvNode::new).run();
+        assert!(report.is_safe(), "seed={seed}: violation under crash");
+        // Liveness is lost exactly when RMs were swallowed — the stall is
+        // always attributable, never silent corruption.
+        if report.deadlocked {
+            assert!(report.metrics.messages_dropped() > 0, "seed={seed}: deadlock without drops");
+        } else {
+            assert_eq!(report.metrics.completed(), n - 1, "seed={seed}");
+        }
+    }
+}
+
+#[test]
+fn rcv_light_load_survives_what_kills_the_token() {
+    // The defensible core of the paper's resiliency claim: RCV has no
+    // distinguished node. Suzuki-Kasami dies with its initial token holder
+    // even for a single uncontended request; RCV completes the same
+    // request as long as the RM's path never needs the crashed node —
+    // deterministic here with sequential forwarding (N=9: ordering after 4
+    // hops through nodes 1..4, far from the dead node 8).
+    let n = 9;
+    let lone_request = vec![(SimTime::ZERO, NodeId::new(0))];
+
+    let mut sk_cfg = SimConfig::paper(n, 1);
+    sk_cfg.faults = FaultPlan::crash(NodeId::new(n as u32 - 1), SimTime::ZERO);
+    // For Suzuki-Kasami the distinguished node is the initial holder 0, so
+    // crash *that* and let node 1 request instead.
+    let mut sk_cfg2 = SimConfig::paper(n, 1);
+    sk_cfg2.faults = FaultPlan::crash(NodeId::new(0), SimTime::ZERO);
+    let sk = Engine::new(
+        sk_cfg2,
+        FixedTrace::new(vec![(SimTime::ZERO, NodeId::new(1))]),
+        SuzukiKasami::new,
+    )
+    .run();
+    assert!(sk.is_safe());
+    assert_eq!(sk.metrics.completed(), 0, "token died with its holder");
+    assert!(sk.deadlocked);
+
+    let rcv = Engine::new(sk_cfg, FixedTrace::new(lone_request), |id, nn| {
+        RcvNode::with_config(
+            id,
+            nn,
+            RcvConfig { forward: rcv_core::ForwardPolicy::Sequential, ..RcvConfig::paper() },
+        )
+    })
+    .run();
+    assert!(rcv.is_safe());
+    assert_eq!(
+        rcv.metrics.completed(),
+        1,
+        "an uncontended RCV request avoiding the dead node must complete"
+    );
+    assert!(!rcv.deadlocked);
+}
+
+#[test]
+fn retransmission_extension_restores_light_load_liveness_under_crash() {
+    // Without retransmission, a random-forwarded lone RM dies whenever it
+    // hops into the crashed bystander (probability ~1/8 per hop at N=9) and
+    // the request starves. With the extension the home re-issues after a
+    // timeout and eventually finds a live path — every seed must complete.
+    let n = 9;
+    let mut starved_without = 0;
+    for seed in 0..20 {
+        let lone = vec![(SimTime::ZERO, NodeId::new(0))];
+        let mut cfg = SimConfig::paper(n, seed);
+        cfg.faults = FaultPlan::crash(NodeId::new(8), SimTime::ZERO);
+
+        let plain = Engine::new(cfg.clone(), FixedTrace::new(lone.clone()), |id, nn| {
+            RcvNode::with_config(id, nn, RcvConfig::paper())
+        })
+        .run();
+        assert!(plain.is_safe());
+        starved_without += usize::from(plain.metrics.completed() == 0);
+
+        let (with_rt, nodes) = Engine::new(cfg, FixedTrace::new(lone), |id, nn| {
+            RcvNode::with_config(id, nn, RcvConfig::with_retransmit(200))
+        })
+        .run_collecting();
+        assert!(with_rt.is_safe(), "seed={seed}");
+        assert_eq!(
+            with_rt.metrics.completed(),
+            1,
+            "seed={seed}: retransmission must rescue the lone request"
+        );
+        assert_eq!(rcv_core::total_anomalies(&nodes), 0, "seed={seed}");
+    }
+    assert!(
+        starved_without > 0,
+        "expected at least one seed to starve without retransmission \
+         (otherwise this test shows nothing)"
+    );
+}
+
+#[test]
+fn retransmission_is_harmless_without_faults() {
+    // With a reliable network the extension should never fire (the timeout
+    // comfortably exceeds any grant latency at this scale) and behaviour
+    // must be byte-identical in the metrics that matter.
+    for seed in 0..5 {
+        let cfg = SimConfig::paper_non_fifo(10, seed);
+        let (report, nodes) = Engine::new(cfg, BurstOnce, |id, nn| {
+            RcvNode::with_config(id, nn, RcvConfig::with_retransmit(5_000))
+        })
+        .run_collecting();
+        assert!(report.is_safe());
+        assert_eq!(report.metrics.completed(), 10);
+        let retrans: u64 = nodes.iter().map(|x| x.stats().retransmissions).sum();
+        assert_eq!(retrans, 0, "seed={seed}: spurious retransmission");
+    }
+}
+
+#[test]
+fn retransmission_under_duplication_and_jitter_stays_safe() {
+    // Retransmission + duplication = maximum duplicate-signal pressure on
+    // the guards; an aggressive (too short) timeout makes the home re-issue
+    // even on slow-but-healthy paths.
+    for seed in 0..6 {
+        let mut cfg = SimConfig::paper_non_fifo(8, seed);
+        cfg.faults = FaultPlan::duplicating(2);
+        let (report, nodes) = Engine::new(cfg, BurstOnce, |id, nn| {
+            RcvNode::with_config(id, nn, RcvConfig::with_retransmit(60))
+        })
+        .run_collecting();
+        assert!(report.is_safe(), "seed={seed}");
+        assert!(!report.deadlocked, "seed={seed}");
+        assert_eq!(report.metrics.completed(), 8, "seed={seed}");
+        assert_eq!(rcv_core::total_anomalies(&nodes), 0, "seed={seed}");
+    }
+}
+
+#[test]
+fn crash_while_holding_cs_blocks_successors_but_stays_safe() {
+    // The harshest case: the CS holder dies inside. Successors starve (the
+    // paper excludes recovery), but mutual exclusion is never violated and
+    // the engine reports the stall honestly.
+    let n = 6;
+    let mut cfg = SimConfig::paper(n, 2);
+    // Node entering first in a burst enters at some t < 60; crash it at
+    // t=40 which lands inside someone's CS window for these parameters.
+    cfg.faults = FaultPlan::crash(NodeId::new(0), SimTime::from_ticks(40));
+    let report = Engine::new(cfg, BurstOnce, RcvNode::new).run();
+    assert!(report.is_safe());
+    // Either node 0 finished before the crash (lucky seed) or the run
+    // reports the stall; both are acceptable, corruption is not.
+    if report.metrics.completed() < n {
+        assert!(report.deadlocked);
+    }
+}
+
+#[test]
+fn crash_after_quiescence_changes_nothing() {
+    let n = 7;
+    let mut cfg = SimConfig::paper(n, 4);
+    cfg.faults = FaultPlan::crash(NodeId::new(3), SimTime::from_ticks(1_000_000));
+    let report = Engine::new(cfg, BurstOnce, RcvNode::new).run();
+    assert!(report.is_safe());
+    assert_eq!(report.metrics.completed(), n);
+    assert_eq!(report.metrics.messages_dropped(), 0);
+}

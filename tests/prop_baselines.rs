@@ -1,0 +1,86 @@
+//! Property-based scenarios for every baseline algorithm: arbitrary
+//! request schedules must be safe and live. FIFO-requiring algorithms run
+//! under the constant-delay model; the FIFO-free ones also face jitter.
+
+use proptest::prelude::*;
+use rcv_simnet::{DelayModel, FixedTrace, NodeId, SimConfig, SimDuration, SimTime};
+use rcv_workload::algo::Algo;
+
+fn arb_algo() -> impl Strategy<Value = Algo> {
+    prop_oneof![
+        Just(Algo::Ricart),
+        Just(Algo::RaDynamic),
+        Just(Algo::Maekawa),
+        Just(Algo::MaekawaFpp),
+        Just(Algo::Broadcast),
+        Just(Algo::Lamport),
+        Just(Algo::Raymond),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        .. ProptestConfig::default()
+    })]
+
+    /// Single-shot schedules at arbitrary times for every baseline.
+    #[test]
+    fn baseline_single_shot_schedules_are_clean(
+        algo in arb_algo(),
+        n in 2usize..16,
+        seed in 0u64..1_000_000,
+        jitter in any::<bool>(),
+        times in proptest::collection::vec(0u64..150, 2..16),
+    ) {
+        let arrivals: Vec<(SimTime, NodeId)> = times
+            .iter()
+            .take(n)
+            .enumerate()
+            .map(|(i, &t)| (SimTime::from_ticks(t), NodeId::new(i as u32)))
+            .collect();
+        let expected = arrivals.len();
+        let delay = if jitter && !algo.requires_fifo() {
+            DelayModel::Uniform {
+                min: SimDuration::from_ticks(2),
+                max: SimDuration::from_ticks(12),
+            }
+        } else {
+            DelayModel::paper_constant()
+        };
+        let cfg = SimConfig { delay, ..SimConfig::paper(n, seed) };
+        let report = algo.run(cfg, FixedTrace::new(arrivals));
+        prop_assert!(report.is_safe(), "{}: violation (n={}, seed={})", algo.name(), n, seed);
+        prop_assert!(!report.deadlocked, "{}: deadlock (n={}, seed={})", algo.name(), n, seed);
+        prop_assert_eq!(
+            report.metrics.completed(),
+            expected,
+            "{}: starvation (n={}, seed={})",
+            algo.name(),
+            n,
+            seed
+        );
+    }
+
+    /// Closed-loop rounds for every baseline (the heavier liveness test —
+    /// this is the shape that exposed the Maekawa INQUIRE-path bug).
+    #[test]
+    fn baseline_round_workloads_are_clean(
+        algo in arb_algo(),
+        n in 2usize..10,
+        seed in 0u64..1_000_000,
+        rounds in 1u32..4,
+    ) {
+        use rcv_workload::arrival::SaturationWorkload;
+        let cfg = SimConfig::paper(n, seed);
+        let report = algo.run(cfg, SaturationWorkload::new(n, rounds));
+        prop_assert!(report.is_safe(), "{}: violation", algo.name());
+        prop_assert!(!report.deadlocked, "{}: deadlock", algo.name());
+        prop_assert_eq!(
+            report.metrics.completed(),
+            n * (rounds as usize + 1),
+            "{}: starvation",
+            algo.name()
+        );
+    }
+}

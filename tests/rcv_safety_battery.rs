@@ -1,0 +1,178 @@
+//! The RCV safety battery: the paper's three correctness theorems checked
+//! empirically across system sizes, seeds and delivery models.
+//!
+//! * Theorem 1 (mutual exclusion) — the engine's omniscient monitor panics
+//!   on any overlap (`panic_on_violation = true` in all configs here).
+//! * Theorem 2 (deadlock freedom) — every run must drain its event queue
+//!   with zero outstanding requests.
+//! * Theorem 3 (starvation freedom) — every issued request completes.
+//!
+//! The battery also asserts the protocol's internal anomaly counters stay
+//! zero (no UL exhaustion, no Lemma 6 violations, no stale EMs) and that
+//! per-node invariants (Lemma 1, NONL prefix consistency) hold at the end.
+
+use rcv_core::{
+    check_local_invariants, check_nonl_consistency, total_anomalies, ForwardPolicy, RcvConfig,
+    RcvNode,
+};
+use rcv_simnet::{BurstOnce, DelayModel, Engine, NodeId, SimConfig, SimDuration, SimReport};
+
+/// Runs a burst (all nodes request at t=0) and returns the report plus the
+/// final node states for white-box checks.
+fn run_burst_with_nodes(
+    n: usize,
+    seed: u64,
+    delay: DelayModel,
+    policy: ForwardPolicy,
+) -> (SimReport, Vec<RcvNode>) {
+    let cfg = SimConfig { delay, ..SimConfig::paper(n, seed) };
+    Engine::new(cfg, BurstOnce, |id, n| {
+        RcvNode::with_config(id, n, RcvConfig { forward: policy, ..RcvConfig::paper() })
+    })
+    .run_collecting()
+}
+
+fn assert_clean_nodes(report: &SimReport, nodes: &[RcvNode], n: usize, label: &str) {
+    assert!(report.is_safe(), "{label}: mutual exclusion violated");
+    assert!(!report.deadlocked, "{label}: deadlocked with outstanding requests");
+    assert!(!report.truncated, "{label}: run truncated (livelock?)");
+    assert_eq!(report.metrics.completed(), n, "{label}: some request starved");
+    assert_eq!(report.cs_entries as usize, n, "{label}: CS entry count mismatch");
+    assert_eq!(total_anomalies(nodes), 0, "{label}: protocol anomaly counters fired");
+    check_local_invariants(nodes).unwrap_or_else(|e| panic!("{label}: {e}"));
+    check_nonl_consistency(nodes).unwrap_or_else(|e| panic!("{label}: {e}"));
+    let stale: u64 = nodes.iter().map(|x| x.stats().stale_ems).sum();
+    assert_eq!(stale, 0, "{label}: stale EM guard fired (duplicate grant attempt)");
+}
+
+#[test]
+fn burst_is_safe_across_sizes_constant_delay() {
+    for n in [2, 3, 4, 5, 8, 13, 21, 30] {
+        for seed in 0..8 {
+            let (report, nodes) =
+                run_burst_with_nodes(n, seed, DelayModel::paper_constant(), ForwardPolicy::Random);
+            assert_clean_nodes(&report, &nodes, n, &format!("N={n} seed={seed} constant"));
+        }
+    }
+}
+
+#[test]
+fn burst_is_safe_under_non_fifo_jitter() {
+    for n in [2, 5, 10, 20] {
+        for seed in 100..112 {
+            let (report, nodes) =
+                run_burst_with_nodes(n, seed, DelayModel::paper_jittered(), ForwardPolicy::Random);
+            assert_clean_nodes(&report, &nodes, n, &format!("N={n} seed={seed} jitter"));
+        }
+    }
+}
+
+#[test]
+fn burst_is_safe_under_heavy_tailed_delays() {
+    let delay = DelayModel::Exponential { mean: 5.0, cap: 50 };
+    for n in [3, 8, 16] {
+        for seed in 7..15 {
+            let (report, nodes) =
+                run_burst_with_nodes(n, seed, delay.clone(), ForwardPolicy::Random);
+            assert_clean_nodes(&report, &nodes, n, &format!("N={n} seed={seed} exponential"));
+        }
+    }
+}
+
+#[test]
+fn all_forward_policies_are_safe() {
+    for policy in [
+        ForwardPolicy::Random,
+        ForwardPolicy::Sequential,
+        ForwardPolicy::MostStale,
+        ForwardPolicy::Freshest,
+    ] {
+        for seed in 0..4 {
+            let (report, nodes) =
+                run_burst_with_nodes(12, seed, DelayModel::paper_jittered(), policy);
+            assert_clean_nodes(&report, &nodes, 12, &format!("policy={policy:?} seed={seed}"));
+        }
+    }
+}
+
+#[test]
+fn single_and_two_node_edge_cases() {
+    for n in [1, 2] {
+        let (report, nodes) =
+            run_burst_with_nodes(n, 0, DelayModel::paper_constant(), ForwardPolicy::Sequential);
+        assert_clean_nodes(&report, &nodes, n, &format!("edge N={n}"));
+    }
+}
+
+/// Closed-loop repeated requests: every node re-requests immediately after
+/// finishing, `rounds` times — full saturation, the paper's "heavy demand".
+struct SaturatedRounds {
+    remaining: Vec<u32>,
+}
+
+impl rcv_simnet::Workload for SaturatedRounds {
+    fn init(
+        &mut self,
+        n: usize,
+        _rng: &mut rand::rngs::SmallRng,
+        sink: &mut rcv_simnet::ArrivalSink,
+    ) {
+        for node in NodeId::all(n) {
+            sink.schedule(rcv_simnet::SimTime::ZERO, node);
+        }
+    }
+
+    fn on_complete(
+        &mut self,
+        node: NodeId,
+        now: rcv_simnet::SimTime,
+        _rng: &mut rand::rngs::SmallRng,
+        sink: &mut rcv_simnet::ArrivalSink,
+    ) {
+        let r = &mut self.remaining[node.index()];
+        if *r > 0 {
+            *r -= 1;
+            sink.schedule(now + SimDuration::from_ticks(1), node);
+        }
+    }
+}
+
+#[test]
+fn saturated_repeated_requests_stay_safe() {
+    for seed in 0..6 {
+        let n = 10;
+        let rounds = 4;
+        let cfg = SimConfig::paper_non_fifo(n, seed);
+        let (report, nodes) = Engine::new(
+            cfg,
+            SaturatedRounds { remaining: vec![rounds; n] },
+            RcvNode::new,
+        )
+        .run_collecting();
+        let expected = n * (rounds as usize + 1);
+        assert!(report.is_safe(), "seed={seed}: violation under saturation");
+        assert!(!report.deadlocked, "seed={seed}: deadlock under saturation");
+        assert_eq!(report.metrics.completed(), expected, "seed={seed}: starvation");
+        assert_eq!(total_anomalies(&nodes), 0, "seed={seed}: anomalies under saturation");
+        check_nonl_consistency(&nodes).unwrap();
+    }
+}
+
+/// White-box run: final node states must satisfy the paper's lemmas.
+#[test]
+fn final_states_satisfy_lemmas() {
+    let n = 16;
+    let (report, nodes) = run_burst_with_nodes(
+        n,
+        77,
+        DelayModel::paper_jittered(),
+        ForwardPolicy::Random,
+    );
+    assert_clean_nodes(&report, &nodes, n, "lemma run");
+    // Everyone finished: all NONLs eventually drain of own tuples, every
+    // node is idle, and nobody holds a stale Next pointer.
+    for node in &nodes {
+        assert!(matches!(node.state(), rcv_core::ReqState::Idle));
+        assert!(node.si().next.is_none(), "{:?} holds a dangling Next", node.id());
+    }
+}

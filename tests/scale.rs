@@ -1,0 +1,56 @@
+//! Scale tests: the paper evaluates up to N = 50; a library release should
+//! demonstrate headroom well beyond that, plus long-horizon stability.
+
+use rcv_core::{check_nonl_consistency, total_anomalies, RcvNode};
+use rcv_simnet::{BurstOnce, Engine, SimConfig};
+use rcv_workload::algo::Algo;
+use rcv_workload::arrival::PoissonWorkload;
+
+#[test]
+fn burst_at_n_100() {
+    let (report, nodes) =
+        Engine::new(SimConfig::paper(100, 9), BurstOnce, RcvNode::new)
+            .run_collecting();
+    assert!(report.is_safe());
+    assert_eq!(report.metrics.completed(), 100);
+    assert_eq!(total_anomalies(&nodes), 0);
+    check_nonl_consistency(&nodes).unwrap();
+    // Worst-case bound: no request may exceed N+1 messages on average.
+    assert!(report.metrics.nme().unwrap() <= 101.0);
+}
+
+#[test]
+fn burst_at_n_200_non_fifo() {
+    let (report, nodes) =
+        Engine::new(SimConfig::paper_non_fifo(200, 4), BurstOnce, RcvNode::new)
+            .run_collecting();
+    assert!(report.is_safe());
+    assert_eq!(report.metrics.completed(), 200);
+    assert_eq!(total_anomalies(&nodes), 0);
+}
+
+#[test]
+fn long_horizon_poisson_stability() {
+    // 30 nodes, 100k ticks of sustained Poisson load: thousands of CS
+    // executions with zero violations and a drained queue.
+    let report =
+        Algo::paper_four()[0].run(SimConfig::paper(30, 11), PoissonWorkload::paper(10.0));
+    assert!(report.is_safe());
+    assert!(!report.deadlocked);
+    assert!(!report.truncated);
+    assert!(
+        report.metrics.completed() > 3_000,
+        "only {} completions in 100k ticks",
+        report.metrics.completed()
+    );
+    assert_eq!(report.metrics.outstanding(), 0, "horizon must drain cleanly");
+}
+
+#[test]
+fn every_paper_algorithm_scales_to_n_60() {
+    for algo in Algo::paper_four() {
+        let r = algo.run(SimConfig::paper(60, 2), BurstOnce);
+        assert!(r.is_safe(), "{}", algo.name());
+        assert_eq!(r.metrics.completed(), 60, "{}", algo.name());
+    }
+}
