@@ -1,0 +1,290 @@
+//! Offline stand-in for the subset of `criterion` the bench harness uses.
+//!
+//! It keeps the same authoring surface — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`criterion_group!`]/[`criterion_main!`] — and performs a simple but
+//! honest measurement: per benchmark it warms up once, runs up to
+//! `sample_size` timed samples under a global time cap, and prints
+//! min/mean/max per iteration. No statistical analysis, no HTML reports,
+//! no baseline comparison.
+//!
+//! `cargo bench -- <filter>` filters benchmarks by substring, like the
+//! real crate.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock budget per benchmark id; keeps full sweeps affordable.
+const PER_BENCH_BUDGET: Duration = Duration::from_secs(3);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as a free argument.
+        // Values of known value-taking flags must not be mistaken for the
+        // filter (`--sample-size 50` would otherwise filter by "50" and
+        // silently run nothing).
+        const VALUE_FLAGS: &[&str] =
+            &["--sample-size", "--measurement-time", "--warm-up-time", "--save-baseline", "--baseline"];
+        let mut filter = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if VALUE_FLAGS.contains(&a.as_str()) {
+                let _ = args.next();
+            } else if !a.starts_with('-') {
+                filter = Some(a);
+                break;
+            }
+        }
+        if let Some(f) = &filter {
+            eprintln!("criterion (offline stub): filtering benchmarks by {f:?}");
+        }
+        Criterion { filter, default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let sample_size = self.default_sample_size;
+        if self.matches(&id) {
+            run_one(&id, sample_size, &mut f);
+        }
+        self
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_id.contains(f))
+    }
+}
+
+/// A named benchmark within a group (`group/function/param`).
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { function: String::new(), parameter: Some(parameter.to_string()) }
+    }
+
+    fn render(&self, group: &str) -> String {
+        match &self.parameter {
+            Some(p) if self.function.is_empty() => format!("{group}/{p}"),
+            Some(p) => format!("{group}/{}/{p}", self.function),
+            None => format!("{group}/{}", self.function),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        BenchmarkId { function, parameter: None }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        BenchmarkId { function: function.to_string(), parameter: None }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sampling config.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks `f`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full_id = id.into().render(&self.name);
+        if self.criterion.matches(&full_id) {
+            let n = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+            run_one(&full_id, n, &mut |b| f(b, input));
+        }
+        self
+    }
+
+    /// Benchmarks a closure with no external input.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full_id = id.into().render(&self.name);
+        if self.criterion.matches(&full_id) {
+            let n = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+            run_one(&full_id, n, &mut f);
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Handed to the benchmark closure; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    deadline: Instant,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting up to `sample_size` samples of one
+    /// iteration each, stopping early at the per-bench time budget.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up (also seeds lazily-initialized state).
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one(full_id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+        deadline: Instant::now() + PER_BENCH_BUDGET,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{full_id:<60} (no samples collected)");
+        return;
+    }
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    let max = b.samples.iter().max().copied().unwrap_or_default();
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    println!(
+        "{full_id:<60} time: [{} {} {}]  ({} samples)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        b.samples.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a group-runner function, like the real `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_rendering() {
+        assert_eq!(BenchmarkId::new("f", 10).render("g"), "g/f/10");
+        assert_eq!(BenchmarkId::from_parameter(3).render("g"), "g/3");
+        assert_eq!(BenchmarkId::from("plain").render("g"), "g/plain");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut ran = 0u32;
+        run_one("test/id", 5, &mut |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        // 1 warm-up + up to 5 samples.
+        assert!(ran >= 2);
+    }
+
+    #[test]
+    fn groups_run_and_filter() {
+        let mut c = Criterion { filter: Some("keep".into()), default_sample_size: 2 };
+        let mut kept = false;
+        let mut dropped = false;
+        let mut g = c.benchmark_group("demo");
+        g.bench_with_input(BenchmarkId::new("keep", 1), &(), |b, _| {
+            b.iter(|| kept = true)
+        });
+        g.bench_with_input(BenchmarkId::new("other", 1), &(), |b, _| {
+            b.iter(|| dropped = true)
+        });
+        g.finish();
+        assert!(kept);
+        assert!(!dropped);
+    }
+}

@@ -1,0 +1,61 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace uses.
+//!
+//! Only `crossbeam::channel`'s unbounded MPSC shape is needed, and since
+//! Rust 1.72 `std::sync::mpsc` *is* the crossbeam channel implementation
+//! upstreamed into std — so this crate simply re-exports it under the
+//! crossbeam names. `Sender` is `Clone + Send + Sync`; `Receiver`
+//! supports `recv_timeout` with the same `RecvTimeoutError` variants.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer channels (std's crossbeam-derived implementation).
+pub mod channel {
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn unbounded_roundtrip_and_timeout() {
+            let (tx, rx) = unbounded::<u32>();
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn senders_clone_across_threads() {
+            let (tx, rx) = unbounded::<usize>();
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || tx.send(i).unwrap())
+                })
+                .collect();
+            drop(tx);
+            for h in handles {
+                h.join().unwrap();
+            }
+            let mut got: Vec<usize> = rx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! `any::<T>()` — the "arbitrary value of T" strategy.
+
+use core::marker::PhantomData;
+
+use crate::strategy::Any;
+
+/// Returns a strategy producing uniformly random values of `T`.
+///
+/// Supported for the primitive types that implement the rand stub's
+/// `Standard` distribution (integers, floats in `[0,1)`, `bool`).
+pub fn any<T: rand::Standard>() -> Any<T> {
+    Any(PhantomData)
+}

@@ -1,0 +1,141 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build container has no crates.io access, so this crate reimplements
+//! the pieces the test suites rely on:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]` support);
+//! * [`Strategy`] with `prop_map`, integer-range / tuple / [`Just`] /
+//!   [`arbitrary::any`] strategies and [`collection::vec`];
+//! * [`prop_oneof!`], [`prop_assert!`], [`prop_assert_eq!`],
+//!   [`prop_assert_ne!`];
+//! * a deterministic runner: every case's seed derives from the test name
+//!   and case index, so failures reproduce run-to-run with no environment
+//!   setup. Seeds recorded in `tests/proptest-regressions/<file>.txt`
+//!   (lines of the form `cc <seed>`) are replayed *before* the random
+//!   cases, mirroring real proptest's failure persistence.
+//!
+//! Deliberately missing (unneeded here): shrinking, `TestRunner`'s public
+//! API, recursive strategies, string/regex strategies.
+//!
+//! Overriding the stream: set `PROPTEST_RNG_SEED=<u64>` to XOR a session
+//! salt into every per-case seed, e.g. for soak testing. A failing case
+//! prints its exact seed with instructions for pinning it.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+pub use crate::test_runner::Config as ProptestConfig;
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// item expands to a `#[test]` (the attribute is written at the call site
+/// and passed through) that runs `config.cases` deterministic cases plus
+/// any persisted regression seeds.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Internal: expands the item list inside [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let __seeds = $crate::test_runner::case_seeds(
+                env!("CARGO_MANIFEST_DIR"),
+                ::core::file!(),
+                ::core::stringify!($name),
+                &__config,
+            );
+            for __seed in __seeds {
+                let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    let mut __rng = $crate::test_runner::new_rng(__seed);
+                    $(let $arg =
+                        $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                    $body
+                }));
+                if let Err(__panic) = __outcome {
+                    $crate::test_runner::report_failure(
+                        ::core::file!(),
+                        ::core::stringify!($name),
+                        __seed,
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Uniformly picks one of several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($s)),+])
+    };
+}
+
+/// Rejects the current case when the assumption does not hold. Without
+/// shrinking there is nothing to resample, so the case is simply skipped
+/// (an early return from the generated case closure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Asserts a condition inside a property; panics with location + message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}

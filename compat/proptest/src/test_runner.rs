@@ -1,0 +1,145 @@
+//! The deterministic case runner behind the [`crate::proptest!`] macro.
+//!
+//! Seed discipline: case `i` of test `t` in file `f` runs with seed
+//! `fnv(f, t) ^ salt ^ i`, where `salt` is 0 unless `PROPTEST_RNG_SEED`
+//! is set. Persisted regression seeds (from
+//! `tests/proptest-regressions/<file stem>.txt`, lines `cc <seed>`) are
+//! replayed first, so a pinned failure always runs before the random
+//! sweep.
+
+use std::path::{Path, PathBuf};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Runner configuration; the subset of `proptest::test_runner::Config`
+/// the workspace uses, plus forward-compatible defaults.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for source compatibility; shrinking is not implemented,
+    /// so this is never consulted.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+/// Builds the per-case RNG.
+pub fn new_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// FNV-1a over the test's identity: stable across runs and platforms.
+fn identity_hash(file: &str, test: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in file.bytes().chain([0u8]).chain(test.bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn session_salt() -> u64 {
+    std::env::var("PROPTEST_RNG_SEED")
+        .ok()
+        .and_then(|s| parse_seed(&s))
+        .unwrap_or(0)
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Locates `tests/proptest-regressions/<stem>.txt` for the test file.
+fn regression_path(manifest_dir: &str, file: &str) -> PathBuf {
+    let stem = Path::new(file).file_stem().and_then(|s| s.to_str()).unwrap_or("unknown");
+    Path::new(manifest_dir)
+        .join("tests")
+        .join("proptest-regressions")
+        .join(format!("{stem}.txt"))
+}
+
+/// Parses persisted regression seeds. Lines look like `cc <seed>`; `#`
+/// starts a comment; anything else is ignored.
+fn regression_seeds(path: &Path) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let line = line.split('#').next().unwrap_or("").trim();
+            let rest = line.strip_prefix("cc ")?;
+            parse_seed(rest)
+        })
+        .collect()
+}
+
+/// The full, ordered seed schedule for one property test.
+pub fn case_seeds(manifest_dir: &str, file: &str, test: &str, config: &Config) -> Vec<u64> {
+    let base = identity_hash(file, test) ^ session_salt();
+    let mut seeds = regression_seeds(&regression_path(manifest_dir, file));
+    seeds.extend((0..config.cases as u64).map(|i| base ^ i));
+    seeds
+}
+
+/// Prints reproduction instructions for a failing case.
+pub fn report_failure(file: &str, test: &str, seed: u64) {
+    let stem = Path::new(file).file_stem().and_then(|s| s.to_str()).unwrap_or("unknown");
+    eprintln!(
+        "proptest: {test} ({file}) failed with seed {seed}.\n\
+         To pin it, add the line `cc {seed}` to tests/proptest-regressions/{stem}.txt"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_hash_is_stable() {
+        assert_eq!(
+            identity_hash("tests/a.rs", "t1"),
+            identity_hash("tests/a.rs", "t1")
+        );
+        assert_ne!(
+            identity_hash("tests/a.rs", "t1"),
+            identity_hash("tests/a.rs", "t2")
+        );
+    }
+
+    #[test]
+    fn seeds_are_deterministic_and_sized() {
+        let cfg = Config { cases: 16, ..Config::default() };
+        let a = case_seeds("/nonexistent", "tests/x.rs", "p", &cfg);
+        let b = case_seeds("/nonexistent", "tests/x.rs", "p", &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn regression_lines_parse() {
+        let dir = std::env::temp_dir().join("proptest-stub-test");
+        let sub = dir.join("tests").join("proptest-regressions");
+        std::fs::create_dir_all(&sub).unwrap();
+        std::fs::write(
+            sub.join("x.txt"),
+            "# comment\ncc 42\ncc 0x10 # pinned\nnot a seed line\n",
+        )
+        .unwrap();
+        let cfg = Config { cases: 1, ..Config::default() };
+        let seeds = case_seeds(dir.to_str().unwrap(), "tests/x.rs", "p", &cfg);
+        assert_eq!(seeds.len(), 3);
+        assert_eq!(seeds[0], 42);
+        assert_eq!(seeds[1], 16);
+    }
+}

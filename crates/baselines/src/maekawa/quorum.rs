@@ -111,7 +111,7 @@ impl QuorumSystem {
 
         // incidence[l] = point indices on line l.
         let on_line = |l: &[usize; 3], p: &[usize; 3]| -> bool {
-            (l[0] * p[0] + l[1] * p[1] + l[2] * p[2]) % q == 0
+            (l[0] * p[0] + l[1] * p[1] + l[2] * p[2]).is_multiple_of(q)
         };
         let mut incidence: Vec<Vec<usize>> = Vec::with_capacity(n);
         for l in lines {
@@ -217,7 +217,7 @@ fn is_prime(x: usize) -> bool {
     if x < 2 {
         return false;
     }
-    (2..=x.isqrt()).all(|d| x % d != 0)
+    (2..=x.isqrt()).all(|d| !x.is_multiple_of(d))
 }
 
 /// Normalized homogeneous coordinates of the projective plane PG(2, q):

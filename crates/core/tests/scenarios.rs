@@ -22,7 +22,9 @@ struct Bench {
 impl Bench {
     fn new() -> Self {
         Bench {
-            rng: SmallRng::seed_from_u64(9),
+            // With the workspace's xoshiro-based SmallRng this seed makes
+            // node 0's Random forwarding pick node 1 (see `ordered_pair`).
+            rng: SmallRng::seed_from_u64(8),
             outbox: Vec::new(),
             enter: false,
             timers: Vec::new(),

@@ -463,9 +463,14 @@ mod tests {
         let a = run_burst(10, 1, DelayModel::paper_jittered());
         let b = run_burst(10, 2, DelayModel::paper_jittered());
         // With 10 competing nodes and jittered delays some observable
-        // quantity differs with overwhelming probability.
+        // quantity differs with overwhelming probability. The central test
+        // protocol sends a fixed message count and end times quantize to
+        // ticks, so the per-request response-time distribution is the
+        // discriminating observable.
         assert!(
-            a.end_time != b.end_time || a.metrics.messages_sent() != b.metrics.messages_sent(),
+            a.end_time != b.end_time
+                || a.metrics.messages_sent() != b.metrics.messages_sent()
+                || a.metrics.response_time().mean != b.metrics.response_time().mean,
             "two different seeds produced identical runs"
         );
     }

@@ -54,7 +54,13 @@ impl FaultPlan {
     /// Whether the `seq`-th message (1-based) should be duplicated.
     pub fn duplicates(&self, seq: u64) -> bool {
         match self.duplicate_every {
-            Some(k) => seq % k == 0,
+            Some(k) => {
+                // `duplicate_every` is pub, so the constructor's validation
+                // can be bypassed; fail loudly rather than silently never
+                // duplicating (is_multiple_of(0) is false, unlike `% 0`).
+                assert!(k > 0, "duplicate_every must be positive");
+                seq.is_multiple_of(k)
+            }
             None => false,
         }
     }

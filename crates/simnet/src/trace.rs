@@ -194,18 +194,16 @@ impl Trace {
         for ev in &self.events {
             end_tick = end_tick.max(ev.at().ticks());
             match *ev {
-                TraceEvent::CsEnter { at, node } => {
-                    if node.index() < n {
+                TraceEvent::CsEnter { at, node }
+                    if node.index() < n => {
                         open[node.index()] = Some(at.ticks());
                     }
-                }
-                TraceEvent::CsExit { at, node } => {
-                    if node.index() < n {
+                TraceEvent::CsExit { at, node }
+                    if node.index() < n => {
                         if let Some(start) = open[node.index()].take() {
                             spans[node.index()].push((start, at.ticks()));
                         }
                     }
-                }
                 _ => {}
             }
         }

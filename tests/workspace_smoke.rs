@@ -1,0 +1,54 @@
+//! Workspace smoke test: one short simulated cluster per algorithm —
+//! RCV plus every baseline — must complete with the safety monitor
+//! reporting **zero** mutual-exclusion violations, no deadlock, and all
+//! requests served. This is the fastest whole-stack signal the workspace
+//! has; it is meant to stay under a second in debug builds.
+
+use rcv_simnet::{NodeId, SimConfig, SimTime};
+use rcv_workload::algo::Algo;
+use rcv_workload::arrival::SaturationWorkload;
+
+/// Staggered single-shot arrivals for `n` nodes.
+fn staggered(n: usize) -> rcv_simnet::FixedTrace {
+    rcv_simnet::FixedTrace::new(
+        (0..n)
+            .map(|i| (SimTime::from_ticks(3 * i as u64), NodeId::new(i as u32)))
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[test]
+fn every_algorithm_clears_a_short_cluster() {
+    let n = 6;
+    for algo in Algo::all() {
+        let report = algo.run(SimConfig::paper(n, 0xBEEF), staggered(n));
+        assert!(
+            report.is_safe(),
+            "{}: safety monitor reported a mutual-exclusion violation",
+            algo.name()
+        );
+        assert!(!report.deadlocked, "{}: deadlocked", algo.name());
+        assert_eq!(
+            report.metrics.completed(),
+            n,
+            "{}: not every request completed",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn every_algorithm_survives_one_contended_round() {
+    let n = 5;
+    for algo in Algo::all() {
+        let report = algo.run(SimConfig::paper(n, 7), SaturationWorkload::new(n, 1));
+        assert!(report.is_safe(), "{}: violation under contention", algo.name());
+        assert!(!report.deadlocked, "{}: deadlock under contention", algo.name());
+        assert_eq!(
+            report.metrics.completed(),
+            2 * n,
+            "{}: starvation under contention",
+            algo.name()
+        );
+    }
+}
