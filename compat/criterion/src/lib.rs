@@ -10,9 +10,16 @@
 //!
 //! `cargo bench -- <filter>` filters benchmarks by substring, like the
 //! real crate.
+//!
+//! **Machine-readable results**: set `CRITERION_JSON=<path>` and every
+//! completed benchmark appends one JSON line
+//! (`{"id", "min_ns", "mean_ns", "max_ns", "samples"}`) to that file, so
+//! CI can collect criterion-shim timings next to `BENCH_RESULTS.json`
+//! without scraping stdout.
 
 #![forbid(unsafe_code)]
 
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -211,6 +218,33 @@ fn run_one(full_id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
         fmt_duration(max),
         b.samples.len(),
     );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Err(e) = append_json_line(path.as_ref(), full_id, min, mean, max, b.samples.len()) {
+            eprintln!("criterion stub: cannot append to {path}: {e}");
+        }
+    }
+}
+
+/// Appends one benchmark result as a JSON line (JSONL) to `path`.
+fn append_json_line(
+    path: &std::path::Path,
+    id: &str,
+    min: Duration,
+    mean: Duration,
+    max: Duration,
+    samples: usize,
+) -> std::io::Result<()> {
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    // Benchmark ids are plain ASCII identifiers/paths; escape the two JSON
+    // specials anyway so a stray quote cannot corrupt the stream.
+    let id = id.replace('\\', "\\\\").replace('"', "\\\"");
+    writeln!(
+        f,
+        "{{\"id\": \"{id}\", \"min_ns\": {}, \"mean_ns\": {}, \"max_ns\": {}, \"samples\": {samples}}}",
+        min.as_nanos(),
+        mean.as_nanos(),
+        max.as_nanos(),
+    )
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -269,6 +303,41 @@ mod tests {
         });
         // 1 warm-up + up to 5 samples.
         assert!(ran >= 2);
+    }
+
+    #[test]
+    fn json_lines_append_and_escape() {
+        let dir = std::env::temp_dir().join("criterion-stub-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("emit-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        append_json_line(
+            &path,
+            "g/f/10",
+            Duration::from_nanos(100),
+            Duration::from_nanos(150),
+            Duration::from_nanos(200),
+            7,
+        )
+        .unwrap();
+        append_json_line(
+            &path,
+            "weird\"id",
+            Duration::from_nanos(1),
+            Duration::from_nanos(1),
+            Duration::from_nanos(1),
+            1,
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"id\": \"g/f/10\", \"min_ns\": 100, \"mean_ns\": 150, \"max_ns\": 200, \"samples\": 7}"
+        );
+        assert!(lines[1].contains("weird\\\"id"));
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! Events-per-second throughput bench with a machine-readable reporter.
+//!
+//! Measures the discrete-event engine end to end — all 8 algorithms on the
+//! paper's constant-delay burst at N ∈ {10, 30, 50} — plus a schedule/pop
+//! micro-benchmark of the calendar event queue against a plain binary
+//! heap. Results go to stdout and to `BENCH_RESULTS.json` at the repo root
+//! so the perf trajectory is comparable across PRs.
+//!
+//! ```text
+//! cargo bench -p rcv-bench --bench engine_throughput              # full
+//! cargo bench -p rcv-bench --bench engine_throughput -- --quick  # CI-sized
+//! cargo bench -p rcv-bench --bench engine_throughput -- \
+//!     --quick --baseline crates/bench/baseline/engine_throughput.json
+//! ```
+//!
+//! With `--baseline <file>`, the run **fails** (exit 1) if events/sec on
+//! the N=30 RCV burst drops more than 30% below the checked-in baseline.
+//! Methodology: every cell reports its best measurement window (the
+//! statistic least distorted by background load — external noise only ever
+//! slows a window down, like criterion's minimum).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use rcv_bench::perf::{EngineRecord, PerfReport, QueueRecord, parse_gate_metric};
+use rcv_simnet::{BurstOnce, EventKind, EventQueue, NodeId, SimConfig, SimDuration};
+use rcv_workload::Algo;
+
+/// Sweep sizes: the paper's N=30 plus a lighter and a heavier point.
+const SIZES: [usize; 3] = [10, 30, 50];
+
+/// Regression tolerance for the gate: fail below 70% of baseline.
+const GATE_FRACTION: f64 = 0.7;
+
+struct Opts {
+    quick: bool,
+    out: PathBuf,
+    baseline: Option<PathBuf>,
+    filter: Option<String>,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        quick: false,
+        // Compiled-in workspace root: crates/bench/../../ — stable no
+        // matter what cwd cargo hands the bench binary.
+        out: PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_RESULTS.json")),
+        baseline: None,
+        filter: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--out" => opts.out = PathBuf::from(args.next().expect("--out needs a path")),
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(args.next().expect("--baseline needs a path")));
+            }
+            // `cargo bench` appends `--bench` to harness=false binaries.
+            "--bench" => {}
+            s if s.starts_with("--") => {
+                // A typo'd --baseline/--out must not silently disable the
+                // regression gate.
+                eprintln!("engine_throughput: unknown flag {s}");
+                std::process::exit(2);
+            }
+            s => opts.filter = Some(s.to_string()),
+        }
+    }
+    opts
+}
+
+/// Runs `routine` repeatedly in `windows` timed windows of ~`window_secs`
+/// and returns the best window's units-per-second rate.
+fn best_window(windows: u32, window_secs: f64, mut routine: impl FnMut() -> u64) -> f64 {
+    routine(); // warm-up
+    let mut best = 0.0f64;
+    for _ in 0..windows {
+        let mut units = 0u64;
+        let t0 = Instant::now();
+        while t0.elapsed().as_secs_f64() < window_secs {
+            units += routine();
+        }
+        best = best.max(units as f64 / t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// One engine cell: seed-varied burst runs, counted in processed events.
+fn bench_engine(algo: Algo, n: usize, windows: u32, window_secs: f64) -> EngineRecord {
+    // The recorded events/run is the seed-1 run's exact event count — a
+    // deterministic quantity comparable across hosts and PRs (a window
+    // average would cover a host-speed-dependent seed set and drift).
+    let events_per_run = algo.run(SimConfig::paper(n, 1), BurstOnce).events;
+    let mut seed = 0u64;
+    let events_per_sec = best_window(windows, window_secs, || {
+        seed += 1;
+        algo.run(SimConfig::paper(n, seed), BurstOnce).events
+    });
+    EngineRecord {
+        algorithm: algo.name().to_string(),
+        n,
+        workload: "burst",
+        events_per_run,
+        events_per_sec,
+    }
+}
+
+/// Steady-state churn of the calendar queue: a paper-shaped delta mix
+/// (deliveries at Tn=5, CS exits at Tc=10, a same-tick event and one
+/// far-future timer per cycle), one pop per push after a warm fill.
+fn queue_churn_calendar(ops: u64) -> u64 {
+    const DELTAS: [u64; 5] = [5, 5, 10, 0, 500];
+    let mut q: EventQueue<u64> = EventQueue::with_horizon(SimDuration::from_ticks(10));
+    for i in 0..64u64 {
+        q.schedule(
+            q.now() + SimDuration::from_ticks(DELTAS[(i % 5) as usize]),
+            EventKind::Timer { node: NodeId::new(0), tag: i },
+        );
+    }
+    let mut acc = 0u64;
+    for i in 0..ops {
+        let e = q.pop().expect("queue stays warm");
+        acc = acc.wrapping_add(e.at.ticks());
+        q.schedule(
+            e.at + SimDuration::from_ticks(DELTAS[(i % 5) as usize]),
+            EventKind::Timer { node: NodeId::new(0), tag: i },
+        );
+    }
+    std::hint::black_box(acc);
+    ops
+}
+
+/// The same churn against the pre-swap implementation: a `BinaryHeap`
+/// keyed `(time, seq)`.
+fn queue_churn_heap(ops: u64) -> u64 {
+    const DELTAS: [u64; 5] = [5, 5, 10, 0, 500];
+    let mut q: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut now = 0u64;
+    for i in 0..64u64 {
+        q.push(Reverse((now + DELTAS[(i % 5) as usize], seq)));
+        seq += 1;
+    }
+    let mut acc = 0u64;
+    for i in 0..ops {
+        let Reverse((at, _)) = q.pop().expect("queue stays warm");
+        now = at;
+        acc = acc.wrapping_add(at);
+        q.push(Reverse((now + DELTAS[(i % 5) as usize], seq)));
+        seq += 1;
+    }
+    std::hint::black_box(acc);
+    ops
+}
+
+fn main() -> ExitCode {
+    let opts = parse_opts();
+    let (windows, window_secs) = if opts.quick { (3, 0.12) } else { (5, 0.5) };
+    let mut report = PerfReport {
+        mode: if opts.quick { "quick" } else { "full" },
+        ..PerfReport::default()
+    };
+
+    println!("engine_throughput ({} mode, best of {windows} windows × {window_secs}s)", report.mode);
+
+    // Queue micro-bench.
+    const QUEUE_OPS: u64 = 200_000;
+    for (name, routine) in [
+        ("calendar", queue_churn_calendar as fn(u64) -> u64),
+        ("binary_heap", queue_churn_heap as fn(u64) -> u64),
+    ] {
+        if opts.filter.as_deref().is_some_and(|f| !name.contains(f)) {
+            continue;
+        }
+        let ops_per_sec = best_window(windows, window_secs, || routine(QUEUE_OPS));
+        println!("queue/{name:<24} {:>12.0} ops/sec", ops_per_sec);
+        report.queue.push(QueueRecord { name, ops_per_sec });
+    }
+
+    // Engine matrix: all 8 algorithms × N ∈ {10, 30, 50}, burst workload.
+    for algo in Algo::all() {
+        for n in SIZES {
+            let id = format!("{}/{}", algo.name(), n);
+            if opts.filter.as_deref().is_some_and(|f| !id.contains(f)) {
+                continue;
+            }
+            let rec = bench_engine(algo, n, windows, window_secs);
+            println!(
+                "engine/{:<20} N={n:<3} {:>6} events/run {:>12.0} events/sec",
+                algo.name(),
+                rec.events_per_run,
+                rec.events_per_sec
+            );
+            report.engine.push(rec);
+        }
+    }
+
+    if let Err(e) = report.write(&opts.out) {
+        eprintln!("failed to write {}: {e}", opts.out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", opts.out.display());
+
+    // Regression gate against the checked-in baseline.
+    if let Some(mut path) = opts.baseline {
+        // `cargo bench` runs the binary with the package as cwd; fall back
+        // to resolving relative paths against the workspace root so the
+        // obvious `--baseline crates/bench/baseline/...` invocation works
+        // from either place.
+        if path.is_relative() && !path.exists() {
+            let from_root =
+                PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")).join(&path);
+            if from_root.exists() {
+                path = from_root;
+            }
+        }
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read baseline {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(baseline) = parse_gate_metric(&text) else {
+            eprintln!("baseline {} has no gate metric", path.display());
+            return ExitCode::FAILURE;
+        };
+        let Some(current) = report.gate_metric() else {
+            eprintln!("this run did not measure the N=30 RCV burst (filtered out?)");
+            return ExitCode::FAILURE;
+        };
+        let floor = baseline * GATE_FRACTION;
+        println!(
+            "gate: N=30 RCV burst {current:.0} events/sec vs baseline {baseline:.0} \
+             (floor {floor:.0})"
+        );
+        if current < floor {
+            eprintln!(
+                "REGRESSION: N=30 RCV burst fell below {}% of baseline \
+                 ({current:.0} < {floor:.0} events/sec)",
+                (GATE_FRACTION * 100.0) as u32
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -6,13 +6,20 @@
 //!   the paper (`cargo run -p rcv-bench --release --bin repro -- all`);
 //! * the **criterion benches** — `cargo bench -p rcv-bench`, one bench
 //!   group per paper figure plus the forwarding-policy ablation and the
-//!   procedure microbenchmarks.
+//!   procedure microbenchmarks;
+//! * the **throughput bench** — `cargo bench -p rcv-bench --bench
+//!   engine_throughput`: events/sec for every algorithm on the paper's
+//!   constant-delay burst, written as machine-readable
+//!   `BENCH_RESULTS.json` (see [`perf`]) and gated in CI against
+//!   `crates/bench/baseline/engine_throughput.json`.
 //!
 //! This library only hosts the small amount of shared helper code; the
 //! interesting logic lives in `rcv-workload`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod perf;
 
 use rcv_workload::Table;
 

@@ -1,0 +1,220 @@
+//! Machine-readable performance reporting for the throughput bench.
+//!
+//! The `engine_throughput` bench measures events/sec and writes its results
+//! as `BENCH_RESULTS.json` at the repository root, so the performance
+//! trajectory is trackable across PRs (and CI can gate on regressions
+//! against a checked-in baseline). The container vendors no serde, so the
+//! tiny JSON surface here is hand-rolled: flat objects, string/number
+//! fields, stable key order.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Version tag of the emitted JSON layout.
+pub const SCHEMA: &str = "rcv-engine-throughput/v1";
+
+/// The JSON key the CI regression gate reads, both from `BENCH_RESULTS.json`
+/// and from the checked-in baseline file.
+pub const GATE_KEY: &str = "rcv_burst_n30_events_per_sec";
+
+/// Events/sec of one `(algorithm, N, workload)` cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineRecord {
+    /// Algorithm display name (figure-legend form, e.g. `"RCV (ours)"`).
+    pub algorithm: String,
+    /// System size `N`.
+    pub n: usize,
+    /// Workload label (`"burst"` for the paper's Figure 4/5 scenario).
+    pub workload: &'static str,
+    /// Exact event count of the seed-1 run (a determinism check as much as
+    /// a stat: it must not drift between hosts or PRs unless semantics
+    /// change).
+    pub events_per_run: u64,
+    /// Best-window throughput in events per second.
+    pub events_per_sec: f64,
+}
+
+/// Ops/sec of one event-queue micro-benchmark.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueueRecord {
+    /// Queue implementation label.
+    pub name: &'static str,
+    /// Best-window schedule+pop pairs per second.
+    pub ops_per_sec: f64,
+}
+
+/// Everything one bench invocation measured.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PerfReport {
+    /// `"quick"` (CI) or `"full"`.
+    pub mode: &'static str,
+    /// Queue micro-benchmarks.
+    pub queue: Vec<QueueRecord>,
+    /// Engine throughput matrix.
+    pub engine: Vec<EngineRecord>,
+}
+
+impl PerfReport {
+    /// The gate metric: events/sec of the RCV N=30 burst, if measured.
+    pub fn gate_metric(&self) -> Option<f64> {
+        self.engine
+            .iter()
+            .find(|r| r.algorithm.starts_with("RCV") && r.n == 30 && r.workload == "burst")
+            .map(|r| r.events_per_sec)
+    }
+
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": {},", json_str(SCHEMA));
+        let _ = writeln!(s, "  \"mode\": {},", json_str(self.mode));
+        if let Some(gate) = self.gate_metric() {
+            let _ = writeln!(s, "  \"{GATE_KEY}\": {},", json_num(gate));
+        }
+        s.push_str("  \"queue\": [\n");
+        for (i, q) in self.queue.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"name\": {}, \"ops_per_sec\": {}}}",
+                json_str(q.name),
+                json_num(q.ops_per_sec)
+            );
+            s.push_str(if i + 1 < self.queue.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ],\n  \"engine\": [\n");
+        for (i, r) in self.engine.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"algorithm\": {}, \"n\": {}, \"workload\": {}, \
+                 \"events_per_run\": {}, \"events_per_sec\": {}}}",
+                json_str(&r.algorithm),
+                r.n,
+                json_str(r.workload),
+                r.events_per_run,
+                json_num(r.events_per_sec)
+            );
+            s.push_str(if i + 1 < self.engine.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Writes the JSON report to `path`.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Escapes a string for a JSON string literal (quotes, backslashes and
+/// control characters; the identifiers here are ASCII).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a throughput number: JSON-safe (no NaN/inf), one decimal — the
+/// noise floor is far above 0.1 events/sec.
+pub fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.1}")
+    } else {
+        "0.0".into()
+    }
+}
+
+/// Pulls `GATE_KEY` out of a baseline/results JSON without a parser: finds
+/// the key, then reads the number after the colon. Returns `None` when the
+/// key is absent or malformed.
+pub fn parse_gate_metric(json: &str) -> Option<f64> {
+    let at = json.find(&format!("\"{GATE_KEY}\""))?;
+    let rest = &json[at..];
+    let colon = rest.find(':')?;
+    let tail = rest[colon + 1..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PerfReport {
+        PerfReport {
+            mode: "quick",
+            queue: vec![
+                QueueRecord { name: "calendar", ops_per_sec: 1e7 },
+                QueueRecord { name: "binary_heap", ops_per_sec: 5e6 },
+            ],
+            engine: vec![
+                EngineRecord {
+                    algorithm: "RCV (ours)".into(),
+                    n: 30,
+                    workload: "burst",
+                    events_per_run: 540,
+                    events_per_sec: 160000.5,
+                },
+                EngineRecord {
+                    algorithm: "Ricart".into(),
+                    n: 10,
+                    workload: "burst",
+                    events_per_run: 1000,
+                    events_per_sec: 2e6,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn gate_metric_finds_the_rcv_n30_burst() {
+        assert_eq!(sample().gate_metric(), Some(160000.5));
+        let mut r = sample();
+        r.engine.remove(0);
+        assert_eq!(r.gate_metric(), None);
+    }
+
+    #[test]
+    fn json_roundtrips_the_gate_metric() {
+        let json = sample().to_json();
+        assert!(json.contains("\"schema\": \"rcv-engine-throughput/v1\""));
+        assert!(json.contains("\"algorithm\": \"RCV (ours)\""));
+        assert_eq!(parse_gate_metric(&json), Some(160000.5));
+    }
+
+    #[test]
+    fn parse_handles_missing_and_garbage() {
+        assert_eq!(parse_gate_metric("{}"), None);
+        assert_eq!(parse_gate_metric("{\"rcv_burst_n30_events_per_sec\": \"oops\"}"), None);
+        assert_eq!(
+            parse_gate_metric("{ \"rcv_burst_n30_events_per_sec\" :  112310.0 , \"x\": 1}"),
+            Some(112310.0)
+        );
+    }
+
+    #[test]
+    fn json_str_escapes() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("tab\there"), "\"tab\\u0009here\"");
+    }
+
+    #[test]
+    fn json_num_is_finite() {
+        assert_eq!(json_num(f64::NAN), "0.0");
+        assert_eq!(json_num(1.25), "1.2");
+    }
+}

@@ -54,32 +54,38 @@ pub fn exchange(si: &mut Si, body: &mut MsgBody, em_for: Option<&ReqTuple>) -> E
     debug_assert_eq!(si.n(), body.msit.n(), "SI and message disagree on system size");
     let mut out = ExchangeOutcome::default();
 
-    // --- Lines 1-2: prune from MONL requests the receiver knows completed.
-    // (Everything ordered before a completed request completed as well, so
-    // the *last* matching tuple drags its whole prefix out.)
-    if let Some(last) = body
-        .monl
-        .iter()
-        .rev()
-        .find(|a| !si.nonl.contains(a) && si.knows_completed(a))
-        .copied()
-    {
-        out.monl_pruned = body.monl.remove_through(&last);
-    }
+    // When the two ordered lists are identical (the common synced case),
+    // every tuple is a member of both sides, so neither prune below can
+    // match — skip the quadratic membership scans outright.
+    if body.monl != si.nonl {
+        // --- Lines 1-2: prune from MONL requests the receiver knows
+        // completed. (Everything ordered before a completed request
+        // completed as well, so the *last* matching tuple drags its whole
+        // prefix out.)
+        if let Some(last) = body
+            .monl
+            .iter()
+            .rev()
+            .find(|a| !si.nonl.contains(a) && si.knows_completed(a))
+            .copied()
+        {
+            out.monl_pruned = body.monl.remove_through(&last);
+        }
 
-    // --- Lines 3-4: symmetric prune of the local NONL using the message's
-    // fresher knowledge.
-    if let Some(last) = si
-        .nonl
-        .iter()
-        .rev()
-        .find(|b| {
-            let row = body.msit.row(b.node);
-            !body.monl.contains(b) && row.ts >= b.ts && !row.mnl.contains(b)
-        })
-        .copied()
-    {
-        out.nonl_pruned = si.nonl.remove_through(&last);
+        // --- Lines 3-4: symmetric prune of the local NONL using the
+        // message's fresher knowledge.
+        if let Some(last) = si
+            .nonl
+            .iter()
+            .rev()
+            .find(|b| {
+                let row = body.msit.row(b.node);
+                !body.monl.contains(b) && row.ts >= b.ts && !row.mnl.contains(b)
+            })
+            .copied()
+        {
+            out.nonl_pruned = si.nonl.remove_through(&last);
+        }
     }
 
     // --- EM cleanup: the granted request's predecessors have all finished.
@@ -99,72 +105,84 @@ pub fn exchange(si: &mut Si, body: &mut MsgBody, em_for: Option<&ReqTuple>) -> E
             si.nonl.append(t);
         }
     } else if body.monl.len() > si.nonl.len() {
-        let newly: Vec<ReqTuple> = body.monl.difference(&si.nonl).copied().collect();
-        for t in &newly {
+        // Prefix-consistent (just checked) and duplicate-free by
+        // construction, so the difference is exactly the suffix beyond the
+        // shorter list — no quadratic membership scan, and the adoption
+        // reuses the local list's allocation.
+        for t in body.monl.iter().skip(si.nonl.len()) {
             si.nsit.delete_everywhere(t);
         }
-        si.nonl = body.monl.clone();
+        si.nonl.assign_from(&body.monl);
         out.adopted_monl = true;
     } else if si.nonl.len() > body.monl.len() {
-        let newly: Vec<ReqTuple> = si.nonl.difference(&body.monl).copied().collect();
-        for t in &newly {
+        for t in si.nonl.iter().skip(body.monl.len()) {
             body.msit.delete_everywhere(t);
         }
-        body.monl = si.nonl.clone();
+        body.monl.assign_from(&si.nonl);
     }
 
-    // --- Lines 13-22: row-wise NSIT reconciliation.
-    for k in rcv_simnet::NodeId::all(si.n()) {
-        let local_ts = si.nsit.row(k).ts;
-        let msg_ts = body.msit.row(k).ts;
+    // --- Lines 13-22: row-wise NSIT reconciliation. Split-borrow the two
+    // sides so adoptions can copy row contents in place (reusing the
+    // destination's allocation) while consulting the other side's lists.
+    let n = si.n();
+    // Per-node MONL timestamps: each adoption-prune probe below becomes
+    // an O(1) compare, with the exact linear probe as fallback when the
+    // one-entry-per-node invariant is violated.
+    let (monl_map, monl_unique) = body.monl.ts_by_node(n);
+    let si_nsit = &mut si.nsit;
+    let MsgBody { monl: body_monl, msit: body_msit } = body;
+    for k in rcv_simnet::NodeId::all(n) {
+        let local_ts = si_nsit.row(k).ts;
+        let msg_ts = body_msit.row(k).ts;
         if local_ts == msg_ts {
             // Equal version ⇒ same append-set; apply both deletion sets.
-            let inter = {
-                let local = &si.nsit.row(k).mnl;
-                let msg = &body.msit.row(k).mnl;
-                local.iter().filter(|t| msg.contains(t)).copied().collect::<crate::mnl::Mnl>()
-            };
-            si.nsit.row_mut(k).mnl = inter.clone();
-            body.msit.row_mut(k).mnl = inter;
+            // When the two copies are already identical (by far the common
+            // case — most rows are in sync or empty) the intersection is a
+            // no-op, so skip the rebuild; this is the hottest line of the
+            // whole simulation.
+            if si_nsit.row(k).mnl != body_msit.row(k).mnl {
+                // Intersect the local copy in place, then mirror it.
+                si_nsit.row_mut(k).mnl.intersect(&body_msit.row(k).mnl);
+                body_msit.row_mut(k).mnl.assign_from(&si_nsit.row(k).mnl);
+            }
         } else if local_ts < msg_ts {
             // Lines 15-16: the fresher copy no longer lists k's own request
             // that the stale copy still carries ⇒ that request finished;
             // purge it everywhere locally.
-            if let Some(own) = si.nsit.row(k).mnl.tuple_of(k) {
-                if !body.msit.row(k).mnl.contains(&own) {
-                    si.nsit.delete_everywhere(&own);
+            if let Some(own) = si_nsit.row(k).mnl.tuple_of(k) {
+                if !body_msit.row(k).mnl.contains(&own) {
+                    si_nsit.delete_everywhere(&own);
                 }
             }
-            // Lines 19-20: adopt the fresher row wholesale, then drop
-            // anything we already know is ordered (it must not vote again).
-            let mut fresh = body.msit.row(k).clone();
-            let ordered: Vec<ReqTuple> =
-                fresh.mnl.iter().filter(|t| si.nonl.contains(t)).copied().collect();
-            for t in ordered {
-                fresh.mnl.remove(&t);
-            }
-            *si.nsit.row_mut(k) = fresh;
+            // Lines 19-20: adopt the fresher row wholesale. The paper also
+            // drops already-ordered tuples here; the final normalization
+            // pass below scrubs every NONL member out of every local MNL,
+            // and nothing reads the SI between this loop and that pass, so
+            // the explicit prune is elided on this side.
+            let dst = si_nsit.row_mut(k);
+            dst.ts = msg_ts;
+            dst.mnl.assign_from(&body_msit.row(k).mnl);
             out.rows_adopted += 1;
         } else {
             // Mirror of lines 17-18 + 19-20 in the other direction.
-            if let Some(own) = body.msit.row(k).mnl.tuple_of(k) {
-                if !si.nsit.row(k).mnl.contains(&own) {
-                    body.msit.delete_everywhere(&own);
+            if let Some(own) = body_msit.row(k).mnl.tuple_of(k) {
+                if !si_nsit.row(k).mnl.contains(&own) {
+                    body_msit.delete_everywhere(&own);
                 }
             }
-            let mut fresh = si.nsit.row(k).clone();
-            let ordered: Vec<ReqTuple> =
-                fresh.mnl.iter().filter(|t| body.monl.contains(t)).copied().collect();
-            for t in ordered {
-                fresh.mnl.remove(&t);
+            let dst = body_msit.row_mut(k);
+            dst.ts = local_ts;
+            dst.mnl.assign_from(&si_nsit.row(k).mnl);
+            if monl_unique {
+                dst.mnl.remove_where(|t| monl_map[t.node.index()] == Some(t.ts));
+            } else {
+                dst.mnl.remove_where(|t| body_monl.contains(t));
             }
-            *body.msit.row_mut(k) = fresh;
         }
     }
 
     // --- Normalization: ordered tuples never vote; zombies are purged.
-    si.scrub_ordered_from_mnls();
-    out.zombies_purged = si.purge_completed().len();
+    out.zombies_purged = si.normalize_after_merge();
     out
 }
 

@@ -79,6 +79,25 @@ impl Mnl {
         self.items.len() != before
     }
 
+    /// Removes every tuple matching `pred` in one pass, preserving the
+    /// order of survivors. Returns how many tuples were removed.
+    ///
+    /// Equivalent to calling [`Mnl::remove`] for each matching tuple, but
+    /// rewrites the list once instead of once per removal — this sits on
+    /// the Exchange procedure's per-message path.
+    pub fn remove_where(&mut self, mut pred: impl FnMut(&ReqTuple) -> bool) -> usize {
+        let before = self.items.len();
+        self.items.retain(|x| !pred(x));
+        before - self.items.len()
+    }
+
+    /// Overwrites `self` with `other`'s contents, reusing the existing
+    /// allocation. The Exchange procedure adopts fresher row copies on
+    /// every message; a fresh clone per adoption would churn the allocator.
+    pub fn assign_from(&mut self, other: &Mnl) {
+        self.items.clone_from(&other.items);
+    }
+
     /// Keeps only tuples also present in `other`, preserving order.
     ///
     /// Used when two copies of the same row carry the same version: the
@@ -120,6 +139,15 @@ impl Mnl {
     /// Rough serialized size (for the wire-size metric).
     pub fn wire_size(&self) -> usize {
         self.items.len() * 12
+    }
+}
+
+#[cfg(test)]
+impl Mnl {
+    /// Test-only: builds a list bypassing `push`'s Lemma 1 enforcement,
+    /// for exercising the invariant-violation fallback paths.
+    pub(crate) fn from_raw(items: Vec<ReqTuple>) -> Self {
+        Mnl { items }
     }
 }
 

@@ -54,6 +54,11 @@ impl Nsit {
         self.rows.iter().enumerate().map(|(i, r)| (NodeId::new(i as u32), r))
     }
 
+    /// Iterates rows mutably, in node order.
+    pub fn rows_mut(&mut self) -> impl Iterator<Item = &mut NsitRow> {
+        self.rows.iter_mut()
+    }
+
     /// Largest version across all rows (MPM line 36 uses `max(...)+1`).
     pub fn max_ts(&self) -> u64 {
         self.rows.iter().map(|r| r.ts).max().unwrap_or(0)

@@ -48,13 +48,80 @@ struct Ranking {
     s1: usize,
     s2: usize,
     runner_id: Option<rcv_simnet::NodeId>,
+    /// Total votes cast (= number of non-empty rows); the paper's
+    /// `N − Σ S_h` unknown count is `n − votes_total`, saving a second
+    /// table scan per round.
+    votes_total: usize,
 }
 
 /// Builds the ranked candidate sequence `{TP_h}` from the current votes.
-fn rank(si: &Si) -> Option<Ranking> {
+/// `by_node` is caller-provided scratch, reused across the ordering loop's
+/// iterations (one allocation per Order invocation instead of per round).
+///
+/// Fast path: candidates almost always concern distinct nodes (a node has
+/// one outstanding request), so votes accumulate into a per-node slot and
+/// the leader/runner-up fall out of a single top-2 pass under the exact
+/// ranking comparator `(votes desc, node asc)` — no sort, no per-vote
+/// candidate scan. Two distinct tuples of one node (possible only through
+/// stale copies) fall back to the original sort-based ranking, whose
+/// stable insertion-order semantics are preserved verbatim.
+fn rank(si: &Si, by_node: &mut Vec<(u64, usize)>) -> Option<Ranking> {
+    let n = si.nsit.n();
+    by_node.clear();
+    by_node.resize(n, (0, 0));
+    let mut votes_total = 0;
+    for vote in si.nsit.votes() {
+        votes_total += 1;
+        let slot = &mut by_node[vote.node.index()];
+        if slot.1 == 0 {
+            *slot = (vote.ts, 1);
+        } else if slot.0 == vote.ts {
+            slot.1 += 1;
+        } else {
+            return rank_slow(si);
+        }
+    }
+    // Top-2 by (votes desc, node asc); node-ascending iteration means a
+    // later candidate only displaces an earlier one with strictly more
+    // votes, exactly the sorted order's tie-breaking.
+    let mut best: Option<(ReqTuple, usize)> = None;
+    let mut second: Option<(ReqTuple, usize)> = None;
+    for (j, &(ts, c)) in by_node.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let cand = (ReqTuple::new(rcv_simnet::NodeId::new(j as u32), ts), c);
+        match best {
+            None => best = Some(cand),
+            Some(b) if cand.1 > b.1 => {
+                second = best;
+                best = Some(cand);
+            }
+            _ => match second {
+                None => second = Some(cand),
+                Some(s) if cand.1 > s.1 => second = Some(cand),
+                _ => {}
+            },
+        }
+    }
+    let (leader, s1) = best?;
+    Some(Ranking {
+        leader,
+        s1,
+        s2: second.map_or(0, |r| r.1),
+        runner_id: second.map(|r| r.0.node),
+        votes_total,
+    })
+}
+
+/// The original sort-based ranking, kept for the same-node-candidates
+/// corner case and as the reference implementation.
+fn rank_slow(si: &Si) -> Option<Ranking> {
     // (tuple, votes); insertion keeps this deterministic.
     let mut counts: Vec<(ReqTuple, usize)> = Vec::new();
+    let mut votes_total = 0;
     for vote in si.nsit.votes() {
+        votes_total += 1;
         match counts.iter_mut().find(|(t, _)| *t == vote) {
             Some((_, c)) => *c += 1,
             None => counts.push((vote, 1)),
@@ -68,6 +135,7 @@ fn rank(si: &Si) -> Option<Ranking> {
         s1,
         s2: runner.map_or(0, |r| r.1),
         runner_id: runner.map(|r| r.0.node),
+        votes_total,
     })
 }
 
@@ -98,8 +166,12 @@ pub fn order(si: &mut Si, home: ReqTuple) -> OrderOutcome {
         si.nsit.delete_everywhere(&home);
         out.home_ordered = true;
     } else {
-        while let Some(r) = rank(si) {
-            let unknowns = si.nsit.empty_rows();
+        let n = si.nsit.n();
+        let mut by_node: Vec<(u64, usize)> = Vec::new();
+        while let Some(r) = rank(si, &mut by_node) {
+            // Every non-empty row casts exactly one vote, so the unknown
+            // count (rows with empty MNLs) falls out of the rank pass.
+            let unknowns = n - r.votes_total;
             if !orderable(&r, unknowns) {
                 break;
             }

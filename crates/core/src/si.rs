@@ -50,8 +50,25 @@ impl Si {
     /// row copies from nodes that had not yet heard of an ordering.
     /// Returns the number of deletions performed.
     pub fn scrub_ordered_from_mnls(&mut self) -> usize {
-        let ordered: Vec<ReqTuple> = self.nonl.iter().copied().collect();
-        ordered.iter().map(|t| self.nsit.delete_everywhere(t)).sum()
+        // One retain pass per row (instead of one per ordered tuple per
+        // row): this runs once per received message. Membership in the
+        // NONL is tested through a per-node timestamp table — the NONL
+        // holds at most one entry per node (a node has one outstanding
+        // request), which turns each probe into an O(1) compare instead of
+        // a list walk. Should that invariant ever not hold, fall back to
+        // the exact linear probe rather than silently mis-scrub.
+        let Si { nonl, nsit, .. } = self;
+        if nonl.is_empty() {
+            return 0;
+        }
+        let (by_node, unique) = nonl.ts_by_node(nsit.n());
+        if unique {
+            nsit.rows_mut()
+                .map(|r| r.mnl.remove_where(|t| by_node[t.node.index()] == Some(t.ts)))
+                .sum()
+        } else {
+            nsit.rows_mut().map(|r| r.mnl.remove_where(|t| nonl.contains(t))).sum()
+        }
     }
 
     /// Purges tuples with completion evidence from every MNL (repair #3 in
@@ -59,14 +76,119 @@ impl Si {
     /// already-finished requests back in; left alone they could vote, win an
     /// ordering and wedge the EM chain). Returns the purged tuples.
     pub fn purge_completed(&mut self) -> Vec<ReqTuple> {
-        let mut purged = Vec::new();
-        for t in self.nsit.distinct_tuples() {
-            if self.knows_completed(&t) {
-                self.nsit.delete_everywhere(&t);
-                purged.push(t);
+        // Filter-first variant of "for t in distinct_tuples(): if completed,
+        // purge". Completion evidence for `t = <j, ts>` only involves row j
+        // and the NONL ([`Si::knows_completed`]), and by Lemma 1 row j holds
+        // at most one tuple of node j — so precomputing each home row's
+        // `(ts, own tuple)` makes the occurrence scan O(1) per tuple, where
+        // the naive form re-walked the home MNL for every occurrence. The
+        // checks are independent of the deletions (removing one zombie
+        // cannot create or destroy evidence for another), so filtering
+        // everything first yields the same purge set in the same
+        // first-occurrence order as the original check-and-delete loop.
+        if self.nsit.iter().all(|(_, r)| r.mnl.is_empty()) {
+            return Vec::new();
+        }
+        let mut purged: Vec<ReqTuple> = Vec::new();
+        match self.home_facts() {
+            Some(home) => {
+                for (_, row) in self.nsit.iter() {
+                    for t in row.mnl.iter() {
+                        let (home_ts, own) = home[t.node.index()];
+                        if home_ts >= t.ts
+                            && own != Some(*t)
+                            && !purged.contains(t)
+                            && !self.nonl.contains(t)
+                        {
+                            purged.push(*t);
+                        }
+                    }
+                }
+            }
+            // Lemma 1 violated somewhere: use the exact per-occurrence
+            // probe rather than trust the precomputed own-tuple.
+            None => {
+                for (_, row) in self.nsit.iter() {
+                    for t in row.mnl.iter() {
+                        if !purged.contains(t) && self.knows_completed(t) {
+                            purged.push(*t);
+                        }
+                    }
+                }
             }
         }
+        for t in &purged {
+            self.nsit.delete_everywhere(t);
+        }
         purged
+    }
+
+    /// Per-node `(home row ts, home row's own tuple)` for the O(1)
+    /// completion-evidence check — valid only under Lemma 1 (at most one
+    /// tuple of node j in row j). Returns `None` when that invariant is
+    /// violated so callers can fall back to exact probes.
+    fn home_facts(&self) -> Option<Vec<(u64, Option<ReqTuple>)>> {
+        let mut home: Vec<(u64, Option<ReqTuple>)> = Vec::with_capacity(self.nsit.n());
+        for (j, row) in self.nsit.iter() {
+            let mut own: Option<ReqTuple> = None;
+            for t in row.mnl.iter().filter(|t| t.node == j) {
+                if own.is_some() {
+                    return None;
+                }
+                own = Some(*t);
+            }
+            home.push((row.ts, own));
+        }
+        Some(home)
+    }
+
+    /// Post-merge normalization: removes ordered tuples from every MNL
+    /// ([`Si::scrub_ordered_from_mnls`]) and purges tuples with completion
+    /// evidence ([`Si::purge_completed`]) in a **single table pass**,
+    /// returning the number of zombies purged. This pair runs at the tail
+    /// of every Exchange — the hottest loop of the whole simulation — so
+    /// the fused form matters.
+    ///
+    /// Equivalence to `scrub(); purge().len()`: scrub only removes exact
+    /// NONL members, which the purge pass skips anyway (`t ∉ NONL` is part
+    /// of the completion evidence), and completion evidence for a tuple
+    /// depends only on its home row's `(ts, own tuple)` and the NONL —
+    /// none of which scrub's removals can change (an ordered own-tuple is
+    /// itself a NONL member, excluded either way). Every occurrence of a
+    /// zombie satisfies the same occurrence-independent conditions, so
+    /// removing them inline equals the deferred `delete_everywhere`.
+    pub fn normalize_after_merge(&mut self) -> usize {
+        let n = self.nsit.n();
+        // Per-node facts: the node's NONL entry timestamp (O(1) ordered
+        // probe) and its home-row `(ts, own tuple)` (O(1) completion
+        // evidence, Lemma 1). Both lossy under invariant violations, so
+        // either failing routes to the exact two-pass fallback.
+        let (nonl_ts, unique) = self.nonl.ts_by_node(n);
+        let home = if unique { self.home_facts() } else { None };
+        let Some(home) = home else {
+            // Either the NONL or Lemma 1 invariant is violated (never by
+            // the shipped algorithms): take the exact two-pass route.
+            self.scrub_ordered_from_mnls();
+            return self.purge_completed().len();
+        };
+        let mut purged: Vec<ReqTuple> = Vec::new();
+        for row in self.nsit.rows_mut() {
+            row.mnl.remove_where(|t| {
+                let j = t.node.index();
+                if nonl_ts[j] == Some(t.ts) {
+                    return true; // ordered: must not keep voting
+                }
+                let (home_ts, own) = home[j];
+                if home_ts >= t.ts && own != Some(*t) {
+                    if !purged.contains(t) {
+                        purged.push(*t);
+                    }
+                    return true; // completion evidence: zombie
+                }
+                false
+            });
+        }
+        purged.len()
     }
 
     /// Structural invariants bundled for tests/property checks.
@@ -151,6 +273,25 @@ mod tests {
         let purged = si.purge_completed();
         assert_eq!(purged, vec![zombie]);
         assert!(!si.nsit.contains_anywhere(&zombie));
+    }
+
+    #[test]
+    fn purge_survives_lemma1_violation() {
+        // Corrupt state: row 1 holds TWO of its own tuples. The fast path's
+        // precomputed own-tuple would see only <1,1> and wrongly purge the
+        // live <1,2>; the guard must route to the exact probe, which keeps
+        // any tuple still listed in its home row.
+        let mut si = Si::new(3);
+        let row1 = si.nsit.row_mut(NodeId::new(1));
+        row1.ts = 2;
+        row1.mnl = crate::mnl::Mnl::from_raw(vec![t(1, 1), t(1, 2)]);
+        si.nsit.row_mut(NodeId::new(2)).mnl.push(t(1, 2));
+        let purged = si.purge_completed();
+        assert!(purged.is_empty(), "live request must survive: purged {purged:?}");
+        assert!(si.nsit.contains_anywhere(&t(1, 2)));
+        // Same state through the fused pass: identical outcome.
+        assert_eq!(si.normalize_after_merge(), 0);
+        assert!(si.nsit.contains_anywhere(&t(1, 2)));
     }
 
     #[test]

@@ -65,6 +65,17 @@ impl DelayModel {
         }
     }
 
+    /// Largest delay this model can produce, in ticks. Used by the engine
+    /// to size the calendar queue's bucket ring so every delivery takes the
+    /// O(1) path.
+    pub fn max_ticks(&self) -> u64 {
+        match *self {
+            DelayModel::Constant(d) => d.ticks(),
+            DelayModel::Uniform { max, .. } => max.ticks(),
+            DelayModel::Exponential { cap, .. } => cap.max(1),
+        }
+    }
+
     /// Mean delay in ticks, used by analytic cross-checks.
     pub fn mean_ticks(&self) -> f64 {
         match *self {
@@ -102,6 +113,7 @@ mod tests {
         }
         assert!(!m.can_reorder());
         assert_eq!(m.mean_ticks(), 5.0);
+        assert_eq!(m.max_ticks(), 5);
     }
 
     #[test]
@@ -122,6 +134,7 @@ mod tests {
         assert!(seen_low && seen_high, "uniform sampler never reached its bounds");
         assert!(m.can_reorder());
         assert_eq!(m.mean_ticks(), 5.0);
+        assert_eq!(m.max_ticks(), 8);
     }
 
     #[test]
@@ -142,6 +155,7 @@ mod tests {
             assert!((1..=20).contains(&d));
         }
         assert!(m.can_reorder());
+        assert_eq!(m.max_ticks(), 20);
     }
 
     #[test]

@@ -120,6 +120,12 @@ pub struct Engine<P: MutexProtocol, W: Workload> {
     in_cs: Vec<bool>,
     events: u64,
     trace: Trace,
+    /// Reusable dispatch scratch: a handler's outgoing messages. Drained
+    /// before `dispatch` returns (or recurses into `grant_cs`), so the
+    /// event loop allocates nothing per event in steady state.
+    outbox: Vec<(NodeId, <P as MutexProtocol>::Message)>,
+    /// Reusable dispatch scratch: a handler's armed timers.
+    timers: Vec<(SimDuration, u64)>,
 }
 
 impl<P: MutexProtocol, W: Workload> Engine<P, W> {
@@ -132,12 +138,17 @@ impl<P: MutexProtocol, W: Workload> Engine<P, W> {
         let net_rng = SmallRng::seed_from_u64(seeder.gen());
         let wl_rng = SmallRng::seed_from_u64(seeder.gen());
         let nodes = NodeId::all(cfg.n).map(|id| make_node(id, cfg.n)).collect();
+        // Size the calendar queue's O(1) window to the common scheduling
+        // distances: message delays (≤ Tn_max) and CS exits (Tc). Timers
+        // and far-future arrivals overflow to the heap, which is correct,
+        // just not O(1).
+        let horizon = cfg.delay.max_ticks().max(cfg.cs_duration.ticks());
         Engine {
             trace: Trace::with_capacity(cfg.trace_capacity),
             in_cs: vec![false; cfg.n],
             nodes,
             node_rngs,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_horizon(SimDuration::from_ticks(horizon)),
             net_rng,
             wl_rng,
             monitor: SafetyMonitor::new(),
@@ -146,6 +157,8 @@ impl<P: MutexProtocol, W: Workload> Engine<P, W> {
             sink: ArrivalSink::new(),
             events: 0,
             cfg,
+            outbox: Vec::new(),
+            timers: Vec::new(),
         }
     }
 
@@ -177,14 +190,17 @@ impl<P: MutexProtocol, W: Workload> Engine<P, W> {
         }
 
         let deadlocked = !truncated && self.metrics.outstanding() > 0;
+        let end_time = self.queue.now();
+        // Move (not clone) the monitor's accumulated vectors into the report.
+        let parts = self.monitor.into_parts();
         let report = SimReport {
-            end_time: self.queue.now(),
+            end_time,
             events: self.events,
             deadlocked,
             truncated,
-            violations: self.monitor.violations().to_vec(),
-            sync_gaps: self.monitor.sync_gaps().to_vec(),
-            cs_entries: self.monitor.entries(),
+            violations: parts.violations,
+            sync_gaps: parts.sync_gaps,
+            cs_entries: parts.entries,
             metrics: self.metrics,
             trace: self.trace,
         };
@@ -192,10 +208,11 @@ impl<P: MutexProtocol, W: Workload> Engine<P, W> {
     }
 
     fn flush_arrivals(&mut self) {
-        // Drain into a scratch vec to release the borrow on `self.sink`.
-        let pending: Vec<_> = self.sink.drain().collect();
-        for (at, node) in pending {
-            assert!(node.index() < self.cfg.n, "workload scheduled unknown node {node:?}");
+        // The sink and the queue are disjoint fields, so the drain feeds
+        // the queue directly — no intermediate collect.
+        let n = self.cfg.n;
+        for (at, node) in self.sink.drain() {
+            assert!(node.index() < n, "workload scheduled unknown node {node:?}");
             self.queue.schedule(at, EventKind::Arrival { node });
         }
     }
@@ -204,7 +221,9 @@ impl<P: MutexProtocol, W: Workload> Engine<P, W> {
         if self.cfg.faults.is_crashed(node, now) {
             return; // a crashed node issues nothing
         }
-        self.trace.record(TraceEvent::Arrival { at: now, node });
+        if self.trace.enabled() {
+            self.trace.record(TraceEvent::Arrival { at: now, node });
+        }
         assert!(
             !self.metrics.has_outstanding(node),
             "workload violated the one-outstanding-request rule for {node:?}"
@@ -216,7 +235,9 @@ impl<P: MutexProtocol, W: Workload> Engine<P, W> {
     fn handle_deliver(&mut self, from: NodeId, to: NodeId, msg: P::Message, now: SimTime) {
         if self.cfg.faults.is_crashed(to, now) {
             self.metrics.message_dropped();
-            self.trace.record(TraceEvent::Dropped { at: now, to });
+            if self.trace.enabled() {
+                self.trace.record(TraceEvent::Dropped { at: now, to });
+            }
             return;
         }
         if self.trace.enabled() {
@@ -233,7 +254,9 @@ impl<P: MutexProtocol, W: Workload> Engine<P, W> {
             return;
         }
         debug_assert!(self.in_cs[node.index()], "CsExit for a node not in the CS");
-        self.trace.record(TraceEvent::CsExit { at: now, node });
+        if self.trace.enabled() {
+            self.trace.record(TraceEvent::CsExit { at: now, node });
+        }
         self.in_cs[node.index()] = false;
         self.monitor.exit(node, now);
         self.metrics.cs_exited(node, now);
@@ -246,36 +269,46 @@ impl<P: MutexProtocol, W: Workload> Engine<P, W> {
         if self.cfg.faults.is_crashed(node, now) {
             return;
         }
-        self.trace.record(TraceEvent::Timer { at: now, node, tag });
+        if self.trace.enabled() {
+            self.trace.record(TraceEvent::Timer { at: now, node, tag });
+        }
         self.dispatch(node, now, |p, ctx| p.on_timer(tag, ctx));
     }
 
     /// Runs one protocol handler and materializes its intents.
+    ///
+    /// The handler's sends/timers land in the engine-owned scratch buffers
+    /// (`self.outbox`/`self.timers`), which are fully drained before this
+    /// returns — so the only recursion (`grant_cs` → `on_cs_granted`) sees
+    /// them empty and can reuse them, and steady-state dispatch performs no
+    /// allocation at all.
     fn dispatch(
         &mut self,
         node: NodeId,
         now: SimTime,
         f: impl FnOnce(&mut P, &mut Ctx<'_, P::Message>),
     ) {
-        let mut outbox: Vec<(NodeId, P::Message)> = Vec::new();
+        debug_assert!(
+            self.outbox.is_empty() && self.timers.is_empty(),
+            "dispatch re-entered with undrained scratch buffers"
+        );
         let mut enter = false;
-        let mut timers: Vec<(crate::SimDuration, u64)> = Vec::new();
         {
             let idx = node.index();
             let mut ctx = Ctx::new(
                 node,
                 now,
                 &mut self.node_rngs[idx],
-                &mut outbox,
+                &mut self.outbox,
                 &mut enter,
-                &mut timers,
+                &mut self.timers,
             );
             f(&mut self.nodes[idx], &mut ctx);
         }
-        for (delay, tag) in timers {
+        for (delay, tag) in self.timers.drain(..) {
             self.queue.schedule(now + delay, EventKind::Timer { node, tag });
         }
-        for (to, msg) in outbox {
+        for (to, msg) in self.outbox.drain(..) {
             assert!(to.index() < self.cfg.n, "{node:?} sent to unknown node {to:?}");
             if self.trace.enabled() {
                 self.trace.record(TraceEvent::Send {
@@ -312,7 +345,9 @@ impl<P: MutexProtocol, W: Workload> Engine<P, W> {
                 v.at, v.intruder, v.holder
             );
         }
-        self.trace.record(TraceEvent::CsEnter { at: now, node });
+        if self.trace.enabled() {
+            self.trace.record(TraceEvent::CsEnter { at: now, node });
+        }
         self.in_cs[node.index()] = true;
         self.metrics.cs_entered(node, now);
         let exit_at = now + self.cfg.cs_duration;

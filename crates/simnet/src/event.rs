@@ -1,10 +1,20 @@
 //! Simulation events and the deterministic event queue.
+//!
+//! The queue is a **calendar (bucket) queue**: a ring of per-tick FIFO
+//! buckets covering the near future, with a sorted overflow heap for
+//! far-future events. The paper's delay model (`Tn = 5`, `Tc = 10`,
+//! constant delay) schedules almost every event a small bounded distance
+//! ahead of the clock, so in steady state every `schedule`/`pop` is O(1)
+//! and allocation-free (bucket storage is reused across the run). Events
+//! beyond the horizon — protocol timers, fault plans, Poisson
+//! inter-arrival gaps — fall back to a binary heap, preserving exact
+//! `(time, seq)` order across both structures.
 
 use core::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::ids::NodeId;
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 
 /// What happens when an event fires.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -46,8 +56,9 @@ pub struct Event<M> {
     pub kind: EventKind<M>,
 }
 
-/// Heap entry; ordered by `(time, seq)` so that events that tie on time fire
-/// in insertion order, keeping runs bit-for-bit deterministic.
+/// Queue entry; carries the insertion sequence number so that events that
+/// tie on time fire in insertion order, keeping runs bit-for-bit
+/// deterministic.
 struct Scheduled<M> {
     at: SimTime,
     seq: u64,
@@ -72,13 +83,39 @@ impl<M> Ord for Scheduled<M> {
     }
 }
 
-/// Deterministic future-event list.
+/// Default near-future coverage when no horizon is given: enough for the
+/// paper's `max(Tn, Tc) = 10` with headroom.
+const DEFAULT_HORIZON_TICKS: u64 = 15;
+
+/// Hard cap on the bucket ring so a pathological horizon (e.g. a huge
+/// `cs_duration`) cannot balloon memory; everything past the ring simply
+/// uses the overflow heap.
+const MAX_BUCKETS: u64 = 4096;
+
+/// Deterministic future-event list (calendar queue).
 ///
-/// A thin wrapper over [`BinaryHeap`] that (a) tie-breaks equal timestamps by
-/// insertion sequence and (b) refuses (in debug builds) to schedule into the
-/// past, which would silently corrupt causality.
+/// Events within `horizon` ticks of the clock go into a ring of per-tick
+/// FIFO buckets (O(1) push/pop, storage reused); later events go into a
+/// sorted overflow heap. `pop` always yields the globally smallest
+/// `(time, seq)` pair, so (a) equal timestamps fire in insertion order and
+/// (b) a seed fully determines a run. Scheduling into the past is a
+/// causality bug in the caller and is rejected with a debug assertion.
 pub struct EventQueue<M> {
-    heap: BinaryHeap<Scheduled<M>>,
+    /// `buckets[t & mask]` holds the events at tick `t`; all entries of one
+    /// bucket share a tick because the ring only covers `[now, now + len)`
+    /// and ticks are fully drained before the window moves past them.
+    buckets: Vec<VecDeque<Scheduled<M>>>,
+    /// `buckets.len() - 1`; the length is a power of two.
+    mask: u64,
+    /// Events currently in the ring (not counting the overflow heap).
+    ring_len: usize,
+    /// Far-future events, min-ordered by `(time, seq)`.
+    overflow: BinaryHeap<Scheduled<M>>,
+    /// Lower bound on the earliest occupied ring tick: pops advance it to
+    /// the tick they found, schedules lower it when inserting earlier.
+    /// Keeps the next-tick scan amortized O(1) even when the ring is
+    /// large and sparsely occupied.
+    scan_from: u64,
     next_seq: u64,
     now: SimTime,
 }
@@ -90,9 +127,30 @@ impl<M> Default for EventQueue<M> {
 }
 
 impl<M> EventQueue<M> {
-    /// Creates an empty queue positioned at `t = 0`.
+    /// Creates an empty queue positioned at `t = 0` with a default
+    /// near-future horizon; use [`EventQueue::with_horizon`] to size the
+    /// ring to the actual scheduling distances of the workload.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+        Self::with_horizon(SimDuration::from_ticks(DEFAULT_HORIZON_TICKS))
+    }
+
+    /// Creates an empty queue whose bucket ring covers at least
+    /// `[now, now + horizon]`: every event scheduled at most `horizon`
+    /// ticks ahead is guaranteed the O(1) bucket path. The ring is rounded
+    /// up to a power of two and capped (far-future events are still
+    /// correct — they take the overflow heap).
+    pub fn with_horizon(horizon: SimDuration) -> Self {
+        let want = horizon.ticks().saturating_add(1).clamp(1, MAX_BUCKETS);
+        let len = want.next_power_of_two();
+        EventQueue {
+            buckets: (0..len).map(|_| VecDeque::new()).collect(),
+            mask: len - 1,
+            ring_len: 0,
+            overflow: BinaryHeap::new(),
+            scan_from: 0,
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 
     /// The time of the most recently popped event (the simulation clock).
@@ -102,35 +160,95 @@ impl<M> EventQueue<M> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.ring_len + self.overflow.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Schedules `kind` to fire at `at`.
     ///
     /// `at` must not precede the current clock; this is a causality bug in
-    /// the caller and is rejected with a debug assertion.
+    /// the caller and is rejected with a debug assertion (release builds
+    /// clamp to `now` rather than corrupt the ring).
     pub fn schedule(&mut self, at: SimTime, kind: EventKind<M>) {
         debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, kind });
+        let s = Scheduled { at, seq, kind };
+        if at.ticks() - self.now.ticks() < self.buckets.len() as u64 {
+            self.buckets[(at.ticks() & self.mask) as usize].push_back(s);
+            self.ring_len += 1;
+            self.scan_from = self.scan_from.min(at.ticks());
+        } else {
+            self.overflow.push(s);
+        }
+    }
+
+    /// Tick of the earliest non-empty bucket, if the ring holds anything.
+    ///
+    /// Every ring event lies in `[now, now + len)` — it was scheduled within
+    /// the horizon of a clock that has only moved forward since — and
+    /// `scan_from` is a lower bound on the earliest of them, so a bounded
+    /// scan from `max(now, scan_from)` finds the earliest occupied tick
+    /// without re-walking buckets earlier pops already saw empty. (Every
+    /// tick the scan visits is ≥ `now` and within one ring length of the
+    /// earliest event, so an occupied bucket it meets holds exactly that
+    /// tick's events — no modulo aliasing.)
+    fn next_ring_tick(&self) -> Option<u64> {
+        if self.ring_len == 0 {
+            return None;
+        }
+        let start = self.now.ticks().max(self.scan_from);
+        (start..start + self.buckets.len() as u64)
+            .find(|&t| !self.buckets[(t & self.mask) as usize].is_empty())
     }
 
     /// Pops the earliest event and advances the clock to its timestamp.
     pub fn pop(&mut self) -> Option<Event<M>> {
-        let s = self.heap.pop()?;
+        // The candidates: the FIFO front of the earliest non-empty bucket
+        // (minimal seq for its tick, since seq grows with insertion) and
+        // the overflow top. The smaller `(time, seq)` wins.
+        let ring_tick = self.next_ring_tick();
+        if let Some(t) = ring_tick {
+            // Cache the scan result: `t` is the earliest occupied ring
+            // tick, a valid lower bound until an earlier schedule lowers
+            // it — so overflow pops interleaved before a distant ring
+            // event don't re-walk the same empty buckets.
+            self.scan_from = t;
+        }
+        let from_overflow = match (ring_tick, self.overflow.peek()) {
+            (None, None) => return None,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (Some(t), Some(o)) => {
+                let front =
+                    self.buckets[(t & self.mask) as usize].front().expect("scanned non-empty");
+                (o.at.ticks(), o.seq) < (t, front.seq)
+            }
+        };
+        let s = if from_overflow {
+            self.overflow.pop().expect("peeked above")
+        } else {
+            let t = ring_tick.expect("ring candidate chosen");
+            self.ring_len -= 1;
+            self.buckets[(t & self.mask) as usize].pop_front().expect("scanned non-empty")
+        };
         self.now = s.at;
         Some(Event { at: s.at, kind: s.kind })
     }
 
     /// Timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+        let ring = self.next_ring_tick().map(SimTime::from_ticks);
+        let over = self.overflow.peek().map(|s| s.at);
+        match (ring, over) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 }
 
@@ -197,5 +315,98 @@ mod tests {
         // Zero-delay local events at the current instant are legal.
         q.schedule(q.now() + SimDuration::ZERO, EventKind::Arrival { node: NodeId::new(1) });
         assert_eq!(q.pop().unwrap().at, t(2));
+    }
+
+    #[test]
+    fn far_future_events_take_the_overflow_path_and_stay_ordered() {
+        let mut q: EventQueue<()> = EventQueue::with_horizon(SimDuration::from_ticks(4));
+        // Way beyond any horizon: timers / fault-plan style events.
+        q.schedule(t(10_000), EventKind::Timer { node: NodeId::new(0), tag: 1 });
+        q.schedule(t(500), EventKind::Timer { node: NodeId::new(0), tag: 2 });
+        q.schedule(t(2), EventKind::Arrival { node: NodeId::new(0) });
+        assert_eq!(q.len(), 3);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.ticks()).collect();
+        assert_eq!(order, vec![2, 500, 10_000]);
+    }
+
+    #[test]
+    fn ties_across_ring_and_overflow_respect_insertion_order() {
+        let mut q: EventQueue<()> = EventQueue::with_horizon(SimDuration::from_ticks(4));
+        // seq 0 lands in the overflow heap (beyond horizon at schedule time).
+        q.schedule(t(100), EventKind::Timer { node: NodeId::new(0), tag: 0 });
+        // Drain the clock close to t=100 so a bucket event can tie with it.
+        q.schedule(t(99), EventKind::Arrival { node: NodeId::new(9) });
+        assert_eq!(q.pop().unwrap().at, t(99));
+        // seq 2 at the same tick, but in the ring: must fire AFTER seq 0.
+        q.schedule(t(100), EventKind::Timer { node: NodeId::new(0), tag: 2 });
+        let tags: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { tag, .. } => tag,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tags, vec![0, 2]);
+    }
+
+    #[test]
+    fn ring_wraps_across_many_horizons() {
+        // Chain events far past the ring length; each pop schedules the
+        // next, exercising bucket reuse across hundreds of wraps.
+        let mut q: EventQueue<()> = EventQueue::with_horizon(SimDuration::from_ticks(8));
+        q.schedule(t(3), EventKind::Arrival { node: NodeId::new(0) });
+        let mut fired = Vec::new();
+        while let Some(e) = q.pop() {
+            fired.push(e.at.ticks());
+            if fired.len() < 300 {
+                q.schedule(e.at + SimDuration::from_ticks(7), EventKind::Arrival {
+                    node: NodeId::new(0),
+                });
+            }
+        }
+        assert_eq!(fired.len(), 300);
+        assert!(fired.windows(2).all(|w| w[1] == w[0] + 7));
+    }
+
+    #[test]
+    fn overflow_pops_interleaved_with_pending_ring_event() {
+        // Overflow events firing *before* a pending ring event exercise
+        // the scan-cursor path (the ring scan result outlives the
+        // overflow pops). Order must stay exact throughout.
+        let mut q: EventQueue<()> = EventQueue::with_horizon(SimDuration::from_ticks(7));
+        q.schedule(t(50), EventKind::Timer { node: NodeId::new(0), tag: 0 }); // overflow
+        q.schedule(t(60), EventKind::Timer { node: NodeId::new(0), tag: 1 }); // overflow
+        // Walk the clock to t=45 with a chain of near-future arrivals.
+        q.schedule(t(5), EventKind::Arrival { node: NodeId::new(1) });
+        while q.now().ticks() < 45 {
+            let e = q.pop().unwrap();
+            assert!(matches!(e.kind, EventKind::Arrival { .. }));
+            if e.at.ticks() < 45 {
+                q.schedule(e.at + SimDuration::from_ticks(5), EventKind::Arrival {
+                    node: NodeId::new(1),
+                });
+            }
+        }
+        // Pending now: overflow {50, 60} around a ring event at 52.
+        q.schedule(t(52), EventKind::Arrival { node: NodeId::new(2) });
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.ticks()).collect();
+        assert_eq!(order, vec![50, 52, 60]);
+    }
+
+    #[test]
+    fn zero_horizon_still_works() {
+        let mut q: EventQueue<()> = EventQueue::with_horizon(SimDuration::ZERO);
+        q.schedule(t(0), EventKind::Arrival { node: NodeId::new(0) });
+        q.schedule(t(5), EventKind::Arrival { node: NodeId::new(1) });
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.ticks()).collect();
+        assert_eq!(order, vec![0, 5]);
+    }
+
+    #[test]
+    fn peek_time_sees_both_structures() {
+        let mut q: EventQueue<()> = EventQueue::with_horizon(SimDuration::from_ticks(4));
+        q.schedule(t(1_000), EventKind::Timer { node: NodeId::new(0), tag: 0 });
+        assert_eq!(q.peek_time(), Some(t(1_000)));
+        q.schedule(t(2), EventKind::Arrival { node: NodeId::new(0) });
+        assert_eq!(q.peek_time(), Some(t(2)));
     }
 }

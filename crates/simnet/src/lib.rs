@@ -68,7 +68,7 @@ pub use event::{Event, EventKind, EventQueue};
 pub use faults::FaultPlan;
 pub use ids::NodeId;
 pub use metrics::{RequestRecord, SimMetrics};
-pub use monitor::{SafetyMonitor, Violation};
+pub use monitor::{MonitorParts, SafetyMonitor, Violation};
 pub use protocol::{Ctx, MutexProtocol, ProtocolMessage};
 pub use stats::Summary;
 pub use time::{SimDuration, SimTime};

@@ -50,8 +50,10 @@ pub struct SimMetrics {
     open: BTreeMap<NodeId, usize>,
     /// Total messages handed to the network.
     messages_sent: u64,
-    /// Message counts by protocol-defined class label.
-    by_class: BTreeMap<&'static str, u64>,
+    /// Message counts by protocol-defined class label. A protocol has a
+    /// handful of classes at most, so a linear probe beats a tree on the
+    /// per-message path.
+    by_class: Vec<(&'static str, u64)>,
     /// Total approximate wire bytes.
     wire_bytes: u64,
     /// Deliveries dropped by fault injection (crashed receiver).
@@ -103,7 +105,10 @@ impl SimMetrics {
     /// One message of class `kind` and approximate size `bytes` was sent.
     pub fn message_sent(&mut self, kind: &'static str, bytes: usize) {
         self.messages_sent += 1;
-        *self.by_class.entry(kind).or_insert(0) += 1;
+        match self.by_class.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, c)) => *c += 1,
+            None => self.by_class.push((kind, 1)),
+        }
         self.wire_bytes += bytes as u64;
     }
 
@@ -142,9 +147,9 @@ impl SimMetrics {
         self.wire_bytes
     }
 
-    /// Message count per class label.
-    pub fn messages_by_class(&self) -> &BTreeMap<&'static str, u64> {
-        &self.by_class
+    /// Message count per class label, sorted by label.
+    pub fn messages_by_class(&self) -> BTreeMap<&'static str, u64> {
+        self.by_class.iter().copied().collect()
     }
 
     /// All request records (completed and in-flight).

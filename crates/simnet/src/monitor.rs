@@ -20,6 +20,20 @@ pub struct Violation {
     pub intruder: NodeId,
 }
 
+/// Everything a [`SafetyMonitor`] accumulated over a run, moved out (not
+/// cloned) when the run report is assembled.
+#[derive(Debug)]
+pub struct MonitorParts {
+    /// All recorded violations (empty ⇔ mutual exclusion held).
+    pub violations: Vec<Violation>,
+    /// Raw exit→entry gaps (the synchronization-delay samples).
+    pub sync_gaps: Vec<SimDuration>,
+    /// Total CS entries observed.
+    pub entries: u64,
+    /// Total CS exits observed.
+    pub exits: u64,
+}
+
 /// Tracks CS occupancy and collects safety/synchronization observations.
 #[derive(Debug, Default)]
 pub struct SafetyMonitor {
@@ -102,6 +116,17 @@ impl SafetyMonitor {
     pub fn sync_gaps(&self) -> &[SimDuration] {
         &self.sync_gaps
     }
+
+    /// Consumes the monitor, moving its accumulated observations out
+    /// without copying the (potentially large) violation/gap vectors.
+    pub fn into_parts(self) -> MonitorParts {
+        MonitorParts {
+            violations: self.violations,
+            sync_gaps: self.sync_gaps,
+            entries: self.entries,
+            exits: self.exits,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +181,19 @@ mod tests {
         let mut m = SafetyMonitor::new();
         m.enter(NodeId::new(0), t(1));
         m.exit(NodeId::new(1), t(2));
+    }
+
+    #[test]
+    fn into_parts_moves_everything_out() {
+        let mut m = SafetyMonitor::new();
+        m.enter(NodeId::new(0), t(0));
+        m.exit(NodeId::new(0), t(10));
+        m.enter(NodeId::new(1), t(15));
+        let p = m.into_parts();
+        assert!(p.violations.is_empty());
+        assert_eq!(p.sync_gaps, vec![SimDuration::from_ticks(5)]);
+        assert_eq!(p.entries, 2);
+        assert_eq!(p.exits, 1);
     }
 
     #[test]

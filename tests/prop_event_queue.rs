@@ -1,0 +1,128 @@
+//! Property-based oracle for the calendar (bucket) event queue.
+//!
+//! The queue swap (BinaryHeap → calendar queue, PR 2) is only sound if the
+//! pop order is *identical*: `(time, seq)` ascending, ties firing in
+//! insertion order. These tests drive the production [`EventQueue`] and a
+//! reference `BinaryHeap` implementation with the same randomly generated
+//! interleavings of schedules and pops — across horizons small enough to
+//! force ring wraparound and overflow-heap traffic — and assert the two
+//! agree event for event.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use proptest::prelude::*;
+use rcv::simnet::{EventKind, EventQueue, NodeId, SimDuration, SimTime};
+
+/// Reference future-event list: a plain binary heap over `(time, seq)`,
+/// exactly the pre-calendar-queue implementation.
+#[derive(Default)]
+struct ReferenceQueue {
+    heap: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    next_seq: u64,
+    now: u64,
+}
+
+impl ReferenceQueue {
+    fn schedule(&mut self, at: u64, id: u32) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse((at, seq, id)));
+    }
+
+    fn pop(&mut self) -> Option<(u64, u32)> {
+        let Reverse((at, _, id)) = self.heap.pop()?;
+        self.now = at;
+        Some((at, id))
+    }
+}
+
+/// Extracts the payload id we smuggle through `EventKind::Arrival`.
+fn id_of(kind: EventKind<()>) -> u32 {
+    match kind {
+        EventKind::Arrival { node } => node.raw(),
+        _ => unreachable!("oracle only schedules arrivals"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        .. ProptestConfig::default()
+    })]
+
+    /// Random interleavings of schedule/pop against the reference heap.
+    ///
+    /// Each op is `(delta, do_pop)`: schedule an event `delta` ticks ahead
+    /// of the current clock (small deltas exercise the bucket ring, large
+    /// ones the overflow heap), then maybe pop once from both queues and
+    /// compare. A final drain compares everything left over.
+    #[test]
+    fn calendar_queue_matches_reference_heap(
+        horizon in 0u64..24,
+        ops in proptest::collection::vec((0u64..40, any::<bool>()), 1..120),
+    ) {
+        let mut cal: EventQueue<()> = EventQueue::with_horizon(SimDuration::from_ticks(horizon));
+        let mut reference = ReferenceQueue::default();
+
+        for (next_id, (delta, do_pop)) in ops.into_iter().enumerate() {
+            let next_id = next_id as u32;
+            let at = cal.now() + SimDuration::from_ticks(delta);
+            cal.schedule(at, EventKind::Arrival { node: NodeId::new(next_id) });
+            reference.schedule(at.ticks(), next_id);
+
+            prop_assert_eq!(cal.len(), reference.heap.len());
+            if do_pop {
+                let got = cal.pop().expect("just scheduled");
+                let want = reference.pop().expect("just scheduled");
+                prop_assert_eq!((got.at.ticks(), id_of(got.kind)), want);
+                prop_assert_eq!(cal.now().ticks(), reference.now);
+            }
+        }
+
+        // Drain both and compare the full remaining order.
+        loop {
+            match (cal.pop(), reference.pop()) {
+                (None, None) => break,
+                (Some(got), Some(want)) => {
+                    prop_assert_eq!((got.at.ticks(), id_of(got.kind)), want);
+                }
+                (got, want) => {
+                    panic!(
+                        "queues disagree on emptiness: calendar={:?} reference={:?}",
+                        got.map(|e| e.at),
+                        want,
+                    );
+                }
+            }
+        }
+        prop_assert!(cal.is_empty());
+    }
+
+    /// Heavy tie pressure: many events on few distinct ticks must pop in
+    /// exact insertion order within each tick, across ring and overflow.
+    #[test]
+    fn ties_pop_in_insertion_order(
+        horizon in 0u64..12,
+        ticks in proptest::collection::vec(0u64..6, 2..80),
+    ) {
+        let mut cal: EventQueue<()> = EventQueue::with_horizon(SimDuration::from_ticks(horizon));
+        let mut reference = ReferenceQueue::default();
+        for (i, t) in ticks.iter().enumerate() {
+            // A few distinct absolute times, scheduled from t=0.
+            cal.schedule(SimTime::from_ticks(*t), EventKind::Arrival {
+                node: NodeId::new(i as u32),
+            });
+            reference.schedule(*t, i as u32);
+        }
+        let mut popped = Vec::new();
+        while let Some(e) = cal.pop() {
+            popped.push((e.at.ticks(), id_of(e.kind)));
+        }
+        let mut expect = Vec::new();
+        while let Some(p) = reference.pop() {
+            expect.push(p);
+        }
+        prop_assert_eq!(popped, expect);
+    }
+}

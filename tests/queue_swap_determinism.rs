@@ -1,0 +1,109 @@
+//! Determinism contract for the zero-allocation hot path (PR 2).
+//!
+//! The calendar event queue, the engine's reusable dispatch buffers and the
+//! Exchange-procedure fast paths all claim to be **bit-for-bit** behavior
+//! preserving. This battery pins that claim: the `SimReport` fingerprints
+//! below — processed events, end time, messages sent and the exact
+//! response-time mean — were captured by running the *pre-change* engine
+//! (BinaryHeap queue, allocating dispatch, naive Exchange) on these seeds,
+//! for all 8 algorithms under both paper workloads. Any future change to
+//! the queue, the dispatch path or the RCV merge code that shifts even one
+//! event reorders a tie somewhere and trips this test.
+//!
+//! If you change *semantics* on purpose (new delay model default, protocol
+//! fix), re-pin by running the runs below and updating the tables — and
+//! say so in the commit message.
+
+use rcv::simnet::{BurstOnce, SimConfig, SimReport};
+use rcv::workload::{Algo, PoissonWorkload};
+
+/// `(algorithm name, events, end_time ticks, messages_sent, rt mean)`.
+type Fingerprint = (&'static str, u64, u64, u64, f64);
+
+/// Captured with the pre-calendar-queue engine: burst, N=12, seed=42.
+const BURST_N12_SEED42: [Fingerprint; 8] = [
+    ("RCV (ours)", 126, 210, 102, 117.5),
+    ("Maekawa", 253, 250, 229, 125.0),
+    ("Maekawa-FPP", 253, 250, 229, 125.0),
+    ("Ricart", 288, 185, 264, 92.5),
+    ("RA-dynamic", 288, 185, 264, 92.5),
+    ("Broadcast", 156, 175, 132, 82.5),
+    ("Lamport", 420, 190, 396, 92.5),
+    ("Raymond", 64, 220, 40, 99.58333333333333),
+];
+
+/// Captured with the pre-calendar-queue engine: Poisson closed loop,
+/// N=10, 1/λ=30, seed=7 (100 000-tick horizon — exercises far-future
+/// overflow scheduling and hundreds of ring wraps).
+const POISSON_N10_IL30_SEED7: [Fingerprint; 8] = [
+    ("RCV (ours)", 69747, 100140, 56401, 110.20335681102952),
+    ("Maekawa", 94669, 100140, 84591, 158.79996030958523),
+    ("Maekawa-FPP", 94669, 100140, 84591, 158.79996030958523),
+    ("Ricart", 133480, 100130, 120132, 110.16796523823794),
+    ("RA-dynamic", 129616, 100135, 116274, 110.2326487782941),
+    ("Broadcast", 80078, 100120, 66730, 110.15298172010787),
+    ("Lamport", 193546, 100135, 180198, 110.16796523823794),
+    ("Raymond", 29548, 100170, 19034, 150.58645615369983),
+];
+
+fn assert_fingerprint(report: &SimReport, want: &Fingerprint, scenario: &str) {
+    let (name, events, end, msgs, rt_mean) = *want;
+    assert_eq!(report.events, events, "{name} [{scenario}]: event count drifted");
+    assert_eq!(report.end_time.ticks(), end, "{name} [{scenario}]: end time drifted");
+    assert_eq!(
+        report.metrics.messages_sent(),
+        msgs,
+        "{name} [{scenario}]: message count drifted"
+    );
+    // Exact float equality on purpose: the metric is a deterministic
+    // function of a deterministic event order.
+    let got = report.metrics.response_time().mean;
+    assert!(
+        got == rt_mean,
+        "{name} [{scenario}]: response-time mean drifted: got {got:?}, pinned {rt_mean:?}"
+    );
+    assert!(report.is_safe(), "{name} [{scenario}]: unsafe run");
+}
+
+#[test]
+fn burst_reports_match_pre_swap_pins() {
+    for want in &BURST_N12_SEED42 {
+        let algo = *Algo::all()
+            .iter()
+            .find(|a| a.name() == want.0)
+            .expect("pinned algorithm exists");
+        let report = algo.run(SimConfig::paper(12, 42), BurstOnce);
+        assert_fingerprint(&report, want, "burst N=12 seed=42");
+    }
+}
+
+#[test]
+fn poisson_reports_match_pre_swap_pins() {
+    for want in &POISSON_N10_IL30_SEED7 {
+        let algo = *Algo::all()
+            .iter()
+            .find(|a| a.name() == want.0)
+            .expect("pinned algorithm exists");
+        let report = algo.run(SimConfig::paper(10, 7), PoissonWorkload::paper(30.0));
+        assert_fingerprint(&report, want, "poisson N=10 1/λ=30 seed=7");
+    }
+}
+
+/// Same config twice must agree on everything the pins cover — guards the
+/// reusable scratch buffers against state leaking across runs.
+#[test]
+fn repeated_runs_are_identical() {
+    for algo in Algo::all() {
+        let a = algo.run(SimConfig::paper(9, 5), BurstOnce);
+        let b = algo.run(SimConfig::paper(9, 5), BurstOnce);
+        assert_eq!(a.events, b.events, "{}", algo.name());
+        assert_eq!(a.end_time, b.end_time, "{}", algo.name());
+        assert_eq!(a.metrics.messages_sent(), b.metrics.messages_sent(), "{}", algo.name());
+        assert_eq!(
+            a.metrics.response_time(),
+            b.metrics.response_time(),
+            "{}",
+            algo.name()
+        );
+    }
+}
