@@ -99,7 +99,11 @@ impl Bytes {
             Bound::Unbounded => self.len(),
         };
         assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
-        Bytes { data: Arc::clone(&self.data), start: self.start + lo, end: self.start + hi }
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
     }
 }
 
@@ -112,7 +116,11 @@ impl Default for Bytes {
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let end = v.len();
-        Bytes { data: v.into(), start: 0, end }
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
     }
 }
 
@@ -189,7 +197,9 @@ impl BytesMut {
 
     /// An empty builder with reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        BytesMut { buf: Vec::with_capacity(cap) }
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Bytes written so far.

@@ -39,8 +39,13 @@ impl Default for Criterion {
         // Values of known value-taking flags must not be mistaken for the
         // filter (`--sample-size 50` would otherwise filter by "50" and
         // silently run nothing).
-        const VALUE_FLAGS: &[&str] =
-            &["--sample-size", "--measurement-time", "--warm-up-time", "--save-baseline", "--baseline"];
+        const VALUE_FLAGS: &[&str] = &[
+            "--sample-size",
+            "--measurement-time",
+            "--warm-up-time",
+            "--save-baseline",
+            "--baseline",
+        ];
         let mut filter = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -54,7 +59,10 @@ impl Default for Criterion {
         if let Some(f) = &filter {
             eprintln!("criterion (offline stub): filtering benchmarks by {f:?}");
         }
-        Criterion { filter, default_sample_size: 20 }
+        Criterion {
+            filter,
+            default_sample_size: 20,
+        }
     }
 }
 
@@ -96,12 +104,18 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Builds an id from a function name and a displayed parameter.
     pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { function: function.into(), parameter: Some(parameter.to_string()) }
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
     }
 
     /// Builds an id from a parameter alone.
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { function: String::new(), parameter: Some(parameter.to_string()) }
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
     }
 
     fn render(&self, group: &str) -> String {
@@ -115,13 +129,19 @@ impl BenchmarkId {
 
 impl From<String> for BenchmarkId {
     fn from(function: String) -> Self {
-        BenchmarkId { function, parameter: None }
+        BenchmarkId {
+            function,
+            parameter: None,
+        }
     }
 }
 
 impl From<&str> for BenchmarkId {
     fn from(function: &str) -> Self {
-        BenchmarkId { function: function.to_string(), parameter: None }
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: None,
+        }
     }
 }
 
@@ -149,7 +169,9 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let full_id = id.into().render(&self.name);
         if self.criterion.matches(&full_id) {
-            let n = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+            let n = self
+                .sample_size
+                .unwrap_or(self.criterion.default_sample_size);
             run_one(&full_id, n, &mut |b| f(b, input));
         }
         self
@@ -163,7 +185,9 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let full_id = id.into().render(&self.name);
         if self.criterion.matches(&full_id) {
-            let n = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+            let n = self
+                .sample_size
+                .unwrap_or(self.criterion.default_sample_size);
             run_one(&full_id, n, &mut f);
         }
         self
@@ -234,7 +258,10 @@ fn append_json_line(
     max: Duration,
     samples: usize,
 ) -> std::io::Result<()> {
-    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
     // Benchmark ids are plain ASCII identifiers/paths; escape the two JSON
     // specials anyway so a stray quote cannot corrupt the stream.
     let id = id.replace('\\', "\\\\").replace('"', "\\\"");
@@ -342,7 +369,10 @@ mod tests {
 
     #[test]
     fn groups_run_and_filter() {
-        let mut c = Criterion { filter: Some("keep".into()), default_sample_size: 2 };
+        let mut c = Criterion {
+            filter: Some("keep".into()),
+            default_sample_size: 2,
+        };
         let mut kept = false;
         let mut dropped = false;
         let mut g = c.benchmark_group("demo");

@@ -17,19 +17,28 @@ pub struct SizeRange {
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
         assert!(r.start < r.end, "empty size range");
-        SizeRange { lo: r.start, hi_exclusive: r.end }
+        SizeRange {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> Self {
-        SizeRange { lo: *r.start(), hi_exclusive: *r.end() + 1 }
+        SizeRange {
+            lo: *r.start(),
+            hi_exclusive: *r.end() + 1,
+        }
     }
 }
 
 impl From<usize> for SizeRange {
     fn from(n: usize) -> Self {
-        SizeRange { lo: n, hi_exclusive: n + 1 }
+        SizeRange {
+            lo: n,
+            hi_exclusive: n + 1,
+        }
     }
 }
 
@@ -42,7 +51,10 @@ pub struct VecStrategy<E> {
 /// Generates vectors whose elements come from `element` and whose length
 /// is uniform over `size`.
 pub fn vec<E: Strategy>(element: E, size: impl Into<SizeRange>) -> VecStrategy<E> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 impl<E: Strategy> Strategy for VecStrategy<E> {

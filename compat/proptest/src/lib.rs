@@ -4,8 +4,9 @@
 //! the pieces the test suites rely on:
 //!
 //! * the [`proptest!`] macro (with `#![proptest_config(..)]` support);
-//! * [`Strategy`] with `prop_map`, integer-range / tuple / [`Just`] /
-//!   [`arbitrary::any`] strategies and [`collection::vec`];
+//! * [`strategy::Strategy`] with `prop_map`, integer-range / tuple /
+//!   [`strategy::Just`] / [`arbitrary::any`] strategies and
+//!   [`collection::vec`];
 //! * [`prop_oneof!`], [`prop_assert!`], [`prop_assert_eq!`],
 //!   [`prop_assert_ne!`];
 //! * a deterministic runner: every case's seed derives from the test name

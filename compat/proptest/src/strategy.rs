@@ -31,7 +31,11 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(&Self::Value) -> bool,
     {
-        Filter { inner: self, whence, f }
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
     }
 }
 
@@ -74,7 +78,10 @@ where
                 return v;
             }
         }
-        panic!("prop_filter rejected 1000 consecutive samples: {}", self.whence);
+        panic!(
+            "prop_filter rejected 1000 consecutive samples: {}",
+            self.whence
+        );
     }
 }
 

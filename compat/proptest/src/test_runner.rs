@@ -25,7 +25,10 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Self {
-        Config { cases: 256, max_shrink_iters: 0 }
+        Config {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
     }
 }
 
@@ -62,7 +65,10 @@ fn parse_seed(s: &str) -> Option<u64> {
 
 /// Locates `tests/proptest-regressions/<stem>.txt` for the test file.
 fn regression_path(manifest_dir: &str, file: &str) -> PathBuf {
-    let stem = Path::new(file).file_stem().and_then(|s| s.to_str()).unwrap_or("unknown");
+    let stem = Path::new(file)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("unknown");
     Path::new(manifest_dir)
         .join("tests")
         .join("proptest-regressions")
@@ -94,7 +100,10 @@ pub fn case_seeds(manifest_dir: &str, file: &str, test: &str, config: &Config) -
 
 /// Prints reproduction instructions for a failing case.
 pub fn report_failure(file: &str, test: &str, seed: u64) {
-    let stem = Path::new(file).file_stem().and_then(|s| s.to_str()).unwrap_or("unknown");
+    let stem = Path::new(file)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("unknown");
     eprintln!(
         "proptest: {test} ({file}) failed with seed {seed}.\n\
          To pin it, add the line `cc {seed}` to tests/proptest-regressions/{stem}.txt"
@@ -119,7 +128,10 @@ mod tests {
 
     #[test]
     fn seeds_are_deterministic_and_sized() {
-        let cfg = Config { cases: 16, ..Config::default() };
+        let cfg = Config {
+            cases: 16,
+            ..Config::default()
+        };
         let a = case_seeds("/nonexistent", "tests/x.rs", "p", &cfg);
         let b = case_seeds("/nonexistent", "tests/x.rs", "p", &cfg);
         assert_eq!(a, b);
@@ -136,7 +148,10 @@ mod tests {
             "# comment\ncc 42\ncc 0x10 # pinned\nnot a seed line\n",
         )
         .unwrap();
-        let cfg = Config { cases: 1, ..Config::default() };
+        let cfg = Config {
+            cases: 1,
+            ..Config::default()
+        };
         let seeds = case_seeds(dir.to_str().unwrap(), "tests/x.rs", "p", &cfg);
         assert_eq!(seeds.len(), 3);
         assert_eq!(seeds[0], 42);

@@ -172,7 +172,10 @@ mod tests {
     use rcv_simnet::{BurstOnce, DelayModel, Engine, FixedTrace, SimConfig, SimTime};
 
     fn run_burst(n: usize, seed: u64) -> rcv_simnet::SimReport {
-        let cfg = SimConfig { delay: DelayModel::paper_constant(), ..SimConfig::paper(n, seed) };
+        let cfg = SimConfig {
+            delay: DelayModel::paper_constant(),
+            ..SimConfig::paper(n, seed)
+        };
         Engine::new(cfg, BurstOnce, Lamport::new).run()
     }
 

@@ -30,8 +30,8 @@ pub mod ricart_agrawala;
 pub mod suzuki_kasami;
 
 pub use lamport::Lamport;
-pub use ra_dynamic::RaDynamic;
 pub use maekawa::{Maekawa, QuorumSystem};
+pub use ra_dynamic::RaDynamic;
 pub use raymond::Raymond;
 pub use ricart_agrawala::RicartAgrawala;
 pub use suzuki_kasami::SuzukiKasami;

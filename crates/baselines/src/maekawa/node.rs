@@ -185,11 +185,17 @@ impl Maekawa {
             Some(cur) => {
                 let stronger = req < cur;
                 if stronger && !self.inquire_sent {
-                    self.wait_queue.push(QueuedReq { prio: req, failed_sent: false });
+                    self.wait_queue.push(QueuedReq {
+                        prio: req,
+                        failed_sent: false,
+                    });
                     self.inquire_sent = true;
                     self.route(cur.node, MkMessage::Inquire, ctx);
                 } else {
-                    self.wait_queue.push(QueuedReq { prio: req, failed_sent: true });
+                    self.wait_queue.push(QueuedReq {
+                        prio: req,
+                        failed_sent: true,
+                    });
                     self.route(req.node, MkMessage::Failed, ctx);
                 }
             }
@@ -203,7 +209,10 @@ impl Maekawa {
         }
         // The lock returns to the pool; the holder goes back in the queue.
         // It yielded because it knows it lost, so no FAILED is owed.
-        self.wait_queue.push(QueuedReq { prio: cur, failed_sent: true });
+        self.wait_queue.push(QueuedReq {
+            prio: cur,
+            failed_sent: true,
+        });
         self.granted_to = None;
         self.inquire_sent = false;
         self.grant_next(ctx);
@@ -227,7 +236,12 @@ impl Maekawa {
         if self.wait_queue.is_empty() {
             return;
         }
-        let best = self.wait_queue.iter().map(|q| q.prio).min().expect("non-empty");
+        let best = self
+            .wait_queue
+            .iter()
+            .map(|q| q.prio)
+            .min()
+            .expect("non-empty");
         self.wait_queue.retain(|q| q.prio != best);
         self.granted_to = Some(best);
         self.route(best.node, MkMessage::Locked, ctx);
@@ -341,7 +355,10 @@ mod tests {
 
     fn run_burst(n: usize, seed: u64) -> rcv_simnet::SimReport {
         // Constant delay: Maekawa assumes FIFO channels (see module docs).
-        let cfg = SimConfig { delay: DelayModel::paper_constant(), ..SimConfig::paper(n, seed) };
+        let cfg = SimConfig {
+            delay: DelayModel::paper_constant(),
+            ..SimConfig::paper(n, seed)
+        };
         Engine::new(cfg, BurstOnce, Maekawa::new).run()
     }
 
@@ -389,7 +406,11 @@ mod tests {
             .iter()
             .min_by_key(|rec| rec.entered.unwrap())
             .unwrap();
-        assert_eq!(first.node, NodeId::new(0), "priority tie must break by node id");
+        assert_eq!(
+            first.node,
+            NodeId::new(0),
+            "priority tie must break by node id"
+        );
     }
 
     #[test]
@@ -404,16 +425,33 @@ mod tests {
             (SimTime::from_ticks(0), NodeId::new(8)),
             (SimTime::from_ticks(2), NodeId::new(6)),
         ]);
-        let cfg = SimConfig { delay: DelayModel::paper_constant(), ..SimConfig::paper(9, 5) };
+        let cfg = SimConfig {
+            delay: DelayModel::paper_constant(),
+            ..SimConfig::paper(9, 5)
+        };
         let r = Engine::new(cfg, trace, Maekawa::new).run();
         assert!(r.is_safe());
         assert_eq!(r.metrics.completed(), 2);
         let by_class = r.metrics.messages_by_class();
-        assert!(by_class.get("INQUIRE").copied().unwrap_or(0) > 0, "no INQUIRE sent: {by_class:?}");
-        assert!(by_class.get("YIELD").copied().unwrap_or(0) > 0, "no YIELD sent: {by_class:?}");
-        assert!(by_class.get("FAILED").copied().unwrap_or(0) > 0, "no FAILED sent: {by_class:?}");
+        assert!(
+            by_class.get("INQUIRE").copied().unwrap_or(0) > 0,
+            "no INQUIRE sent: {by_class:?}"
+        );
+        assert!(
+            by_class.get("YIELD").copied().unwrap_or(0) > 0,
+            "no YIELD sent: {by_class:?}"
+        );
+        assert!(
+            by_class.get("FAILED").copied().unwrap_or(0) > 0,
+            "no FAILED sent: {by_class:?}"
+        );
         // The stronger request must be served first.
-        let first = r.metrics.records().iter().min_by_key(|rec| rec.entered.unwrap()).unwrap();
+        let first = r
+            .metrics
+            .records()
+            .iter()
+            .min_by_key(|rec| rec.entered.unwrap())
+            .unwrap();
         assert_eq!(first.node, NodeId::new(6));
     }
 
@@ -447,7 +485,8 @@ mod tests {
                 sink: &mut rcv_simnet::ArrivalSink,
             ) {
                 use rand::Rng;
-                let at = now + rcv_simnet::SimDuration::from_ticks(1 + (rng.gen::<f64>() * 20.0) as u64);
+                let at =
+                    now + rcv_simnet::SimDuration::from_ticks(1 + (rng.gen::<f64>() * 20.0) as u64);
                 if at < self.horizon {
                     sink.schedule(at, node);
                 }
@@ -458,13 +497,21 @@ mod tests {
             let cfg = SimConfig::paper(30, seed);
             let r = Engine::new(
                 cfg,
-                Poissonish { horizon: SimTime::from_ticks(20_000) },
+                Poissonish {
+                    horizon: SimTime::from_ticks(20_000),
+                },
                 Maekawa::new,
             )
             .run();
             assert!(r.is_safe(), "seed={seed}");
-            assert!(!r.deadlocked, "seed={seed}: Maekawa wedged (INQUIRE-path FAILED bug)");
-            assert!(r.metrics.completed() > 100, "seed={seed}: implausibly few completions");
+            assert!(
+                !r.deadlocked,
+                "seed={seed}: Maekawa wedged (INQUIRE-path FAILED bug)"
+            );
+            assert!(
+                r.metrics.completed() > 100,
+                "seed={seed}: implausibly few completions"
+            );
         }
     }
 
@@ -497,8 +544,10 @@ mod tests {
         }
         for seed in 0..4 {
             let n = 12;
-            let cfg =
-                SimConfig { delay: DelayModel::paper_constant(), ..SimConfig::paper(n, seed) };
+            let cfg = SimConfig {
+                delay: DelayModel::paper_constant(),
+                ..SimConfig::paper(n, seed)
+            };
             let r = Engine::new(cfg, Rounds(vec![3; n]), Maekawa::new).run();
             assert!(r.is_safe(), "seed={seed}");
             assert!(!r.deadlocked, "seed={seed}");

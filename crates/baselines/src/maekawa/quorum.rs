@@ -115,8 +115,7 @@ impl QuorumSystem {
         };
         let mut incidence: Vec<Vec<usize>> = Vec::with_capacity(n);
         for l in lines {
-            let members: Vec<usize> =
-                (0..n).filter(|&pi| on_line(l, &points[pi])).collect();
+            let members: Vec<usize> = (0..n).filter(|&pi| on_line(l, &points[pi])).collect();
             debug_assert_eq!(members.len(), q + 1, "a line of PG(2,{q}) has q+1 points");
             incidence.push(members);
         }
@@ -156,8 +155,10 @@ impl QuorumSystem {
         let mut quorums: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         for (li, owner) in line_owner.iter().enumerate() {
             let point = owner.expect("perfect matching");
-            let mut members: Vec<NodeId> =
-                incidence[li].iter().map(|&m| NodeId::new(m as u32)).collect();
+            let mut members: Vec<NodeId> = incidence[li]
+                .iter()
+                .map(|&m| NodeId::new(m as u32))
+                .collect();
             members.sort_unstable();
             quorums[point] = members;
         }
@@ -254,7 +255,10 @@ mod tests {
     fn pairwise_intersection_holds_up_to_200() {
         for n in 1..=200 {
             let qs = QuorumSystem::grid(n);
-            assert!(qs.quorums_intersect(), "grid quorums fail to intersect at N={n}");
+            assert!(
+                qs.quorums_intersect(),
+                "grid quorums fail to intersect at N={n}"
+            );
         }
     }
 
@@ -282,7 +286,10 @@ mod tests {
 
     #[test]
     fn degenerate_sizes() {
-        assert_eq!(QuorumSystem::grid(1).quorum(NodeId::new(0)), &[NodeId::new(0)]);
+        assert_eq!(
+            QuorumSystem::grid(1).quorum(NodeId::new(0)),
+            &[NodeId::new(0)]
+        );
         let q2 = QuorumSystem::grid(2);
         assert!(q2.quorums_intersect());
     }
@@ -291,8 +298,8 @@ mod tests {
     fn projective_plane_exists_for_prime_orders() {
         // q = 2, 3, 5, 7 → N = 7, 13, 31, 57.
         for (q, n) in [(2usize, 7usize), (3, 13), (5, 31), (7, 57)] {
-            let qs = QuorumSystem::projective_plane(n)
-                .unwrap_or_else(|| panic!("no FPP for N={n}"));
+            let qs =
+                QuorumSystem::projective_plane(n).unwrap_or_else(|| panic!("no FPP for N={n}"));
             assert_eq!(qs.n(), n);
             for node in NodeId::all(n) {
                 assert_eq!(qs.quorum(node).len(), q + 1, "line size at N={n}");

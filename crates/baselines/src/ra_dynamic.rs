@@ -186,7 +186,10 @@ mod tests {
     fn run_burst(n: usize, seed: u64) -> rcv_simnet::SimReport {
         // FIFO (constant) delivery: the RC optimization, like Lamport's
         // algorithm, is classically stated for FIFO channels.
-        let cfg = SimConfig { delay: DelayModel::paper_constant(), ..SimConfig::paper(n, seed) };
+        let cfg = SimConfig {
+            delay: DelayModel::paper_constant(),
+            ..SimConfig::paper(n, seed)
+        };
         Engine::new(cfg, BurstOnce, RaDynamic::new).run()
     }
 
@@ -237,8 +240,7 @@ mod tests {
     #[test]
     fn pair_permission_invariant_holds_at_quiescence() {
         let cfg = SimConfig::paper(7, 3);
-        let (r, nodes) =
-            Engine::new(cfg, BurstOnce, RaDynamic::new).run_collecting();
+        let (r, nodes) = Engine::new(cfg, BurstOnce, RaDynamic::new).run_collecting();
         assert!(r.is_safe());
         for i in 0..nodes.len() {
             for j in (i + 1)..nodes.len() {

@@ -58,8 +58,18 @@ impl Raymond {
     /// privilege and all `holder` pointers aim at the parent.
     pub fn new(me: NodeId, n: usize) -> Self {
         assert!(n >= 1 && me.index() < n);
-        let holder = if me.index() == 0 { me } else { Self::parent(me) };
-        Raymond { me, holder, queue: VecDeque::new(), asked: false, phase: Phase::Idle }
+        let holder = if me.index() == 0 {
+            me
+        } else {
+            Self::parent(me)
+        };
+        Raymond {
+            me,
+            holder,
+            queue: VecDeque::new(),
+            asked: false,
+            phase: Phase::Idle,
+        }
     }
 
     /// Parent in the static binary tree.
@@ -146,7 +156,10 @@ mod tests {
     use rcv_simnet::{BurstOnce, DelayModel, Engine, FixedTrace, SimConfig, SimTime};
 
     fn run_burst(n: usize, seed: u64) -> rcv_simnet::SimReport {
-        let cfg = SimConfig { delay: DelayModel::paper_constant(), ..SimConfig::paper(n, seed) };
+        let cfg = SimConfig {
+            delay: DelayModel::paper_constant(),
+            ..SimConfig::paper(n, seed)
+        };
         Engine::new(cfg, BurstOnce, Raymond::new).run()
     }
 
@@ -183,10 +196,12 @@ mod tests {
     fn privilege_pointer_flips_along_path() {
         let trace = FixedTrace::new(vec![(SimTime::from_ticks(0), NodeId::new(3))]);
         let cfg = SimConfig::paper(7, 0);
-        let (r, nodes) =
-            Engine::new(cfg, trace, Raymond::new).run_collecting();
+        let (r, nodes) = Engine::new(cfg, trace, Raymond::new).run_collecting();
         assert!(r.is_safe());
-        assert!(nodes[3].holds_privilege(), "privilege must end at the requester");
+        assert!(
+            nodes[3].holds_privilege(),
+            "privilege must end at the requester"
+        );
         assert!(!nodes[0].holds_privilege());
     }
 

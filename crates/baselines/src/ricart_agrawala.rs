@@ -157,7 +157,10 @@ mod tests {
     use rcv_simnet::{BurstOnce, DelayModel, Engine, SimConfig};
 
     fn run_burst(n: usize, seed: u64, delay: DelayModel) -> rcv_simnet::SimReport {
-        let cfg = SimConfig { delay, ..SimConfig::paper(n, seed) };
+        let cfg = SimConfig {
+            delay,
+            ..SimConfig::paper(n, seed)
+        };
         Engine::new(cfg, BurstOnce, RicartAgrawala::new).run()
     }
 
@@ -188,8 +191,7 @@ mod tests {
         // node id: entry order must be 0, 1, 2, ... under constant delay.
         let n = 6;
         let cfg = SimConfig::paper(n, 3);
-        let (report, _) =
-            Engine::new(cfg, BurstOnce, RicartAgrawala::new).run_collecting();
+        let (report, _) = Engine::new(cfg, BurstOnce, RicartAgrawala::new).run_collecting();
         let mut entries: Vec<(u64, u32)> = report
             .metrics
             .records()

@@ -23,7 +23,10 @@ pub struct Token {
 
 impl Token {
     fn new(n: usize) -> Self {
-        Token { last_served: vec![0; n], queue: VecDeque::new() }
+        Token {
+            last_served: vec![0; n],
+            queue: VecDeque::new(),
+        }
     }
 }
 
@@ -171,7 +174,10 @@ mod tests {
     use rcv_simnet::{BurstOnce, DelayModel, Engine, FixedTrace, SimConfig, SimTime};
 
     fn run_burst(n: usize, seed: u64, delay: DelayModel) -> rcv_simnet::SimReport {
-        let cfg = SimConfig { delay, ..SimConfig::paper(n, seed) };
+        let cfg = SimConfig {
+            delay,
+            ..SimConfig::paper(n, seed)
+        };
         Engine::new(cfg, BurstOnce, SuzukiKasami::new).run()
     }
 
@@ -189,7 +195,11 @@ mod tests {
         let trace = FixedTrace::new(vec![(SimTime::from_ticks(0), NodeId::new(0))]);
         let cfg = SimConfig::paper(8, 0);
         let r = Engine::new(cfg, trace, SuzukiKasami::new).run();
-        assert_eq!(r.metrics.messages_sent(), 0, "holder must not send anything");
+        assert_eq!(
+            r.metrics.messages_sent(),
+            0,
+            "holder must not send anything"
+        );
         assert_eq!(r.metrics.response_time().mean, 0.0);
     }
 
@@ -231,6 +241,9 @@ mod tests {
     fn heavy_load_keeps_token_moving() {
         let r = run_burst(10, 3, DelayModel::paper_constant());
         let by_class = r.metrics.messages_by_class();
-        assert_eq!(by_class["TOKEN"], 9, "token moves to each of the 9 non-holders once");
+        assert_eq!(
+            by_class["TOKEN"], 9,
+            "token moves to each of the 9 non-holders once"
+        );
     }
 }

@@ -23,8 +23,10 @@ fn ablation(c: &mut Criterion) {
     // (messages per CS), not just its wall time.
     println!("\nforwarding-policy ablation (N=20 burst, mean NME over 5 seeds):");
     for p in policies {
-        let mean: f64 =
-            (1..=5).map(|s| run_burst(Algo::Rcv(p), 20, s).nme).sum::<f64>() / 5.0;
+        let mean: f64 = (1..=5)
+            .map(|s| run_burst(Algo::Rcv(p), 20, s).nme)
+            .sum::<f64>()
+            / 5.0;
         println!("  {:<12} {:>6.1}", p.label(), mean);
     }
 

@@ -25,7 +25,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use rcv_bench::perf::{EngineRecord, PerfReport, QueueRecord, parse_gate_metric};
+use rcv_bench::perf::{parse_gate_metric, EngineRecord, PerfReport, QueueRecord};
 use rcv_simnet::{BurstOnce, EventKind, EventQueue, NodeId, SimConfig, SimDuration};
 use rcv_workload::Algo;
 
@@ -47,7 +47,10 @@ fn parse_opts() -> Opts {
         quick: false,
         // Compiled-in workspace root: crates/bench/../../ — stable no
         // matter what cwd cargo hands the bench binary.
-        out: PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_RESULTS.json")),
+        out: PathBuf::from(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_RESULTS.json"
+        )),
         baseline: None,
         filter: None,
     };
@@ -118,7 +121,10 @@ fn queue_churn_calendar(ops: u64) -> u64 {
     for i in 0..64u64 {
         q.schedule(
             q.now() + SimDuration::from_ticks(DELTAS[(i % 5) as usize]),
-            EventKind::Timer { node: NodeId::new(0), tag: i },
+            EventKind::Timer {
+                node: NodeId::new(0),
+                tag: i,
+            },
         );
     }
     let mut acc = 0u64;
@@ -127,7 +133,10 @@ fn queue_churn_calendar(ops: u64) -> u64 {
         acc = acc.wrapping_add(e.at.ticks());
         q.schedule(
             e.at + SimDuration::from_ticks(DELTAS[(i % 5) as usize]),
-            EventKind::Timer { node: NodeId::new(0), tag: i },
+            EventKind::Timer {
+                node: NodeId::new(0),
+                tag: i,
+            },
         );
     }
     std::hint::black_box(acc);
@@ -165,7 +174,10 @@ fn main() -> ExitCode {
         ..PerfReport::default()
     };
 
-    println!("engine_throughput ({} mode, best of {windows} windows × {window_secs}s)", report.mode);
+    println!(
+        "engine_throughput ({} mode, best of {windows} windows × {window_secs}s)",
+        report.mode
+    );
 
     // Queue micro-bench.
     const QUEUE_OPS: u64 = 200_000;

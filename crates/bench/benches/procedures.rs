@@ -12,8 +12,9 @@ use rcv_simnet::NodeId;
 /// rotated arrival orders — a dense contention snapshot.
 fn dense_si(n: usize, m: usize) -> Si {
     let mut si = Si::new(n);
-    let reqs: Vec<ReqTuple> =
-        (0..m).map(|i| ReqTuple::new(NodeId::new(i as u32), 1)).collect();
+    let reqs: Vec<ReqTuple> = (0..m)
+        .map(|i| ReqTuple::new(NodeId::new(i as u32), 1))
+        .collect();
     for r in 0..n {
         let row = si.nsit.row_mut(NodeId::new(r as u32));
         row.ts = 1 + r as u64;
@@ -27,14 +28,18 @@ fn dense_si(n: usize, m: usize) -> Si {
 fn bench_order(c: &mut Criterion) {
     let mut g = c.benchmark_group("order_procedure");
     for (n, m) in [(10usize, 5usize), (30, 15), (50, 25)] {
-        g.bench_with_input(BenchmarkId::new("dense", format!("n{n}_m{m}")), &(n, m), |b, &(n, m)| {
-            let proto = dense_si(n, m);
-            let home = ReqTuple::new(NodeId::new((m - 1) as u32), 1);
-            b.iter(|| {
-                let mut si = proto.clone();
-                black_box(order(&mut si, home))
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("dense", format!("n{n}_m{m}")),
+            &(n, m),
+            |b, &(n, m)| {
+                let proto = dense_si(n, m);
+                let home = ReqTuple::new(NodeId::new((m - 1) as u32), 1);
+                b.iter(|| {
+                    let mut si = proto.clone();
+                    black_box(order(&mut si, home))
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -45,7 +50,10 @@ fn bench_exchange(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("merge", n), &n, |b, &n| {
             let local = dense_si(n, n / 2);
             let remote = dense_si(n, n / 2);
-            let body_proto = MsgBody { monl: Nonl::new(), msit: remote.nsit.clone() };
+            let body_proto = MsgBody {
+                monl: Nonl::new(),
+                msit: remote.nsit.clone(),
+            };
             b.iter(|| {
                 let mut si = local.clone();
                 let mut body = body_proto.clone();
@@ -63,7 +71,10 @@ fn bench_codec(c: &mut Criterion) {
         let msg = rcv_core::RcvMessage::Rm {
             home: ReqTuple::new(NodeId::new(0), 1),
             ul: NodeId::all(n).skip(1).collect(),
-            body: MsgBody { monl: Nonl::new(), msit: si.nsit.clone() },
+            body: MsgBody {
+                monl: Nonl::new(),
+                msit: si.nsit.clone(),
+            },
         };
         let encoded = rcv_runtime::wire::encode(&msg);
         g.bench_with_input(BenchmarkId::new("encode", n), &n, |b, _| {

@@ -36,18 +36,22 @@ fn threaded(c: &mut Criterion) {
             })
         });
     }
-    g.bench_with_input(BenchmarkId::new("codec_verified", 4usize), &4usize, |b, &n| {
-        let mut seed = 100;
-        b.iter(|| {
-            seed += 1;
-            let r = run_rcv_cluster(
-                with_codec_verification(spec(n, 2, seed)),
-                RcvConfig::paper(),
-            );
-            assert!(r.is_clean(2 * n as u64), "{r:?}");
-            black_box(r.messages)
-        })
-    });
+    g.bench_with_input(
+        BenchmarkId::new("codec_verified", 4usize),
+        &4usize,
+        |b, &n| {
+            let mut seed = 100;
+            b.iter(|| {
+                seed += 1;
+                let r = run_rcv_cluster(
+                    with_codec_verification(spec(n, 2, seed)),
+                    RcvConfig::paper(),
+                );
+                assert!(r.is_clean(2 * n as u64), "{r:?}");
+                black_box(r.messages)
+            })
+        },
+    );
     g.finish();
 }
 

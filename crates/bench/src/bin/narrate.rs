@@ -37,8 +37,7 @@ fn main() {
 
     let mut cfg = SimConfig::paper(n, seed);
     cfg.trace_capacity = 10_000;
-    let (report, _nodes) =
-        Engine::new(cfg, BurstOnce, RcvNode::new).run_collecting();
+    let (report, _nodes) = Engine::new(cfg, BurstOnce, RcvNode::new).run_collecting();
 
     println!(
         "RCV burst, N={n}, seed={seed}: {} CS executions, {} messages, safe={}\n",
@@ -51,8 +50,10 @@ fn main() {
         None => print!("{}", report.trace.render()),
     }
     if gantt {
-        println!("
-CS occupancy (one column per tick):");
+        println!(
+            "
+CS occupancy (one column per tick):"
+        );
         print!("{}", report.trace.render_gantt(n, 1));
     }
 }

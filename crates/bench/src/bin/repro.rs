@@ -39,10 +39,12 @@ fn main() {
         usage();
     }
     if wanted.iter().any(|w| w == "all") {
-        wanted = ["fig4", "fig5", "fig6", "fig7", "an1", "an2", "an3", "an4", "an5", "ext1", "ext2"]
-            .into_iter()
-            .map(String::from)
-            .collect();
+        wanted = [
+            "fig4", "fig5", "fig6", "fig7", "an1", "an2", "an3", "an4", "an5", "ext1", "ext2",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
     }
 
     let seeds = scale.seeds();
@@ -65,8 +67,7 @@ fn main() {
             "fig6" | "fig7" => {
                 if poisson.is_none() {
                     eprintln!("[repro] running Poisson sweep (figures 6-7)...");
-                    poisson =
-                        Some(fig6_7::run(scale.poisson_n(), &scale.inv_lambdas(), &seeds));
+                    poisson = Some(fig6_7::run(scale.poisson_n(), &scale.inv_lambdas(), &seeds));
                 }
                 let (fig6, fig7) = poisson.as_ref().expect("cached");
                 emit(if w == "fig6" { fig6 } else { fig7 }, markdown);

@@ -11,7 +11,11 @@
 //!   engine_throughput`: events/sec for every algorithm on the paper's
 //!   constant-delay burst, written as machine-readable
 //!   `BENCH_RESULTS.json` (see [`perf`]) and gated in CI against
-//!   `crates/bench/baseline/engine_throughput.json`.
+//!   `crates/bench/baseline/engine_throughput.json`;
+//! * the **`matrix` binary** — executes the scenario conformance grid of
+//!   `rcv_workload::scenario` (sharded in CI), writes
+//!   `MATRIX_RESULTS.json` (see [`matrix`]) and gates on the committed
+//!   baseline.
 //!
 //! This library only hosts the small amount of shared helper code; the
 //! interesting logic lives in `rcv-workload`.
@@ -19,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod matrix;
 pub mod perf;
 
 use rcv_workload::Table;

@@ -1,0 +1,452 @@
+//! Machine-readable scenario-matrix reporting and the CI verdict gate.
+//!
+//! The `matrix` binary runs the scenario conformance grid
+//! ([`rcv_workload::scenario`]) and emits `MATRIX_RESULTS.json` (schema
+//! [`SCHEMA`]): one JSON object per cell, one cell per line, sorted by
+//! `(scenario, algorithm)` — so the committed baseline diffs cell-by-cell
+//! and the merged output of N CI shards is byte-identical to a single
+//! full run. The container vendors no serde; like [`crate::perf`], the
+//! JSON surface is hand-rolled and the parser is a line scanner.
+//!
+//! Gate policy ([`gate`]): a baseline cell that disappears or regresses
+//! `pass → fail` fails CI; a fingerprint change on a still-passing cell is
+//! reported as drift (diffable, intentional changes are committed with the
+//! refreshed baseline); `fail → pass` improvements ask for a refresh.
+
+use std::fmt::Write as _;
+
+use rcv_workload::scenario::REGISTRY_VERSION;
+use rcv_workload::CellResult;
+
+use crate::perf::json_str;
+
+/// Version tag of the emitted JSON layout.
+pub const SCHEMA: &str = "rcv-scenario-matrix/v1";
+
+/// One parsed cell line of a matrix document.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellLine {
+    /// Scenario name.
+    pub scenario: String,
+    /// Algorithm display name.
+    pub algo: String,
+    /// `"pass"` or `"fail:<reason>"`.
+    pub verdict: String,
+    /// The full rendered line (no indent, no trailing comma) — echoed
+    /// verbatim on re-render so merge output is byte-stable.
+    pub line: String,
+}
+
+impl CellLine {
+    /// The `(scenario, algorithm)` key the baseline diff is keyed on.
+    pub fn key(&self) -> (String, String) {
+        (self.scenario.clone(), self.algo.clone())
+    }
+}
+
+/// A parsed (or merged) matrix document.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MatrixDoc {
+    /// Registry version recorded in the document.
+    pub registry: String,
+    /// Cell lines, sorted by `(scenario, algorithm)`.
+    pub cells: Vec<CellLine>,
+}
+
+/// Renders one cell as its canonical single-line JSON object.
+///
+/// `nme`/`rt_mean` are fixed to four decimals: enough resolution to pin
+/// behaviour, no trailing-digit noise in diffs.
+pub fn render_cell(r: &CellResult) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\"scenario\": {}, \"algo\": {}, \"verdict\": {}, \"expect_live\": {}, \
+         \"completed\": {}, \"messages\": {}, \"lost\": {}, \"dropped\": {}, \
+         \"violations\": {}, \"stalled_seeds\": {}, \"end_ticks\": {}, \"events\": {}, \
+         \"nme\": \"{:.4}\", \"rt_mean\": \"{:.4}\"}}",
+        json_str(&r.scenario),
+        json_str(r.algo),
+        json_str(&r.verdict),
+        r.expect_live,
+        r.completed,
+        r.messages,
+        r.lost,
+        r.dropped,
+        r.violations,
+        r.stalled_seeds,
+        r.end_ticks,
+        r.events,
+        r.nme,
+        r.rt_mean,
+    );
+    s
+}
+
+/// Builds a document from freshly computed results.
+pub fn doc_from_results(results: &[CellResult]) -> MatrixDoc {
+    let mut cells: Vec<CellLine> = results
+        .iter()
+        .map(|r| CellLine {
+            scenario: r.scenario.clone(),
+            algo: r.algo.to_string(),
+            verdict: r.verdict.clone(),
+            line: render_cell(r),
+        })
+        .collect();
+    cells.sort_by_key(|c| c.key());
+    MatrixDoc {
+        registry: REGISTRY_VERSION.to_string(),
+        cells,
+    }
+}
+
+/// Renders a document as the canonical `MATRIX_RESULTS.json` text.
+pub fn render_doc(doc: &MatrixDoc) -> String {
+    let pass = doc.cells.iter().filter(|c| c.verdict == "pass").count();
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": {},", json_str(SCHEMA));
+    let _ = writeln!(s, "  \"registry\": {},", json_str(&doc.registry));
+    let _ = writeln!(s, "  \"cells_total\": {},", doc.cells.len());
+    let _ = writeln!(s, "  \"cells_pass\": {pass},");
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in doc.cells.iter().enumerate() {
+        s.push_str("    ");
+        s.push_str(&c.line);
+        s.push_str(if i + 1 < doc.cells.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Extracts the string value of `"key": "..."` from a single-line JSON
+/// object. Good enough for the escaped-ASCII identifiers we emit.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                other => {
+                    out.push('\\');
+                    out.push(other);
+                }
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Parses a `MATRIX_RESULTS.json` text into a document.
+///
+/// Accepts exactly the shape [`render_doc`] produces; anything else is an
+/// error (the gate must never silently pass on a malformed baseline).
+pub fn parse_doc(json: &str) -> Result<MatrixDoc, String> {
+    let schema = field_str(json, "schema").ok_or("missing \"schema\"")?;
+    if schema != SCHEMA {
+        return Err(format!("schema mismatch: {schema:?}, expected {SCHEMA:?}"));
+    }
+    let registry = field_str(json, "registry").ok_or("missing \"registry\"")?;
+    let mut cells = Vec::new();
+    let mut in_cells = false;
+    for raw in json.lines() {
+        let line = raw.trim();
+        if line.starts_with("\"cells\": [") {
+            in_cells = true;
+            continue;
+        }
+        if !in_cells {
+            continue;
+        }
+        if line.starts_with(']') {
+            break;
+        }
+        let line = line.strip_suffix(',').unwrap_or(line);
+        if line.is_empty() {
+            continue;
+        }
+        let scenario =
+            field_str(line, "scenario").ok_or_else(|| format!("cell without scenario: {line}"))?;
+        let algo = field_str(line, "algo").ok_or_else(|| format!("cell without algo: {line}"))?;
+        let verdict =
+            field_str(line, "verdict").ok_or_else(|| format!("cell without verdict: {line}"))?;
+        cells.push(CellLine {
+            scenario,
+            algo,
+            verdict,
+            line: line.to_string(),
+        });
+    }
+    if cells.is_empty() {
+        return Err("document contains no cells".into());
+    }
+    cells.sort_by_key(|c| c.key());
+    Ok(MatrixDoc { registry, cells })
+}
+
+/// Merges shard documents into one. Errors on registry-version skew or on
+/// a cell appearing twice (overlapping shards — a CI wiring bug).
+pub fn merge_docs(docs: Vec<MatrixDoc>) -> Result<MatrixDoc, String> {
+    let mut iter = docs.into_iter();
+    let mut merged = iter.next().ok_or("nothing to merge")?;
+    for doc in iter {
+        if doc.registry != merged.registry {
+            return Err(format!(
+                "registry version skew across shards: {} vs {}",
+                doc.registry, merged.registry
+            ));
+        }
+        merged.cells.extend(doc.cells);
+    }
+    merged.cells.sort_by_key(|c| c.key());
+    for w in merged.cells.windows(2) {
+        if w[0].key() == w[1].key() {
+            return Err(format!(
+                "cell {} / {} appears in more than one shard",
+                w[0].scenario, w[0].algo
+            ));
+        }
+    }
+    Ok(merged)
+}
+
+/// Outcome of comparing a current document against the committed baseline.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Gate {
+    /// Baseline cells that disappeared or regressed `pass → fail`. Any
+    /// entry fails CI.
+    pub regressions: Vec<String>,
+    /// Baseline `fail:*` cells now passing — refresh the baseline to lock
+    /// the win in.
+    pub improvements: Vec<String>,
+    /// Same verdict, different fingerprint — behavioral drift to review.
+    pub drift: Vec<String>,
+    /// Cells present now but absent from the baseline (new scenarios).
+    pub added: Vec<String>,
+}
+
+impl Gate {
+    /// Whether CI may pass.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Human-readable summary block.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        let mut section = |title: &str, items: &[String]| {
+            if !items.is_empty() {
+                let _ = writeln!(s, "{title} ({}):", items.len());
+                for it in items {
+                    let _ = writeln!(s, "  - {it}");
+                }
+            }
+        };
+        section("REGRESSIONS", &self.regressions);
+        section("improvements (refresh baseline)", &self.improvements);
+        section("fingerprint drift", &self.drift);
+        section("new cells (not in baseline)", &self.added);
+        if s.is_empty() {
+            s.push_str("verdicts and fingerprints identical to baseline\n");
+        }
+        s
+    }
+}
+
+/// Compares `current` against `baseline` cell-by-cell.
+pub fn gate(current: &MatrixDoc, baseline: &MatrixDoc) -> Gate {
+    let mut g = Gate::default();
+    // A registry version bump without a refreshed baseline (or vice versa)
+    // is exactly the unattributable mismatch REGISTRY_VERSION exists to
+    // prevent — fail loudly instead of letting same-name cells pass as
+    // mere drift.
+    if current.registry != baseline.registry {
+        g.regressions.push(format!(
+            "registry version mismatch: current {} vs baseline {} — refresh the baseline",
+            current.registry, baseline.registry
+        ));
+    }
+    let find = |doc: &MatrixDoc, key: &(String, String)| -> Option<CellLine> {
+        doc.cells.iter().find(|c| &c.key() == key).cloned()
+    };
+    for b in &baseline.cells {
+        let label = format!("{} / {}", b.scenario, b.algo);
+        match find(current, &b.key()) {
+            None => g
+                .regressions
+                .push(format!("{label}: cell vanished from the grid")),
+            Some(c) => {
+                let was_pass = b.verdict == "pass";
+                let is_pass = c.verdict == "pass";
+                if was_pass && !is_pass {
+                    g.regressions
+                        .push(format!("{label}: pass -> {}", c.verdict));
+                } else if !was_pass && is_pass {
+                    g.improvements
+                        .push(format!("{label}: {} -> pass", b.verdict));
+                } else if c.line != b.line {
+                    g.drift.push(label);
+                }
+            }
+        }
+    }
+    for c in &current.cells {
+        if find(baseline, &c.key()).is_none() {
+            let label = format!("{} / {}", c.scenario, c.algo);
+            // A new cell has no baseline verdict to regress from, but a
+            // failing one must not slip through as a mere addition.
+            if c.verdict == "pass" {
+                g.added.push(label);
+            } else {
+                g.regressions
+                    .push(format!("{label}: new cell already failing: {}", c.verdict));
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(scenario: &str, algo: &'static str, verdict: &str, completed: u64) -> CellResult {
+        CellResult {
+            scenario: scenario.into(),
+            algo,
+            verdict: verdict.into(),
+            expect_live: true,
+            completed,
+            messages: 10 * completed,
+            lost: 0,
+            dropped: 0,
+            violations: 0,
+            stalled_seeds: 0,
+            end_ticks: 500,
+            events: 900,
+            nme: 14.0,
+            rt_mean: 123.456789,
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip_is_byte_stable() {
+        let doc = doc_from_results(&[
+            result("burst-n8", "Ricart", "pass", 16),
+            result("burst-n8", "Broadcast", "pass", 16),
+        ]);
+        let text = render_doc(&doc);
+        let parsed = parse_doc(&text).expect("parses");
+        assert_eq!(parsed, doc);
+        assert_eq!(
+            render_doc(&parsed),
+            text,
+            "re-render must be byte-identical"
+        );
+        assert!(
+            text.contains("\"rt_mean\": \"123.4568\""),
+            "fixed four decimals"
+        );
+        // Sorted by (scenario, algo): Broadcast before Ricart.
+        assert!(text.find("Broadcast").unwrap() < text.find("Ricart").unwrap());
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema_and_empty() {
+        assert!(parse_doc("{\"schema\": \"other/v9\"}").is_err());
+        let empty = "{\n  \"schema\": \"rcv-scenario-matrix/v1\",\n  \
+                     \"registry\": \"r/v1\",\n  \"cells\": [\n  ]\n}\n";
+        assert!(parse_doc(empty).is_err());
+    }
+
+    #[test]
+    fn merge_reassembles_a_split_grid() {
+        let full = doc_from_results(&[
+            result("a", "Ricart", "pass", 1),
+            result("b", "Ricart", "pass", 2),
+            result("c", "Ricart", "pass", 3),
+        ]);
+        let shard0 = parse_doc(&render_doc(&doc_from_results(&[
+            result("a", "Ricart", "pass", 1),
+            result("c", "Ricart", "pass", 3),
+        ])))
+        .unwrap();
+        let shard1 = parse_doc(&render_doc(&doc_from_results(&[result(
+            "b", "Ricart", "pass", 2,
+        )])))
+        .unwrap();
+        let merged = merge_docs(vec![shard0, shard1]).expect("merges");
+        assert_eq!(
+            render_doc(&merged),
+            render_doc(&full),
+            "merge == single full run"
+        );
+    }
+
+    #[test]
+    fn merge_rejects_overlap() {
+        let a = doc_from_results(&[result("a", "Ricart", "pass", 1)]);
+        let b = doc_from_results(&[result("a", "Ricart", "pass", 1)]);
+        assert!(merge_docs(vec![a, b]).is_err());
+    }
+
+    #[test]
+    fn gate_flags_regression_vanished_improvement_drift() {
+        let baseline = doc_from_results(&[
+            result("a", "Ricart", "pass", 1),
+            result("b", "Ricart", "pass", 2),
+            result("c", "Ricart", "fail:stalled(seed 0)", 0),
+            result("d", "Ricart", "pass", 4),
+        ]);
+        let current = doc_from_results(&[
+            result("a", "Ricart", "fail:unsafe(seed 1)", 1), // regression
+            // b vanished
+            result("c", "Ricart", "pass", 3),  // improvement
+            result("d", "Ricart", "pass", 40), // drift
+            result("e", "Ricart", "pass", 5),  // added, healthy
+            result("f", "Ricart", "fail:stalled(seed 1)", 0), // added, failing
+        ]);
+        let g = gate(&current, &baseline);
+        assert!(!g.ok());
+        assert_eq!(
+            g.regressions.len(),
+            3,
+            "a->fail, b vanished, f born failing"
+        );
+        assert!(g
+            .regressions
+            .iter()
+            .any(|r| r.contains("new cell already failing")));
+        assert_eq!(g.improvements.len(), 1);
+        assert_eq!(g.drift.len(), 1);
+        assert_eq!(g.added, vec!["e / Ricart".to_string()]);
+        assert!(g.summary().contains("REGRESSIONS"));
+    }
+
+    #[test]
+    fn gate_fails_on_registry_version_mismatch() {
+        let current = doc_from_results(&[result("a", "Ricart", "pass", 1)]);
+        let mut baseline = current.clone();
+        baseline.registry = "rcv-scenario-registry/v0".into();
+        let g = gate(&current, &baseline);
+        assert!(!g.ok());
+        assert!(g.regressions[0].contains("registry version mismatch"));
+    }
+
+    #[test]
+    fn gate_is_quiet_on_identical_docs() {
+        let doc = doc_from_results(&[result("a", "Ricart", "pass", 1)]);
+        let g = gate(&doc, &doc);
+        assert!(g.ok());
+        assert_eq!(g, Gate::default());
+        assert!(g.summary().contains("identical"));
+    }
+}

@@ -81,7 +81,11 @@ impl PerfReport {
                 json_str(q.name),
                 json_num(q.ops_per_sec)
             );
-            s.push_str(if i + 1 < self.queue.len() { ",\n" } else { "\n" });
+            s.push_str(if i + 1 < self.queue.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
         }
         s.push_str("  ],\n  \"engine\": [\n");
         for (i, r) in self.engine.iter().enumerate() {
@@ -95,7 +99,11 @@ impl PerfReport {
                 r.events_per_run,
                 json_num(r.events_per_sec)
             );
-            s.push_str(if i + 1 < self.engine.len() { ",\n" } else { "\n" });
+            s.push_str(if i + 1 < self.engine.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
         }
         s.push_str("  ]\n}\n");
         s
@@ -145,7 +153,9 @@ pub fn parse_gate_metric(json: &str) -> Option<f64> {
     let colon = rest.find(':')?;
     let tail = rest[colon + 1..].trim_start();
     let end = tail
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+'))
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+        })
         .unwrap_or(tail.len());
     tail[..end].parse().ok()
 }
@@ -158,8 +168,14 @@ mod tests {
         PerfReport {
             mode: "quick",
             queue: vec![
-                QueueRecord { name: "calendar", ops_per_sec: 1e7 },
-                QueueRecord { name: "binary_heap", ops_per_sec: 5e6 },
+                QueueRecord {
+                    name: "calendar",
+                    ops_per_sec: 1e7,
+                },
+                QueueRecord {
+                    name: "binary_heap",
+                    ops_per_sec: 5e6,
+                },
             ],
             engine: vec![
                 EngineRecord {
@@ -199,7 +215,10 @@ mod tests {
     #[test]
     fn parse_handles_missing_and_garbage() {
         assert_eq!(parse_gate_metric("{}"), None);
-        assert_eq!(parse_gate_metric("{\"rcv_burst_n30_events_per_sec\": \"oops\"}"), None);
+        assert_eq!(
+            parse_gate_metric("{\"rcv_burst_n30_events_per_sec\": \"oops\"}"),
+            None
+        );
         assert_eq!(
             parse_gate_metric("{ \"rcv_burst_n30_events_per_sec\" :  112310.0 , \"x\": 1}"),
             Some(112310.0)

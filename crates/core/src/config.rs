@@ -85,7 +85,10 @@ impl RcvConfig {
 
     /// Paper configuration plus the retransmission extension.
     pub fn with_retransmit(ticks: u64) -> Self {
-        RcvConfig { retransmit_after: Some(ticks), ..Self::default() }
+        RcvConfig {
+            retransmit_after: Some(ticks),
+            ..Self::default()
+        }
     }
 }
 

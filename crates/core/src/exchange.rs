@@ -51,7 +51,11 @@ pub struct ExchangeOutcome {
 /// both lists (paper §4.3, "tuples that precede `<i, ti>` in Ordered Node
 /// List also can be deleted").
 pub fn exchange(si: &mut Si, body: &mut MsgBody, em_for: Option<&ReqTuple>) -> ExchangeOutcome {
-    debug_assert_eq!(si.n(), body.msit.n(), "SI and message disagree on system size");
+    debug_assert_eq!(
+        si.n(),
+        body.msit.n(),
+        "SI and message disagree on system size"
+    );
     let mut out = ExchangeOutcome::default();
 
     // When the two ordered lists are identical (the common synced case),
@@ -130,7 +134,10 @@ pub fn exchange(si: &mut Si, body: &mut MsgBody, em_for: Option<&ReqTuple>) -> E
     // one-entry-per-node invariant is violated.
     let (monl_map, monl_unique) = body.monl.ts_by_node(n);
     let si_nsit = &mut si.nsit;
-    let MsgBody { monl: body_monl, msit: body_msit } = body;
+    let MsgBody {
+        monl: body_monl,
+        msit: body_msit,
+    } = body;
     for k in rcv_simnet::NodeId::all(n) {
         let local_ts = si_nsit.row(k).ts;
         let msg_ts = body_msit.row(k).ts;
@@ -174,7 +181,8 @@ pub fn exchange(si: &mut Si, body: &mut MsgBody, em_for: Option<&ReqTuple>) -> E
             dst.ts = local_ts;
             dst.mnl.assign_from(&si_nsit.row(k).mnl);
             if monl_unique {
-                dst.mnl.remove_where(|t| monl_map[t.node.index()] == Some(t.ts));
+                dst.mnl
+                    .remove_where(|t| monl_map[t.node.index()] == Some(t.ts));
             } else {
                 dst.mnl.remove_where(|t| body_monl.contains(t));
             }
@@ -203,7 +211,10 @@ mod tests {
     }
 
     fn body(n: usize) -> MsgBody {
-        MsgBody { monl: Nonl::new(), msit: Nsit::new(n) }
+        MsgBody {
+            monl: Nonl::new(),
+            msit: Nsit::new(n),
+        }
     }
 
     #[test]
@@ -243,7 +254,7 @@ mod tests {
         b.msit.row_mut(nid(1)).ts = 3;
         b.msit.row_mut(nid(1)).mnl.push(t(2, 1));
         b.msit.row_mut(nid(1)).mnl.push(t(1, 9)); // deleted locally? no — absent locally
-        // Local lacks <1,9>; message lacks <0,1>. Intersection = {<2,1>}.
+                                                  // Local lacks <1,9>; message lacks <0,1>. Intersection = {<2,1>}.
         exchange(&mut si, &mut b, None);
         let local: Vec<_> = si.nsit.row(nid(1)).mnl.iter().copied().collect();
         assert_eq!(local, vec![t(2, 1)]);
@@ -261,7 +272,10 @@ mod tests {
         let out = exchange(&mut si, &mut b, None);
         assert!(out.adopted_monl);
         assert!(si.nonl.contains(&t(0, 1)));
-        assert!(!si.nsit.contains_anywhere(&t(0, 1)), "ordered tuple must stop voting");
+        assert!(
+            !si.nsit.contains_anywhere(&t(0, 1)),
+            "ordered tuple must stop voting"
+        );
     }
 
     #[test]
@@ -277,8 +291,14 @@ mod tests {
         b.msit.row_mut(nid(2)).mnl.push(t(2, 2)); // hmm: <2,2> must still look pending
         let out = exchange(&mut si, &mut b, None);
         assert_eq!(out.monl_pruned, 1);
-        assert!(!si.nonl.contains(&t(1, 1)), "completed tuple must not be resurrected");
-        assert!(si.nonl.contains(&t(2, 2)), "still-pending ordered tuple must survive");
+        assert!(
+            !si.nonl.contains(&t(1, 1)),
+            "completed tuple must not be resurrected"
+        );
+        assert!(
+            si.nonl.contains(&t(2, 2)),
+            "still-pending ordered tuple must survive"
+        );
     }
 
     #[test]
@@ -356,7 +376,10 @@ mod tests {
         // Re-apply the *original* message: nothing new may change.
         let mut b2 = b.clone();
         exchange(&mut si, &mut b2, None);
-        assert_eq!(si, si_once, "re-delivering the same message must be a no-op");
+        assert_eq!(
+            si, si_once,
+            "re-delivering the same message must be a no-op"
+        );
     }
 
     #[test]

@@ -53,8 +53,7 @@ mod tests {
 
     #[test]
     fn fresh_nodes_pass_all_checks() {
-        let nodes: Vec<RcvNode> =
-            (0..4).map(|i| RcvNode::new(NodeId::new(i), 4)).collect();
+        let nodes: Vec<RcvNode> = (0..4).map(|i| RcvNode::new(NodeId::new(i), 4)).collect();
         assert!(check_local_invariants(&nodes).is_ok());
         assert!(check_nonl_consistency(&nodes).is_ok());
         assert_eq!(total_anomalies(&nodes), 0);

@@ -22,7 +22,10 @@ impl MsgBody {
     /// Snapshot of a node's current NONL/NSIT ("initialize ... with newest
     /// MONL and MSIT copy from SI").
     pub fn snapshot(nonl: &Nonl, nsit: &Nsit) -> Self {
-        MsgBody { monl: nonl.clone(), msit: nsit.clone() }
+        MsgBody {
+            monl: nonl.clone(),
+            msit: nsit.clone(),
+        }
     }
 
     /// Rough serialized size.
@@ -109,9 +112,20 @@ mod tests {
     #[test]
     fn kinds_match_paper_names() {
         let body = MsgBody::snapshot(&Nonl::new(), &Nsit::new(2));
-        let rm = RcvMessage::Rm { home: t(0, 1), ul: vec![NodeId::new(1)], body: body.clone() };
-        let em = RcvMessage::Em { for_req: t(0, 1), body: body.clone() };
-        let im = RcvMessage::Im { pred: t(0, 1), next: t(1, 1), body };
+        let rm = RcvMessage::Rm {
+            home: t(0, 1),
+            ul: vec![NodeId::new(1)],
+            body: body.clone(),
+        };
+        let em = RcvMessage::Em {
+            for_req: t(0, 1),
+            body: body.clone(),
+        };
+        let im = RcvMessage::Im {
+            pred: t(0, 1),
+            next: t(1, 1),
+            body,
+        };
         assert_eq!(rm.kind(), "RM");
         assert_eq!(em.kind(), "EM");
         assert_eq!(im.kind(), "IM");
@@ -124,7 +138,10 @@ mod tests {
         let nsit = Nsit::new(2);
         let body = MsgBody::snapshot(&nonl, &nsit);
         nonl.remove(&t(0, 1));
-        assert!(body.monl.contains(&t(0, 1)), "message must not alias node state");
+        assert!(
+            body.monl.contains(&t(0, 1)),
+            "message must not alias node state"
+        );
     }
 
     #[test]

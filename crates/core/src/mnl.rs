@@ -208,7 +208,10 @@ mod tests {
         let mut a: Mnl = [t(0, 1), t(1, 1), t(2, 1)].into_iter().collect();
         let b: Mnl = [t(0, 1), t(2, 1)].into_iter().collect(); // other side deleted t(1,..)
         a.intersect(&b);
-        assert_eq!(a.iter().copied().collect::<Vec<_>>(), vec![t(0, 1), t(2, 1)]);
+        assert_eq!(
+            a.iter().copied().collect::<Vec<_>>(),
+            vec![t(0, 1), t(2, 1)]
+        );
     }
 
     #[test]
@@ -216,7 +219,9 @@ mod tests {
         let good: Mnl = [t(0, 1), t(1, 1)].into_iter().collect();
         assert!(good.invariant_one_per_node());
         // Build a corrupt list bypassing push():
-        let bad = Mnl { items: vec![t(0, 1), t(0, 2)] };
+        let bad = Mnl {
+            items: vec![t(0, 1), t(0, 2)],
+        };
         assert!(!bad.invariant_one_per_node());
     }
 

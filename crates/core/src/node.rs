@@ -50,7 +50,14 @@ impl RcvNode {
     pub fn with_config(me: NodeId, n: usize, config: RcvConfig) -> Self {
         assert!(n >= 1, "system must have at least one node");
         assert!(me.index() < n, "node id {me:?} out of range for N={n}");
-        RcvNode { me, n, si: Si::new(n), state: ReqState::Idle, config, stats: RcvNodeStats::default() }
+        RcvNode {
+            me,
+            n,
+            si: Si::new(n),
+            state: ReqState::Idle,
+            config,
+            stats: RcvNodeStats::default(),
+        }
     }
 
     /// This node's id.
@@ -84,7 +91,14 @@ impl RcvNode {
         let mut ul: Vec<NodeId> = NodeId::all(self.n).filter(|&x| x != self.me).collect();
         let hop = self.config.forward.choose(&ul, &self.si, ctx.rng());
         ul.retain(|&h| h != hop);
-        ctx.send(hop, RcvMessage::Rm { home: tuple, ul, body: self.snapshot() });
+        ctx.send(
+            hop,
+            RcvMessage::Rm {
+                home: tuple,
+                ul,
+                body: self.snapshot(),
+            },
+        );
     }
 
     /// The node's current outstanding request tuple, if any.
@@ -97,7 +111,11 @@ impl RcvNode {
 
     /// Moves into the CS for request `t`.
     fn enter(&mut self, t: ReqTuple, ctx: &mut Ctx<'_, RcvMessage>) {
-        debug_assert_eq!(self.state, ReqState::Waiting(t), "CS entry from a non-waiting state");
+        debug_assert_eq!(
+            self.state,
+            ReqState::Waiting(t),
+            "CS entry from a non-waiting state"
+        );
         debug_assert_eq!(
             self.si.nonl.head(),
             Some(t),
@@ -114,7 +132,13 @@ impl RcvNode {
     fn signal_ordered(&mut self, home: ReqTuple, ctx: &mut Ctx<'_, RcvMessage>) {
         if self.si.nonl.head() == Some(home) {
             self.stats.ems_sent += 1;
-            ctx.send(home.node, RcvMessage::Em { for_req: home, body: self.snapshot() });
+            ctx.send(
+                home.node,
+                RcvMessage::Em {
+                    for_req: home,
+                    body: self.snapshot(),
+                },
+            );
             return;
         }
         let pred = self
@@ -127,7 +151,14 @@ impl RcvNode {
             self.apply_inform(pred, home, ctx);
         } else {
             self.stats.ims_sent += 1;
-            ctx.send(pred.node, RcvMessage::Im { pred, next: home, body: self.snapshot() });
+            ctx.send(
+                pred.node,
+                RcvMessage::Im {
+                    pred,
+                    next: home,
+                    body: self.snapshot(),
+                },
+            );
         }
     }
 
@@ -162,7 +193,13 @@ impl RcvNode {
             }
         } else {
             self.stats.ems_sent += 1;
-            ctx.send(next.node, RcvMessage::Em { for_req: next, body: self.snapshot() });
+            ctx.send(
+                next.node,
+                RcvMessage::Em {
+                    for_req: next,
+                    body: self.snapshot(),
+                },
+            );
         }
     }
 
@@ -203,7 +240,14 @@ impl RcvNode {
             let hop = self.config.forward.choose(&ul, &self.si, ctx.rng());
             ul.retain(|&h| h != hop);
             self.stats.rms_forwarded += 1;
-            ctx.send(hop, RcvMessage::Rm { home, ul, body: self.snapshot() });
+            ctx.send(
+                hop,
+                RcvMessage::Rm {
+                    home,
+                    ul,
+                    body: self.snapshot(),
+                },
+            );
         }
     }
 
@@ -239,7 +283,11 @@ impl MutexProtocol for RcvNode {
     }
 
     fn on_request(&mut self, ctx: &mut Ctx<'_, RcvMessage>) {
-        debug_assert_eq!(self.state, ReqState::Idle, "request while one is outstanding");
+        debug_assert_eq!(
+            self.state,
+            ReqState::Idle,
+            "request while one is outstanding"
+        );
         self.stats.requests += 1;
 
         // Paper lines 4-5: bump own row version, register own tuple.
@@ -267,7 +315,9 @@ impl MutexProtocol for RcvNode {
     fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, RcvMessage>) {
         // Retransmission extension: the tag is the request's timestamp, so
         // timers armed for earlier (finished) requests are inert.
-        let ReqState::Waiting(t) = self.state else { return };
+        let ReqState::Waiting(t) = self.state else {
+            return;
+        };
         if t.ts != tag {
             return;
         }
@@ -352,7 +402,9 @@ mod tests {
         h.drive(NodeId::new(0), |ctx| node.on_request(ctx));
         assert_eq!(h.outbox.len(), 1);
         let (to, msg) = &h.outbox[0];
-        let RcvMessage::Rm { home, ul, .. } = msg else { panic!("expected RM") };
+        let RcvMessage::Rm { home, ul, .. } = msg else {
+            panic!("expected RM")
+        };
         assert_eq!(home.node, NodeId::new(0));
         assert_eq!(home.ts, 1);
         assert_eq!(ul.len(), 3, "UL = N-1 peers minus the first hop");
@@ -396,7 +448,14 @@ mod tests {
         let stale = ReqTuple::new(NodeId::new(0), 77);
         let body = MsgBody::snapshot(&node.si.nonl, &node.si.nsit);
         h.drive(NodeId::new(0), |ctx| {
-            node.on_message(NodeId::new(1), RcvMessage::Em { for_req: stale, body }, ctx)
+            node.on_message(
+                NodeId::new(1),
+                RcvMessage::Em {
+                    for_req: stale,
+                    body,
+                },
+                ctx,
+            )
         });
         assert!(!h.enter);
         assert_eq!(node.stats().stale_ems, 1);
@@ -442,7 +501,11 @@ mod tests {
         h.drive(NodeId::new(1), |ctx| {
             b.on_message(
                 NodeId::new(2),
-                RcvMessage::Rm { home: zombie_home, ul: vec![NodeId::new(2)], body },
+                RcvMessage::Rm {
+                    home: zombie_home,
+                    ul: vec![NodeId::new(2)],
+                    body,
+                },
                 ctx,
             )
         });

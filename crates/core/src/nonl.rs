@@ -137,9 +137,16 @@ impl Nonl {
     /// Lemma 6/7 check: after pruning, one list must be a prefix of the
     /// other.
     pub fn prefix_consistent_with(&self, other: &Nonl) -> bool {
-        let (short, long) =
-            if self.len() <= other.len() { (self, other) } else { (other, self) };
-        short.items.iter().zip(long.items.iter()).all(|(a, b)| a == b)
+        let (short, long) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        short
+            .items
+            .iter()
+            .zip(long.items.iter())
+            .all(|(a, b)| a == b)
     }
 
     /// Rough serialized size (for the wire-size metric).

@@ -31,7 +31,9 @@ pub struct Nsit {
 impl Nsit {
     /// A fresh table for an `n`-node system: all rows empty at version 0.
     pub fn new(n: usize) -> Self {
-        Nsit { rows: vec![NsitRow::default(); n] }
+        Nsit {
+            rows: vec![NsitRow::default(); n],
+        }
     }
 
     /// Number of rows (= system size `N`).
@@ -51,7 +53,10 @@ impl Nsit {
 
     /// Iterates `(owner, row)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &NsitRow)> {
-        self.rows.iter().enumerate().map(|(i, r)| (NodeId::new(i as u32), r))
+        self.rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (NodeId::new(i as u32), r))
     }
 
     /// Iterates rows mutably, in node order.
@@ -67,7 +72,10 @@ impl Nsit {
     /// Deletes the exact tuple from **every** row (Order line 15, Exchange
     /// completion purges). Returns the number of rows it was removed from.
     pub fn delete_everywhere(&mut self, t: &ReqTuple) -> usize {
-        self.rows.iter_mut().map(|r| usize::from(r.mnl.remove(t))).sum()
+        self.rows
+            .iter_mut()
+            .map(|r| usize::from(r.mnl.remove(t)))
+            .sum()
     }
 
     /// Number of rows with an empty MNL — the RCV "unknowns"
@@ -101,7 +109,9 @@ impl Nsit {
 
     /// Lemma 1 invariant across all rows.
     pub fn invariant_lemma1(&self) -> bool {
-        self.rows.iter().all(|r| r.mnl.invariant_one_per_node() && r.mnl.len() <= self.n())
+        self.rows
+            .iter()
+            .all(|r| r.mnl.invariant_one_per_node() && r.mnl.len() <= self.n())
     }
 
     /// Rough serialized size (for the wire-size metric).

@@ -242,7 +242,10 @@ mod tests {
         assert!(out.home_ordered);
         assert_eq!(out.newly_ordered, vec![a]);
         assert!(!si.nonl.contains(&b));
-        assert!(si.nsit.contains_anywhere(&b), "loser keeps its pending votes");
+        assert!(
+            si.nsit.contains_anywhere(&b),
+            "loser keeps its pending votes"
+        );
     }
 
     #[test]
@@ -251,8 +254,7 @@ mod tests {
         // lead = 0 == unknowns = 0 and 0 < 1 ⇒ A ordered.
         let a = t(0, 1);
         let b = t(1, 1);
-        let mut si =
-            si_with_rows(4, &[(0, &[a, b]), (1, &[a, b]), (2, &[b, a]), (3, &[b, a])]);
+        let mut si = si_with_rows(4, &[(0, &[a, b]), (1, &[a, b]), (2, &[b, a]), (3, &[b, a])]);
         let out = order(&mut si, a);
         assert!(out.home_ordered);
         assert_eq!(si.nonl.head(), Some(a));
@@ -265,8 +267,7 @@ mod tests {
         // the loop orders A first, then B's lead becomes unassailable.
         let a = t(0, 1);
         let b = t(1, 1);
-        let mut si =
-            si_with_rows(4, &[(0, &[a, b]), (1, &[a, b]), (2, &[b, a]), (3, &[b, a])]);
+        let mut si = si_with_rows(4, &[(0, &[a, b]), (1, &[a, b]), (2, &[b, a]), (3, &[b, a])]);
         let out = order(&mut si, b);
         // A ordered first (side effect), then B tops all 4 rows: ordered.
         assert!(out.home_ordered);
@@ -285,13 +286,21 @@ mod tests {
         let d = t(3, 1);
         let mut si = si_with_rows(
             4,
-            &[(0, &[a, b, c, d]), (1, &[a, b, c, d]), (2, &[a, b, c, d]), (3, &[a, b, c, d])],
+            &[
+                (0, &[a, b, c, d]),
+                (1, &[a, b, c, d]),
+                (2, &[a, b, c, d]),
+                (3, &[a, b, c, d]),
+            ],
         );
         let out = order(&mut si, c);
         assert_eq!(out.newly_ordered, vec![a, b, c]);
         assert!(out.home_ordered);
         assert!(!out.highest_priority);
-        assert!(si.nsit.contains_anywhere(&d), "loop must stop once home is ordered");
+        assert!(
+            si.nsit.contains_anywhere(&d),
+            "loop must stop once home is ordered"
+        );
         assert_eq!(si.nonl.predecessor_of(&c), Some(b));
     }
 
@@ -334,7 +343,10 @@ mod tests {
         }
         let home = reqs[5];
         let out = order(&mut si, home);
-        assert!(out.home_ordered, "no-unknowns table must order the home request");
+        assert!(
+            out.home_ordered,
+            "no-unknowns table must order the home request"
+        );
     }
 
     #[test]
@@ -347,7 +359,14 @@ mod tests {
         let c = t(1, 1);
         let mut si = si_with_rows(
             6,
-            &[(0, &[a]), (1, &[a]), (2, &[a]), (3, &[b]), (4, &[b]), (5, &[c])],
+            &[
+                (0, &[a]),
+                (1, &[a]),
+                (2, &[a]),
+                (3, &[b]),
+                (4, &[b]),
+                (5, &[c]),
+            ],
         );
         let out = order(&mut si, a);
         assert!(out.home_ordered);

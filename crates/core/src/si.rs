@@ -25,7 +25,11 @@ impl Si {
     /// Fresh state for a node in an `n`-node system ("when the system is
     /// initialized, each node knows nothing about others").
     pub fn new(n: usize) -> Self {
-        Si { next: None, nonl: Nonl::new(), nsit: Nsit::new(n) }
+        Si {
+            next: None,
+            nonl: Nonl::new(),
+            nsit: Nsit::new(n),
+        }
     }
 
     /// System size.
@@ -64,10 +68,15 @@ impl Si {
         let (by_node, unique) = nonl.ts_by_node(nsit.n());
         if unique {
             nsit.rows_mut()
-                .map(|r| r.mnl.remove_where(|t| by_node[t.node.index()] == Some(t.ts)))
+                .map(|r| {
+                    r.mnl
+                        .remove_where(|t| by_node[t.node.index()] == Some(t.ts))
+                })
                 .sum()
         } else {
-            nsit.rows_mut().map(|r| r.mnl.remove_where(|t| nonl.contains(t))).sum()
+            nsit.rows_mut()
+                .map(|r| r.mnl.remove_where(|t| nonl.contains(t)))
+                .sum()
         }
     }
 
@@ -287,7 +296,10 @@ mod tests {
         row1.mnl = crate::mnl::Mnl::from_raw(vec![t(1, 1), t(1, 2)]);
         si.nsit.row_mut(NodeId::new(2)).mnl.push(t(1, 2));
         let purged = si.purge_completed();
-        assert!(purged.is_empty(), "live request must survive: purged {purged:?}");
+        assert!(
+            purged.is_empty(),
+            "live request must survive: purged {purged:?}"
+        );
         assert!(si.nsit.contains_anywhere(&t(1, 2)));
         // Same state through the fused pass: identical outcome.
         assert_eq!(si.normalize_after_merge(), 0);

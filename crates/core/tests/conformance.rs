@@ -6,9 +6,7 @@
 //! determinism): all three nodes request at t = 0.
 
 use rcv_core::{ForwardPolicy, RcvConfig, RcvNode, ReqState, ReqTuple};
-use rcv_simnet::{
-    BurstOnce, Engine, EventKind, NodeId, SimConfig, TraceEvent,
-};
+use rcv_simnet::{BurstOnce, Engine, EventKind, NodeId, SimConfig, TraceEvent};
 
 fn nid(n: u32) -> NodeId {
     NodeId::new(n)
@@ -26,7 +24,10 @@ fn run() -> (rcv_simnet::SimReport, Vec<RcvNode>) {
         RcvNode::with_config(
             id,
             n,
-            RcvConfig { forward: ForwardPolicy::Sequential, ..RcvConfig::paper() },
+            RcvConfig {
+                forward: ForwardPolicy::Sequential,
+                ..RcvConfig::paper()
+            },
         )
     })
     .run_collecting()
@@ -89,7 +90,10 @@ fn walkthrough_message_budget() {
     // same ordering — the deterministic count is pinned here).
     assert_eq!(by_class["EM"], 3, "{by_class:?}");
     assert!(by_class["RM"] <= 6, "{by_class:?}");
-    assert!(by_class.get("IM").copied().unwrap_or(0) <= 3, "{by_class:?}");
+    assert!(
+        by_class.get("IM").copied().unwrap_or(0) <= 3,
+        "{by_class:?}"
+    );
     // Total NME well under Ricart's 2(N-1) = 4 per CS.
     assert!(report.metrics.nme().unwrap() <= 4.0);
 }
@@ -124,7 +128,10 @@ fn two_node_scripted_exchange() {
         RcvNode::with_config(
             id,
             n,
-            RcvConfig { forward: ForwardPolicy::Sequential, ..RcvConfig::paper() },
+            RcvConfig {
+                forward: ForwardPolicy::Sequential,
+                ..RcvConfig::paper()
+            },
         )
     })
     .run_collecting();
@@ -148,11 +155,18 @@ fn two_node_scripted_exchange() {
     // release sends no message when Next is empty. So node 0 still holds
     // the ordered tuple in its NONL: lazily stale, by design.
     let n0 = &nodes[0];
-    assert!(n0.si().nonl.contains(&t(1, 1)), "N0's knowledge is lazily stale");
+    assert!(
+        n0.si().nonl.contains(&t(1, 1)),
+        "N0's knowledge is lazily stale"
+    );
     // Node 1's own state is authoritative: request done, NONL empty.
     let n1 = &nodes[1];
     assert!(n1.si().nonl.is_empty());
-    assert_eq!(n1.si().nsit.row(nid(1)).ts, 2, "request bump + release bump");
+    assert_eq!(
+        n1.si().nsit.row(nid(1)).ts,
+        2,
+        "request bump + release bump"
+    );
 }
 
 #[test]

@@ -25,7 +25,11 @@ use std::collections::HashSet;
 /// An event that can fire next.
 #[derive(Clone, Debug)]
 enum Ev {
-    Deliver { from: NodeId, to: NodeId, msg: RcvMessage },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: RcvMessage,
+    },
     /// The node currently in the CS finishes executing.
     Exit { node: NodeId },
 }
@@ -46,7 +50,10 @@ impl McState {
     }
 
     fn in_cs_count(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n.state(), ReqState::InCs(_))).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.state(), ReqState::InCs(_)))
+            .count()
     }
 }
 
@@ -74,13 +81,23 @@ impl Checker {
         // keeps dispatch deterministic.
         let mut rng = SmallRng::seed_from_u64(0);
         {
-            let mut ctx =
-                Ctx::new(node, SimTime::ZERO, &mut rng, &mut outbox, &mut enter, &mut timers);
+            let mut ctx = Ctx::new(
+                node,
+                SimTime::ZERO,
+                &mut rng,
+                &mut outbox,
+                &mut enter,
+                &mut timers,
+            );
             f(&mut state.nodes[node.index()], &mut ctx);
         }
         assert!(timers.is_empty(), "paper config must not arm timers");
         for (to, msg) in outbox {
-            state.pending.push(Ev::Deliver { from: node, to, msg });
+            state.pending.push(Ev::Deliver {
+                from: node,
+                to,
+                msg,
+            });
         }
         if enter {
             state.pending.push(Ev::Exit { node });
@@ -156,7 +173,10 @@ fn initial_state(n: usize, requesters: &[NodeId], policy: ForwardPolicy) -> McSt
                 RcvNode::with_config(
                     NodeId::new(i as u32),
                     n,
-                    RcvConfig { forward: policy, ..RcvConfig::paper() },
+                    RcvConfig {
+                        forward: policy,
+                        ..RcvConfig::paper()
+                    },
                 )
             })
             .collect(),
@@ -171,15 +191,13 @@ fn initial_state(n: usize, requesters: &[NodeId], policy: ForwardPolicy) -> McSt
 /// Deterministic policies only: the checker's dispatch must be a pure
 /// function of the state. (`MostStale`/`Freshest` consult only row
 /// versions; `Sequential` only ids.)
-const POLICIES: [ForwardPolicy; 3] =
-    [ForwardPolicy::Sequential, ForwardPolicy::MostStale, ForwardPolicy::Freshest];
+const POLICIES: [ForwardPolicy; 3] = [
+    ForwardPolicy::Sequential,
+    ForwardPolicy::MostStale,
+    ForwardPolicy::Freshest,
+];
 
-fn check(
-    n: usize,
-    requesters: Vec<NodeId>,
-    policy: ForwardPolicy,
-    max_states: u64,
-) -> (u64, u64) {
+fn check(n: usize, requesters: Vec<NodeId>, policy: ForwardPolicy, max_states: u64) -> (u64, u64) {
     let initial = initial_state(n, &requesters, policy);
     let mut checker = Checker {
         visited: HashSet::new(),
@@ -206,8 +224,7 @@ fn check_all_policies(n: usize, requesters: Vec<NodeId>, max_states: u64) -> (u6
 
 #[test]
 fn exhaustive_n2_both_request() {
-    let (states, terminals) =
-        check_all_policies(2, vec![NodeId::new(0), NodeId::new(1)], 100_000);
+    let (states, terminals) = check_all_policies(2, vec![NodeId::new(0), NodeId::new(1)], 100_000);
     println!("N=2 both: {states} states, {terminals} terminal");
 }
 
@@ -220,8 +237,11 @@ fn exhaustive_n3_two_requesters() {
 
 #[test]
 fn exhaustive_n3_full_burst() {
-    let (states, terminals) =
-        check_all_policies(3, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)], 5_000_000);
+    let (states, terminals) = check_all_policies(
+        3,
+        vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)],
+        5_000_000,
+    );
     println!("N=3 burst: {states} states, {terminals} terminal");
 }
 
@@ -246,11 +266,7 @@ fn exhaustive_n4_three_requesters() {
 #[test]
 #[cfg_attr(debug_assertions, ignore = "342k states; run under --release")]
 fn exhaustive_n4_full_burst() {
-    let (states, terminals) = check_all_policies(
-        4,
-        NodeId::all(4).collect(),
-        50_000_000,
-    );
+    let (states, terminals) = check_all_policies(4, NodeId::all(4).collect(), 50_000_000);
     println!("N=4 burst: {states} states, {terminals} terminal");
 }
 

@@ -82,7 +82,9 @@ fn ordered_pair() -> (Vec<RcvNode>, Vec<(NodeId, RcvMessage)>) {
     let (out_a, _) = bench.step(&mut nodes[1], |n, ctx| n.on_message(nid(0), rm_for_1, ctx));
     // Node 0's lone request orders immediately: EM to node 0.
     assert!(
-        out_a.iter().any(|(to, m)| *to == nid(0) && matches!(m, RcvMessage::Em { .. })),
+        out_a
+            .iter()
+            .any(|(to, m)| *to == nid(0) && matches!(m, RcvMessage::Em { .. })),
         "{out_a:?}"
     );
     let (out_b, _) = bench.step(&mut nodes[1], |n, ctx| n.on_message(nid(2), rm2, ctx));
@@ -110,7 +112,10 @@ fn im_to_waiting_predecessor_sets_next_and_release_hands_over() {
 
     // Non-FIFO: deliver the IM *before* the EM.
     let (out, entered) = bench.step(&mut nodes[0], |n, ctx| n.on_message(nid(1), im, ctx));
-    assert!(out.is_empty(), "IM while waiting must only set Next: {out:?}");
+    assert!(
+        out.is_empty(),
+        "IM while waiting must only set Next: {out:?}"
+    );
     assert!(!entered);
     assert_eq!(nodes[0].si().next.map(|t| t.node), Some(nid(2)));
     assert_eq!(nodes[0].stats().ims_applied, 1);
@@ -158,7 +163,10 @@ fn late_im_after_release_triggers_immediate_em() {
     let (_, entered) = bench.step(&mut nodes[0], |n, ctx| n.on_message(nid(1), em, ctx));
     assert!(entered);
     let (out, _) = bench.step(&mut nodes[0], |n, ctx| n.on_cs_released(ctx));
-    assert!(out.is_empty(), "no Next recorded yet ⇒ release sends nothing");
+    assert!(
+        out.is_empty(),
+        "no Next recorded yet ⇒ release sends nothing"
+    );
 
     // The IM arrives late (paper lines 26-29): node 0 already finished, so
     // it must answer with an immediate EM to the successor.
@@ -221,5 +229,8 @@ fn paper_config_never_arms_timers() {
     let mut bench = Bench::new();
     let mut node = RcvNode::new(nid(0), 4);
     bench.step(&mut node, |n, ctx| n.on_request(ctx));
-    assert!(bench.timers.is_empty(), "paper configuration must not use timers");
+    assert!(
+        bench.timers.is_empty(),
+        "paper configuration must not use timers"
+    );
 }

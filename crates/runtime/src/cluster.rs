@@ -283,7 +283,10 @@ fn network_thread<M>(
                 None => p.env.msg,
             };
             // A closed inbox just means that node already shut down.
-            let _ = out[p.env.to.index()].send(Packet::Msg { from: p.env.from, msg });
+            let _ = out[p.env.to.index()].send(Packet::Msg {
+                from: p.env.from,
+                msg,
+            });
         }
         if disconnected && heap.is_empty() {
             return;
@@ -337,12 +340,19 @@ impl<P: MutexProtocol> NodeThread<P> {
         let mut armed: Vec<(SimDuration, u64)> = Vec::new();
         {
             let now = self.now();
-            let mut ctx =
-                Ctx::new(self.me, now, &mut self.rng, &mut outbox, &mut enter, &mut armed);
+            let mut ctx = Ctx::new(
+                self.me,
+                now,
+                &mut self.rng,
+                &mut outbox,
+                &mut enter,
+                &mut armed,
+            );
             f(&mut self.proto, &mut ctx);
         }
         for (delay, tag) in armed {
-            self.timers.push((Instant::now() + Duration::from_micros(delay.ticks()), tag));
+            self.timers
+                .push((Instant::now() + Duration::from_micros(delay.ticks()), tag));
         }
         for (to, msg) in outbox {
             let delay = self.delay.sample(&mut self.rng);
@@ -350,7 +360,11 @@ impl<P: MutexProtocol> NodeThread<P> {
             let p = Pending {
                 due: Instant::now() + delay,
                 seq: self.messages.load(Ordering::Relaxed),
-                env: Envelope { from: self.me, to, msg },
+                env: Envelope {
+                    from: self.me,
+                    to,
+                    msg,
+                },
             };
             if self.net_tx.send(p).is_err() {
                 return false; // network gone: shutting down

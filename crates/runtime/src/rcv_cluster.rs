@@ -15,7 +15,9 @@ pub fn run_rcv_cluster(
     spec: ClusterSpec<rcv_core::RcvMessage>,
     config: RcvConfig,
 ) -> ClusterReport {
-    run_cluster(spec, move |id: NodeId, n| RcvNode::with_config(id, n, config))
+    run_cluster(spec, move |id: NodeId, n| {
+        RcvNode::with_config(id, n, config)
+    })
 }
 
 /// Adds the encode/decode round-trip hook to a spec: every message crosses

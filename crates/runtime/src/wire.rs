@@ -210,13 +210,20 @@ mod tests {
 
     #[test]
     fn em_roundtrip() {
-        let msg = RcvMessage::Em { for_req: t(1, 3), body: sample_body() };
+        let msg = RcvMessage::Em {
+            for_req: t(1, 3),
+            body: sample_body(),
+        };
         assert_eq!(decode(encode(&msg)).unwrap(), msg);
     }
 
     #[test]
     fn im_roundtrip() {
-        let msg = RcvMessage::Im { pred: t(0, 2), next: t(1, 3), body: sample_body() };
+        let msg = RcvMessage::Im {
+            pred: t(0, 2),
+            next: t(1, 3),
+            body: sample_body(),
+        };
         assert_eq!(decode(encode(&msg)).unwrap(), msg);
     }
 
@@ -224,14 +231,20 @@ mod tests {
     fn empty_structures_roundtrip() {
         let msg = RcvMessage::Em {
             for_req: t(0, 1),
-            body: MsgBody { monl: Nonl::new(), msit: Nsit::new(1) },
+            body: MsgBody {
+                monl: Nonl::new(),
+                msit: Nsit::new(1),
+            },
         };
         assert_eq!(decode(encode(&msg)).unwrap(), msg);
     }
 
     #[test]
     fn truncation_is_detected() {
-        let full = encode(&RcvMessage::Em { for_req: t(1, 3), body: sample_body() });
+        let full = encode(&RcvMessage::Em {
+            for_req: t(1, 3),
+            body: sample_body(),
+        });
         for cut in 0..full.len() {
             let partial = full.slice(..cut);
             assert!(
@@ -256,6 +269,9 @@ mod tests {
         buf.put_u32(0); // for_req node
         buf.put_u64(1); // for_req ts
         buf.put_u32(u32::MAX); // absurd MONL length
-        assert!(matches!(decode(buf.freeze()), Err(WireError::LengthOverflow(_))));
+        assert!(matches!(
+            decode(buf.freeze()),
+            Err(WireError::LengthOverflow(_))
+        ));
     }
 }

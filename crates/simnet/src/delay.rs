@@ -44,7 +44,10 @@ impl DelayModel {
     /// A jittered model centred on the paper's `Tn = 5` that reorders
     /// messages (used by the non-FIFO battery).
     pub fn paper_jittered() -> Self {
-        DelayModel::Uniform { min: SimDuration::from_ticks(1), max: SimDuration::from_ticks(9) }
+        DelayModel::Uniform {
+            min: SimDuration::from_ticks(1),
+            max: SimDuration::from_ticks(9),
+        }
     }
 
     /// Draws one delay.
@@ -131,7 +134,10 @@ mod tests {
             seen_low |= d == 2;
             seen_high |= d == 8;
         }
-        assert!(seen_low && seen_high, "uniform sampler never reached its bounds");
+        assert!(
+            seen_low && seen_high,
+            "uniform sampler never reached its bounds"
+        );
         assert!(m.can_reorder());
         assert_eq!(m.mean_ticks(), 5.0);
         assert_eq!(m.max_ticks(), 8);
@@ -160,12 +166,18 @@ mod tests {
 
     #[test]
     fn exponential_mean_roughly_holds() {
-        let m = DelayModel::Exponential { mean: 5.0, cap: 1000 };
+        let m = DelayModel::Exponential {
+            mean: 5.0,
+            cap: 1000,
+        };
         let mut r = rng();
         let n = 20_000;
         let total: u64 = (0..n).map(|_| m.sample(&mut r).ticks()).sum();
         let mean = total as f64 / n as f64;
-        assert!((4.3..5.7).contains(&mean), "empirical mean {mean} too far from 5.0");
+        assert!(
+            (4.3..5.7).contains(&mean),
+            "empirical mean {mean} too far from 5.0"
+        );
     }
 
     #[test]

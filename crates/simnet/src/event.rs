@@ -174,7 +174,11 @@ impl<M> EventQueue<M> {
     /// the caller and is rejected with a debug assertion (release builds
     /// clamp to `now` rather than corrupt the ring).
     pub fn schedule(&mut self, at: SimTime, kind: EventKind<M>) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -225,8 +229,9 @@ impl<M> EventQueue<M> {
             (None, Some(_)) => true,
             (Some(_), None) => false,
             (Some(t), Some(o)) => {
-                let front =
-                    self.buckets[(t & self.mask) as usize].front().expect("scanned non-empty");
+                let front = self.buckets[(t & self.mask) as usize]
+                    .front()
+                    .expect("scanned non-empty");
                 (o.at.ticks(), o.seq) < (t, front.seq)
             }
         };
@@ -235,10 +240,15 @@ impl<M> EventQueue<M> {
         } else {
             let t = ring_tick.expect("ring candidate chosen");
             self.ring_len -= 1;
-            self.buckets[(t & self.mask) as usize].pop_front().expect("scanned non-empty")
+            self.buckets[(t & self.mask) as usize]
+                .pop_front()
+                .expect("scanned non-empty")
         };
         self.now = s.at;
-        Some(Event { at: s.at, kind: s.kind })
+        Some(Event {
+            at: s.at,
+            kind: s.kind,
+        })
     }
 
     /// Timestamp of the next event without popping it.
@@ -264,10 +274,27 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q: EventQueue<()> = EventQueue::new();
-        q.schedule(t(5), EventKind::Arrival { node: NodeId::new(0) });
-        q.schedule(t(1), EventKind::Arrival { node: NodeId::new(1) });
-        q.schedule(t(3), EventKind::Arrival { node: NodeId::new(2) });
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.ticks()).collect();
+        q.schedule(
+            t(5),
+            EventKind::Arrival {
+                node: NodeId::new(0),
+            },
+        );
+        q.schedule(
+            t(1),
+            EventKind::Arrival {
+                node: NodeId::new(1),
+            },
+        );
+        q.schedule(
+            t(3),
+            EventKind::Arrival {
+                node: NodeId::new(2),
+            },
+        );
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.at.ticks())
+            .collect();
         assert_eq!(order, vec![1, 3, 5]);
     }
 
@@ -275,7 +302,12 @@ mod tests {
     fn ties_fire_in_insertion_order() {
         let mut q: EventQueue<()> = EventQueue::new();
         for i in 0..8u32 {
-            q.schedule(t(7), EventKind::Arrival { node: NodeId::new(i) });
+            q.schedule(
+                t(7),
+                EventKind::Arrival {
+                    node: NodeId::new(i),
+                },
+            );
         }
         let order: Vec<u32> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
@@ -289,7 +321,12 @@ mod tests {
     #[test]
     fn clock_advances_with_pops() {
         let mut q: EventQueue<()> = EventQueue::new();
-        q.schedule(t(4), EventKind::CsExit { node: NodeId::new(0) });
+        q.schedule(
+            t(4),
+            EventKind::CsExit {
+                node: NodeId::new(0),
+            },
+        );
         assert_eq!(q.now(), SimTime::ZERO);
         assert_eq!(q.peek_time(), Some(t(4)));
         q.pop();
@@ -302,18 +339,38 @@ mod tests {
     #[cfg(debug_assertions)]
     fn rejects_past_scheduling() {
         let mut q: EventQueue<()> = EventQueue::new();
-        q.schedule(t(10), EventKind::CsExit { node: NodeId::new(0) });
+        q.schedule(
+            t(10),
+            EventKind::CsExit {
+                node: NodeId::new(0),
+            },
+        );
         q.pop();
-        q.schedule(t(3), EventKind::CsExit { node: NodeId::new(0) });
+        q.schedule(
+            t(3),
+            EventKind::CsExit {
+                node: NodeId::new(0),
+            },
+        );
     }
 
     #[test]
     fn schedule_at_now_is_allowed() {
         let mut q: EventQueue<()> = EventQueue::new();
-        q.schedule(t(2), EventKind::Arrival { node: NodeId::new(0) });
+        q.schedule(
+            t(2),
+            EventKind::Arrival {
+                node: NodeId::new(0),
+            },
+        );
         q.pop();
         // Zero-delay local events at the current instant are legal.
-        q.schedule(q.now() + SimDuration::ZERO, EventKind::Arrival { node: NodeId::new(1) });
+        q.schedule(
+            q.now() + SimDuration::ZERO,
+            EventKind::Arrival {
+                node: NodeId::new(1),
+            },
+        );
         assert_eq!(q.pop().unwrap().at, t(2));
     }
 
@@ -321,11 +378,30 @@ mod tests {
     fn far_future_events_take_the_overflow_path_and_stay_ordered() {
         let mut q: EventQueue<()> = EventQueue::with_horizon(SimDuration::from_ticks(4));
         // Way beyond any horizon: timers / fault-plan style events.
-        q.schedule(t(10_000), EventKind::Timer { node: NodeId::new(0), tag: 1 });
-        q.schedule(t(500), EventKind::Timer { node: NodeId::new(0), tag: 2 });
-        q.schedule(t(2), EventKind::Arrival { node: NodeId::new(0) });
+        q.schedule(
+            t(10_000),
+            EventKind::Timer {
+                node: NodeId::new(0),
+                tag: 1,
+            },
+        );
+        q.schedule(
+            t(500),
+            EventKind::Timer {
+                node: NodeId::new(0),
+                tag: 2,
+            },
+        );
+        q.schedule(
+            t(2),
+            EventKind::Arrival {
+                node: NodeId::new(0),
+            },
+        );
         assert_eq!(q.len(), 3);
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.ticks()).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.at.ticks())
+            .collect();
         assert_eq!(order, vec![2, 500, 10_000]);
     }
 
@@ -333,12 +409,29 @@ mod tests {
     fn ties_across_ring_and_overflow_respect_insertion_order() {
         let mut q: EventQueue<()> = EventQueue::with_horizon(SimDuration::from_ticks(4));
         // seq 0 lands in the overflow heap (beyond horizon at schedule time).
-        q.schedule(t(100), EventKind::Timer { node: NodeId::new(0), tag: 0 });
+        q.schedule(
+            t(100),
+            EventKind::Timer {
+                node: NodeId::new(0),
+                tag: 0,
+            },
+        );
         // Drain the clock close to t=100 so a bucket event can tie with it.
-        q.schedule(t(99), EventKind::Arrival { node: NodeId::new(9) });
+        q.schedule(
+            t(99),
+            EventKind::Arrival {
+                node: NodeId::new(9),
+            },
+        );
         assert_eq!(q.pop().unwrap().at, t(99));
         // seq 2 at the same tick, but in the ring: must fire AFTER seq 0.
-        q.schedule(t(100), EventKind::Timer { node: NodeId::new(0), tag: 2 });
+        q.schedule(
+            t(100),
+            EventKind::Timer {
+                node: NodeId::new(0),
+                tag: 2,
+            },
+        );
         let tags: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
                 EventKind::Timer { tag, .. } => tag,
@@ -353,14 +446,22 @@ mod tests {
         // Chain events far past the ring length; each pop schedules the
         // next, exercising bucket reuse across hundreds of wraps.
         let mut q: EventQueue<()> = EventQueue::with_horizon(SimDuration::from_ticks(8));
-        q.schedule(t(3), EventKind::Arrival { node: NodeId::new(0) });
+        q.schedule(
+            t(3),
+            EventKind::Arrival {
+                node: NodeId::new(0),
+            },
+        );
         let mut fired = Vec::new();
         while let Some(e) = q.pop() {
             fired.push(e.at.ticks());
             if fired.len() < 300 {
-                q.schedule(e.at + SimDuration::from_ticks(7), EventKind::Arrival {
-                    node: NodeId::new(0),
-                });
+                q.schedule(
+                    e.at + SimDuration::from_ticks(7),
+                    EventKind::Arrival {
+                        node: NodeId::new(0),
+                    },
+                );
             }
         }
         assert_eq!(fired.len(), 300);
@@ -373,40 +474,90 @@ mod tests {
         // the scan-cursor path (the ring scan result outlives the
         // overflow pops). Order must stay exact throughout.
         let mut q: EventQueue<()> = EventQueue::with_horizon(SimDuration::from_ticks(7));
-        q.schedule(t(50), EventKind::Timer { node: NodeId::new(0), tag: 0 }); // overflow
-        q.schedule(t(60), EventKind::Timer { node: NodeId::new(0), tag: 1 }); // overflow
-        // Walk the clock to t=45 with a chain of near-future arrivals.
-        q.schedule(t(5), EventKind::Arrival { node: NodeId::new(1) });
+        q.schedule(
+            t(50),
+            EventKind::Timer {
+                node: NodeId::new(0),
+                tag: 0,
+            },
+        ); // overflow
+        q.schedule(
+            t(60),
+            EventKind::Timer {
+                node: NodeId::new(0),
+                tag: 1,
+            },
+        ); // overflow
+           // Walk the clock to t=45 with a chain of near-future arrivals.
+        q.schedule(
+            t(5),
+            EventKind::Arrival {
+                node: NodeId::new(1),
+            },
+        );
         while q.now().ticks() < 45 {
             let e = q.pop().unwrap();
             assert!(matches!(e.kind, EventKind::Arrival { .. }));
             if e.at.ticks() < 45 {
-                q.schedule(e.at + SimDuration::from_ticks(5), EventKind::Arrival {
-                    node: NodeId::new(1),
-                });
+                q.schedule(
+                    e.at + SimDuration::from_ticks(5),
+                    EventKind::Arrival {
+                        node: NodeId::new(1),
+                    },
+                );
             }
         }
         // Pending now: overflow {50, 60} around a ring event at 52.
-        q.schedule(t(52), EventKind::Arrival { node: NodeId::new(2) });
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.ticks()).collect();
+        q.schedule(
+            t(52),
+            EventKind::Arrival {
+                node: NodeId::new(2),
+            },
+        );
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.at.ticks())
+            .collect();
         assert_eq!(order, vec![50, 52, 60]);
     }
 
     #[test]
     fn zero_horizon_still_works() {
         let mut q: EventQueue<()> = EventQueue::with_horizon(SimDuration::ZERO);
-        q.schedule(t(0), EventKind::Arrival { node: NodeId::new(0) });
-        q.schedule(t(5), EventKind::Arrival { node: NodeId::new(1) });
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.ticks()).collect();
+        q.schedule(
+            t(0),
+            EventKind::Arrival {
+                node: NodeId::new(0),
+            },
+        );
+        q.schedule(
+            t(5),
+            EventKind::Arrival {
+                node: NodeId::new(1),
+            },
+        );
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.at.ticks())
+            .collect();
         assert_eq!(order, vec![0, 5]);
     }
 
     #[test]
     fn peek_time_sees_both_structures() {
         let mut q: EventQueue<()> = EventQueue::with_horizon(SimDuration::from_ticks(4));
-        q.schedule(t(1_000), EventKind::Timer { node: NodeId::new(0), tag: 0 });
+        q.schedule(
+            t(1_000),
+            EventKind::Timer {
+                node: NodeId::new(0),
+                tag: 0,
+            },
+        );
         assert_eq!(q.peek_time(), Some(t(1_000)));
-        q.schedule(t(2), EventKind::Arrival { node: NodeId::new(0) });
+        q.schedule(
+            t(2),
+            EventKind::Arrival {
+                node: NodeId::new(0),
+            },
+        );
         assert_eq!(q.peek_time(), Some(t(2)));
     }
 }

@@ -15,6 +15,19 @@
 //!   arrivals, even its own CS exit) from a given instant. Messages to it
 //!   vanish. This deliberately includes the harsh case of crashing while
 //!   holding the CS.
+//! * **loss** — every k-th message vanishes in the network (never
+//!   delivered). The paper assumes reliable channels, so lossy cells only
+//!   demand *safety*; liveness under loss needs the retransmission
+//!   extension.
+//! * **stragglers** — a slow node: every message to or from it takes a
+//!   multiple of the sampled delay. Per-channel delays stay constant under
+//!   the constant model, so stragglers preserve FIFO and (unlike the fault
+//!   classes above) both safety *and* liveness must survive them.
+//!
+//! The classes compose: one [`FaultPlan`] may stack loss, duplication,
+//! stragglers and crashes in a single run (the scenario matrix does). When
+//! one message is both the k-th dropped and the j-th duplicated, the drop
+//! wins — the message (and its would-be copy) never leaves the source.
 
 use crate::ids::NodeId;
 use crate::time::SimTime;
@@ -24,9 +37,14 @@ use crate::time::SimTime;
 pub struct FaultPlan {
     /// Deliver every `k`-th message twice (`None` = no duplication).
     pub duplicate_every: Option<u64>,
+    /// Drop every `k`-th message entirely (`None` = reliable channels).
+    pub drop_every: Option<u64>,
     /// Crash-stop faults: `(node, at)` — the node processes nothing from
     /// `at` (inclusive) onwards.
     pub crashes: Vec<(NodeId, SimTime)>,
+    /// Straggler nodes: `(node, factor)` — every message to or from the
+    /// node takes `factor ×` the sampled delay. A factor of 1 is inert.
+    pub stragglers: Vec<(NodeId, u64)>,
 }
 
 impl FaultPlan {
@@ -38,12 +56,63 @@ impl FaultPlan {
     /// Plan with duplication only.
     pub fn duplicating(every: u64) -> Self {
         assert!(every >= 1, "duplicate_every must be >= 1");
-        FaultPlan { duplicate_every: Some(every), crashes: Vec::new() }
+        FaultPlan {
+            duplicate_every: Some(every),
+            ..Self::default()
+        }
+    }
+
+    /// Plan with message loss only.
+    pub fn losing(every: u64) -> Self {
+        assert!(every >= 1, "drop_every must be >= 1");
+        FaultPlan {
+            drop_every: Some(every),
+            ..Self::default()
+        }
     }
 
     /// Plan with a single crash.
     pub fn crash(node: NodeId, at: SimTime) -> Self {
-        FaultPlan { duplicate_every: None, crashes: vec![(node, at)] }
+        FaultPlan {
+            crashes: vec![(node, at)],
+            ..Self::default()
+        }
+    }
+
+    /// Plan with a single straggler node.
+    pub fn straggler(node: NodeId, factor: u64) -> Self {
+        assert!(factor >= 1, "straggler factor must be >= 1");
+        FaultPlan {
+            stragglers: vec![(node, factor)],
+            ..Self::default()
+        }
+    }
+
+    /// Adds message loss to this plan (builder-style, for stacking).
+    pub fn with_loss(mut self, every: u64) -> Self {
+        assert!(every >= 1, "drop_every must be >= 1");
+        self.drop_every = Some(every);
+        self
+    }
+
+    /// Adds duplication to this plan (builder-style, for stacking).
+    pub fn with_duplication(mut self, every: u64) -> Self {
+        assert!(every >= 1, "duplicate_every must be >= 1");
+        self.duplicate_every = Some(every);
+        self
+    }
+
+    /// Adds a straggler to this plan (builder-style, for stacking).
+    pub fn with_straggler(mut self, node: NodeId, factor: u64) -> Self {
+        assert!(factor >= 1, "straggler factor must be >= 1");
+        self.stragglers.push((node, factor));
+        self
+    }
+
+    /// Adds a crash to this plan (builder-style, for stacking).
+    pub fn with_crash(mut self, node: NodeId, at: SimTime) -> Self {
+        self.crashes.push((node, at));
+        self
     }
 
     /// Whether `node` is crashed at time `now`.
@@ -63,6 +132,39 @@ impl FaultPlan {
             }
             None => false,
         }
+    }
+
+    /// Whether the `seq`-th message (1-based) should be dropped.
+    pub fn drops(&self, seq: u64) -> bool {
+        match self.drop_every {
+            Some(k) => {
+                assert!(k > 0, "drop_every must be positive");
+                seq.is_multiple_of(k)
+            }
+            None => false,
+        }
+    }
+
+    /// Delay multiplier for a `from → to` message: the largest straggler
+    /// factor among the two endpoints (1 when neither straggles). Taking
+    /// the max — not the product — keeps a self-loop through one straggler
+    /// from compounding.
+    pub fn delay_factor(&self, from: NodeId, to: NodeId) -> u64 {
+        self.stragglers
+            .iter()
+            .filter(|&&(n, _)| n == from || n == to)
+            .map(|&(_, f)| f)
+            .max()
+            .unwrap_or(1)
+            .max(1)
+    }
+
+    /// Whether this plan can prevent requests from completing: lost
+    /// messages and crashed nodes break the reliable-channel assumption
+    /// every algorithm's liveness argument rests on. Duplication and
+    /// stragglers only stress, never starve.
+    pub fn threatens_liveness(&self) -> bool {
+        self.drop_every.is_some() || !self.crashes.is_empty()
     }
 }
 
@@ -96,5 +198,61 @@ mod tests {
     #[should_panic(expected = "must be >= 1")]
     fn zero_period_rejected() {
         FaultPlan::duplicating(0);
+    }
+
+    #[test]
+    fn loss_period() {
+        let f = FaultPlan::losing(4);
+        let drops: Vec<u64> = (1..=12).filter(|&s| f.drops(s)).collect();
+        assert_eq!(drops, vec![4, 8, 12]);
+        assert!(!f.duplicates(4), "loss does not imply duplication");
+        assert!(f.threatens_liveness());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 1")]
+    fn zero_loss_period_rejected() {
+        FaultPlan::losing(0);
+    }
+
+    #[test]
+    fn straggler_factor_is_endpoint_max() {
+        let f = FaultPlan::straggler(NodeId::new(1), 8).with_straggler(NodeId::new(2), 3);
+        assert_eq!(f.delay_factor(NodeId::new(0), NodeId::new(3)), 1);
+        assert_eq!(f.delay_factor(NodeId::new(1), NodeId::new(0)), 8);
+        assert_eq!(f.delay_factor(NodeId::new(0), NodeId::new(2)), 3);
+        assert_eq!(
+            f.delay_factor(NodeId::new(1), NodeId::new(2)),
+            8,
+            "max, not product"
+        );
+        assert!(!f.threatens_liveness(), "stragglers are slow, not dead");
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be >= 1")]
+    fn zero_straggler_factor_rejected() {
+        FaultPlan::straggler(NodeId::new(0), 0);
+    }
+
+    #[test]
+    fn builder_stacks_all_classes() {
+        let f = FaultPlan::losing(50)
+            .with_duplication(7)
+            .with_straggler(NodeId::new(0), 4)
+            .with_crash(NodeId::new(5), SimTime::from_ticks(90));
+        assert!(f.drops(100));
+        assert!(f.duplicates(49));
+        assert_eq!(f.delay_factor(NodeId::new(0), NodeId::new(1)), 4);
+        assert!(f.is_crashed(NodeId::new(5), SimTime::from_ticks(90)));
+        assert!(f.threatens_liveness());
+    }
+
+    #[test]
+    fn default_plan_is_fully_inert() {
+        let f = FaultPlan::none();
+        assert!(!f.drops(1));
+        assert_eq!(f.delay_factor(NodeId::new(0), NodeId::new(1)), 1);
+        assert!(!f.threatens_liveness());
     }
 }

@@ -58,6 +58,8 @@ pub struct SimMetrics {
     wire_bytes: u64,
     /// Deliveries dropped by fault injection (crashed receiver).
     messages_dropped: u64,
+    /// Messages lost in the network by fault injection (never delivered).
+    messages_lost: u64,
 }
 
 impl SimMetrics {
@@ -71,26 +73,29 @@ impl SimMetrics {
     /// Panics if the node already has an outstanding request — the system
     /// model (§3) forbids that, and the workload layer enforces it.
     pub fn request_issued(&mut self, node: NodeId, now: SimTime) {
-        let prev = self.open.insert(
-            node,
-            {
-                self.records.push(RequestRecord {
-                    node,
-                    issued: now,
-                    entered: None,
-                    exited: None,
-                });
-                self.records.len() - 1
-            },
+        let prev = self.open.insert(node, {
+            self.records.push(RequestRecord {
+                node,
+                issued: now,
+                entered: None,
+                exited: None,
+            });
+            self.records.len() - 1
+        });
+        assert!(
+            prev.is_none(),
+            "{node:?} issued a second outstanding request"
         );
-        assert!(prev.is_none(), "{node:?} issued a second outstanding request");
     }
 
     /// `node` entered the CS at `now`.
     pub fn cs_entered(&mut self, node: NodeId, now: SimTime) {
         if let Some(&idx) = self.open.get(&node) {
             let rec = &mut self.records[idx];
-            assert!(rec.entered.is_none(), "{node:?} entered the CS twice for one request");
+            assert!(
+                rec.entered.is_none(),
+                "{node:?} entered the CS twice for one request"
+            );
             rec.entered = Some(now);
         }
     }
@@ -120,6 +125,16 @@ impl SimMetrics {
     /// Deliveries dropped by fault injection.
     pub fn messages_dropped(&self) -> u64 {
         self.messages_dropped
+    }
+
+    /// A sent message was lost in the network by fault injection.
+    pub fn message_lost(&mut self) {
+        self.messages_lost += 1;
+    }
+
+    /// Messages lost in the network by fault injection.
+    pub fn messages_lost(&self) -> u64 {
+        self.messages_lost
     }
 
     /// Whether `node` currently has an outstanding request.

@@ -58,7 +58,11 @@ impl SafetyMonitor {
     /// node becomes the tracked occupant so subsequent exits stay coherent).
     pub fn enter(&mut self, node: NodeId, now: SimTime) {
         if let Some(holder) = self.occupant {
-            self.violations.push(Violation { at: now, holder, intruder: node });
+            self.violations.push(Violation {
+                at: now,
+                holder,
+                intruder: node,
+            });
         }
         if let Some(exit) = self.last_exit.take() {
             self.sync_gaps.push(now.saturating_since(exit));
@@ -158,7 +162,11 @@ mod tests {
         assert!(!m.is_safe());
         assert_eq!(
             m.violations(),
-            &[Violation { at: t(12), holder: NodeId::new(0), intruder: NodeId::new(1) }]
+            &[Violation {
+                at: t(12),
+                holder: NodeId::new(0),
+                intruder: NodeId::new(1)
+            }]
         );
     }
 

@@ -58,7 +58,14 @@ impl<'a, M> Ctx<'a, M> {
         enter_cs: &'a mut bool,
         timers: &'a mut Vec<(SimDuration, u64)>,
     ) -> Self {
-        Ctx { me, now, rng, outbox, enter_cs, timers }
+        Ctx {
+            me,
+            now,
+            rng,
+            outbox,
+            enter_cs,
+            timers,
+        }
     }
 
     /// This node's id.
@@ -181,8 +188,14 @@ mod tests {
         let mut outbox: Vec<(NodeId, Ping)> = Vec::new();
         let mut enter = false;
         let mut timers = Vec::new();
-        let mut ctx =
-            Ctx::new(NodeId::new(0), SimTime::ZERO, &mut rng, &mut outbox, &mut enter, &mut timers);
+        let mut ctx = Ctx::new(
+            NodeId::new(0),
+            SimTime::ZERO,
+            &mut rng,
+            &mut outbox,
+            &mut enter,
+            &mut timers,
+        );
         ctx.send(NodeId::new(0), Ping);
     }
 

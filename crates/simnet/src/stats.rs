@@ -24,7 +24,15 @@ pub struct Summary {
 impl Summary {
     /// An all-zero summary for an empty sample.
     pub fn empty() -> Self {
-        Summary { count: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0, p50: 0.0, p95: 0.0 }
+        Summary {
+            count: 0,
+            mean: 0.0,
+            std_dev: 0.0,
+            min: 0.0,
+            max: 0.0,
+            p50: 0.0,
+            p95: 0.0,
+        }
     }
 
     /// Computes a summary; `samples` need not be sorted.

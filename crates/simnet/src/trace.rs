@@ -74,6 +74,15 @@ pub enum TraceEvent {
         /// The crashed receiver.
         to: NodeId,
     },
+    /// A message was lost in the network (fault injection).
+    Lost {
+        /// When it was sent.
+        at: SimTime,
+        /// Sender.
+        from: NodeId,
+        /// Intended receiver.
+        to: NodeId,
+    },
 }
 
 impl TraceEvent {
@@ -86,7 +95,8 @@ impl TraceEvent {
             | TraceEvent::CsEnter { at, .. }
             | TraceEvent::CsExit { at, .. }
             | TraceEvent::Timer { at, .. }
-            | TraceEvent::Dropped { at, .. } => at,
+            | TraceEvent::Dropped { at, .. }
+            | TraceEvent::Lost { at, .. } => at,
         }
     }
 
@@ -95,7 +105,13 @@ impl TraceEvent {
             TraceEvent::Arrival { at, node } => {
                 format!("t={at:<6} {node} requests the CS")
             }
-            TraceEvent::Send { at, from, to, kind, detail } => {
+            TraceEvent::Send {
+                at,
+                from,
+                to,
+                kind,
+                detail,
+            } => {
                 format!("t={at:<6} {from} --{kind}--> {to}  {detail}")
             }
             TraceEvent::Deliver { at, from, to, kind } => {
@@ -113,6 +129,9 @@ impl TraceEvent {
             TraceEvent::Dropped { at, to } => {
                 format!("t={at:<6} delivery to crashed {to} dropped")
             }
+            TraceEvent::Lost { at, from, to } => {
+                format!("t={at:<6} {from} -> {to} lost in the network")
+            }
         }
     }
 }
@@ -129,7 +148,11 @@ pub struct Trace {
 impl Trace {
     /// A trace keeping at most `capacity` events (0 disables recording).
     pub fn with_capacity(capacity: usize) -> Self {
-        Trace { capacity, events: VecDeque::new(), overflowed: 0 }
+        Trace {
+            capacity,
+            events: VecDeque::new(),
+            overflowed: 0,
+        }
     }
 
     /// Whether recording is enabled.
@@ -173,7 +196,10 @@ impl Trace {
     pub fn render(&self) -> String {
         let mut out = String::new();
         if self.overflowed > 0 {
-            out.push_str(&format!("... {} earlier events dropped ...\n", self.overflowed));
+            out.push_str(&format!(
+                "... {} earlier events dropped ...\n",
+                self.overflowed
+            ));
         }
         for ev in &self.events {
             out.push_str(&ev.render_line());
@@ -194,16 +220,14 @@ impl Trace {
         for ev in &self.events {
             end_tick = end_tick.max(ev.at().ticks());
             match *ev {
-                TraceEvent::CsEnter { at, node }
-                    if node.index() < n => {
-                        open[node.index()] = Some(at.ticks());
+                TraceEvent::CsEnter { at, node } if node.index() < n => {
+                    open[node.index()] = Some(at.ticks());
+                }
+                TraceEvent::CsExit { at, node } if node.index() < n => {
+                    if let Some(start) = open[node.index()].take() {
+                        spans[node.index()].push((start, at.ticks()));
                     }
-                TraceEvent::CsExit { at, node }
-                    if node.index() < n => {
-                        if let Some(start) = open[node.index()].take() {
-                            spans[node.index()].push((start, at.ticks()));
-                        }
-                    }
+                }
                 _ => {}
             }
         }
@@ -246,9 +270,9 @@ impl Trace {
                 | TraceEvent::CsExit { node: n, .. }
                 | TraceEvent::Timer { node: n, .. }
                 | TraceEvent::Dropped { to: n, .. } => *n == node,
-                TraceEvent::Send { from, to, .. } | TraceEvent::Deliver { from, to, .. } => {
-                    *from == node || *to == node
-                }
+                TraceEvent::Send { from, to, .. }
+                | TraceEvent::Deliver { from, to, .. }
+                | TraceEvent::Lost { from, to, .. } => *from == node || *to == node,
             };
             if relevant {
                 out.push_str(&ev.render_line());
@@ -270,7 +294,10 @@ mod tests {
     #[test]
     fn disabled_trace_records_nothing() {
         let mut tr = Trace::with_capacity(0);
-        tr.record(TraceEvent::Arrival { at: t(1), node: NodeId::new(0) });
+        tr.record(TraceEvent::Arrival {
+            at: t(1),
+            node: NodeId::new(0),
+        });
         assert!(tr.is_empty());
         assert!(!tr.enabled());
     }
@@ -279,7 +306,10 @@ mod tests {
     fn ring_drops_oldest() {
         let mut tr = Trace::with_capacity(2);
         for i in 0..5u64 {
-            tr.record(TraceEvent::CsEnter { at: t(i), node: NodeId::new(0) });
+            tr.record(TraceEvent::CsEnter {
+                at: t(i),
+                node: NodeId::new(0),
+            });
         }
         assert_eq!(tr.len(), 2);
         assert_eq!(tr.overflowed(), 3);
@@ -306,10 +336,22 @@ mod tests {
     #[test]
     fn gantt_marks_occupancy() {
         let mut tr = Trace::with_capacity(16);
-        tr.record(TraceEvent::CsEnter { at: t(0), node: NodeId::new(0) });
-        tr.record(TraceEvent::CsExit { at: t(10), node: NodeId::new(0) });
-        tr.record(TraceEvent::CsEnter { at: t(15), node: NodeId::new(1) });
-        tr.record(TraceEvent::CsExit { at: t(25), node: NodeId::new(1) });
+        tr.record(TraceEvent::CsEnter {
+            at: t(0),
+            node: NodeId::new(0),
+        });
+        tr.record(TraceEvent::CsExit {
+            at: t(10),
+            node: NodeId::new(0),
+        });
+        tr.record(TraceEvent::CsEnter {
+            at: t(15),
+            node: NodeId::new(1),
+        });
+        tr.record(TraceEvent::CsExit {
+            at: t(25),
+            node: NodeId::new(1),
+        });
         let g = tr.render_gantt(2, 5);
         let lines: Vec<&str> = g.lines().collect();
         // Columns: 0-5-10-15-20-25 → 6 columns.
@@ -320,8 +362,14 @@ mod tests {
     #[test]
     fn gantt_handles_open_hold() {
         let mut tr = Trace::with_capacity(8);
-        tr.record(TraceEvent::CsEnter { at: t(2), node: NodeId::new(0) });
-        tr.record(TraceEvent::Arrival { at: t(9), node: NodeId::new(1) });
+        tr.record(TraceEvent::CsEnter {
+            at: t(2),
+            node: NodeId::new(0),
+        });
+        tr.record(TraceEvent::Arrival {
+            at: t(9),
+            node: NodeId::new(1),
+        });
         let g = tr.render_gantt(2, 1);
         assert!(g.lines().next().unwrap().contains("########"), "{g}");
     }
@@ -329,8 +377,14 @@ mod tests {
     #[test]
     fn per_node_filter() {
         let mut tr = Trace::with_capacity(8);
-        tr.record(TraceEvent::CsEnter { at: t(1), node: NodeId::new(0) });
-        tr.record(TraceEvent::CsEnter { at: t(2), node: NodeId::new(1) });
+        tr.record(TraceEvent::CsEnter {
+            at: t(1),
+            node: NodeId::new(0),
+        });
+        tr.record(TraceEvent::CsEnter {
+            at: t(2),
+            node: NodeId::new(1),
+        });
         tr.record(TraceEvent::Send {
             at: t(3),
             from: NodeId::new(1),
@@ -341,6 +395,9 @@ mod tests {
         let for0 = tr.render_for(NodeId::new(0));
         assert!(for0.contains("N0 ENTERS"));
         assert!(!for0.contains("N1 ENTERS"));
-        assert!(for0.contains("--EM-->"), "messages touching N0 are relevant");
+        assert!(
+            for0.contains("--EM-->"),
+            "messages touching N0 are relevant"
+        );
     }
 }

@@ -56,7 +56,13 @@ pub trait Workload {
     /// Called when `node`'s request completes (it exited the CS) at `now`;
     /// may schedule that node's next arrival. Must only schedule times
     /// `>= now`.
-    fn on_complete(&mut self, node: NodeId, now: SimTime, rng: &mut SmallRng, sink: &mut ArrivalSink);
+    fn on_complete(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        rng: &mut SmallRng,
+        sink: &mut ArrivalSink,
+    );
 }
 
 /// The trivial workload: every node requests exactly once, all at `t = 0`.

@@ -1,6 +1,8 @@
 //! Uniform dispatch over all implemented mutual exclusion algorithms.
 
-use rcv_baselines::{Lamport, Maekawa, QuorumSystem, RaDynamic, Raymond, RicartAgrawala, SuzukiKasami};
+use rcv_baselines::{
+    Lamport, Maekawa, QuorumSystem, RaDynamic, Raymond, RicartAgrawala, SuzukiKasami,
+};
 use rcv_core::{ForwardPolicy, RcvConfig, RcvNode};
 use rcv_simnet::{Engine, SimConfig, SimReport, Workload};
 
@@ -45,7 +47,12 @@ impl Algo {
     /// The four algorithms of the paper's simulation study, in the order
     /// the figures list them.
     pub fn paper_four() -> [Algo; 4] {
-        [Algo::Rcv(ForwardPolicy::Random), Algo::Maekawa, Algo::Ricart, Algo::Broadcast]
+        [
+            Algo::Rcv(ForwardPolicy::Random),
+            Algo::Maekawa,
+            Algo::Ricart,
+            Algo::Broadcast,
+        ]
     }
 
     /// All six principal algorithms (the paper's four + Lamport/Raymond).
@@ -78,30 +85,34 @@ impl Algo {
     /// Whether the algorithm assumes FIFO channels (and must therefore be
     /// simulated under the constant-delay model, as in the paper).
     pub fn requires_fifo(&self) -> bool {
-        matches!(self, Algo::Maekawa | Algo::MaekawaFpp | Algo::Lamport | Algo::RaDynamic)
+        matches!(
+            self,
+            Algo::Maekawa | Algo::MaekawaFpp | Algo::Lamport | Algo::RaDynamic
+        )
     }
 
     /// Runs one simulation of this algorithm.
     pub fn run<W: Workload>(&self, cfg: SimConfig, workload: W) -> SimReport {
         match *self {
             Algo::Rcv(policy) => Engine::new(cfg, workload, |id, n| {
-                RcvNode::with_config(id, n, RcvConfig { forward: policy, ..RcvConfig::paper() })
+                RcvNode::with_config(
+                    id,
+                    n,
+                    RcvConfig {
+                        forward: policy,
+                        ..RcvConfig::paper()
+                    },
+                )
             })
             .run(),
-            Algo::Ricart => {
-                Engine::new(cfg, workload, RicartAgrawala::new).run()
-            }
-            Algo::RaDynamic => {
-                Engine::new(cfg, workload, RaDynamic::new).run()
-            }
+            Algo::Ricart => Engine::new(cfg, workload, RicartAgrawala::new).run(),
+            Algo::RaDynamic => Engine::new(cfg, workload, RaDynamic::new).run(),
             Algo::Maekawa => Engine::new(cfg, workload, Maekawa::new).run(),
             Algo::MaekawaFpp => Engine::new(cfg, workload, |id, n| {
                 Maekawa::with_quorums(id, QuorumSystem::best(n))
             })
             .run(),
-            Algo::Broadcast => {
-                Engine::new(cfg, workload, SuzukiKasami::new).run()
-            }
+            Algo::Broadcast => Engine::new(cfg, workload, SuzukiKasami::new).run(),
             Algo::Lamport => Engine::new(cfg, workload, Lamport::new).run(),
             Algo::Raymond => Engine::new(cfg, workload, Raymond::new).run(),
         }

@@ -16,6 +16,19 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 use rcv_simnet::{ArrivalSink, NodeId, SimDuration, SimTime, Workload};
 
+/// Draws one exponentially distributed inter-arrival gap (inverse-CDF,
+/// `1 - u` to avoid `ln(0)`), rounded to ticks with a 1-tick floor.
+///
+/// The single sampler behind every Poisson-flavoured generator here and
+/// in [`crate::phased`] — calibration (rounding, floor) must stay in one
+/// place or the arrival distributions silently diverge.
+pub fn exp_gap(mean: f64, rng: &mut SmallRng) -> SimDuration {
+    debug_assert!(mean > 0.0, "exponential gap with non-positive mean");
+    let u: f64 = rng.gen();
+    let ticks = (-mean * (1.0 - u).ln()).round() as u64;
+    SimDuration::from_ticks(ticks.max(1))
+}
+
 /// Closed-loop Poisson arrivals with a horizon.
 #[derive(Clone, Debug)]
 pub struct PoissonWorkload {
@@ -30,14 +43,14 @@ impl PoissonWorkload {
     /// Builds the paper's Figure 6/7 workload: `1/λ` ticks mean
     /// inter-arrival, horizon 100 000 tu.
     pub fn paper(inv_lambda: f64) -> Self {
-        PoissonWorkload { mean_interarrival: inv_lambda, horizon: SimTime::from_ticks(100_000) }
+        PoissonWorkload {
+            mean_interarrival: inv_lambda,
+            horizon: SimTime::from_ticks(100_000),
+        }
     }
 
     fn sample_gap(&self, rng: &mut SmallRng) -> SimDuration {
-        debug_assert!(self.mean_interarrival > 0.0);
-        let u: f64 = rng.gen();
-        let ticks = (-self.mean_interarrival * (1.0 - u).ln()).round() as u64;
-        SimDuration::from_ticks(ticks.max(1))
+        exp_gap(self.mean_interarrival, rng)
     }
 
     fn maybe_schedule(&self, node: NodeId, at: SimTime, sink: &mut ArrivalSink) {
@@ -55,9 +68,86 @@ impl Workload for PoissonWorkload {
         }
     }
 
-    fn on_complete(&mut self, node: NodeId, now: SimTime, rng: &mut SmallRng, sink: &mut ArrivalSink) {
+    fn on_complete(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        rng: &mut SmallRng,
+        sink: &mut ArrivalSink,
+    ) {
         let gap = self.sample_gap(rng);
         self.maybe_schedule(node, now + gap, sink);
+    }
+}
+
+/// Closed-loop Poisson arrivals with *skewed* per-node demand: the first
+/// `hot_nodes` nodes request with mean inter-arrival `hot_mean`, the rest
+/// with `cold_mean` (≫ `hot_mean`). Models a hot-spot: a few clients
+/// hammer the lock while the long tail touches it occasionally — a regime
+/// the paper's uniform workloads never exercise (favours algorithms whose
+/// cost adapts to the requester set, e.g. dynamic RA or RCV forwarding).
+#[derive(Clone, Debug)]
+pub struct HotSpotWorkload {
+    /// How many nodes (ids `0..hot_nodes`) are hot.
+    pub hot_nodes: usize,
+    /// Mean inter-arrival of a hot node, in ticks.
+    pub hot_mean: f64,
+    /// Mean inter-arrival of a cold node, in ticks.
+    pub cold_mean: f64,
+    /// No arrivals at or beyond this time.
+    pub horizon: SimTime,
+}
+
+impl HotSpotWorkload {
+    /// Builds a hot-spot workload (`hot_nodes` may be 0 or ≥ n; demand is
+    /// then uniform at `cold_mean` / `hot_mean` respectively).
+    pub fn new(hot_nodes: usize, hot_mean: f64, cold_mean: f64, horizon: SimTime) -> Self {
+        assert!(hot_mean > 0.0 && cold_mean > 0.0, "means must be positive");
+        HotSpotWorkload {
+            hot_nodes,
+            hot_mean,
+            cold_mean,
+            horizon,
+        }
+    }
+
+    fn mean_for(&self, node: NodeId) -> f64 {
+        if node.index() < self.hot_nodes {
+            self.hot_mean
+        } else {
+            self.cold_mean
+        }
+    }
+
+    fn schedule_next(
+        &self,
+        node: NodeId,
+        now: SimTime,
+        rng: &mut SmallRng,
+        sink: &mut ArrivalSink,
+    ) {
+        let at = now + exp_gap(self.mean_for(node), rng);
+        if at < self.horizon {
+            sink.schedule(at, node);
+        }
+    }
+}
+
+impl Workload for HotSpotWorkload {
+    fn init(&mut self, n: usize, rng: &mut SmallRng, sink: &mut ArrivalSink) {
+        for node in NodeId::all(n) {
+            self.schedule_next(node, SimTime::ZERO, rng, sink);
+        }
+    }
+
+    fn on_complete(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        rng: &mut SmallRng,
+        sink: &mut ArrivalSink,
+    ) {
+        self.schedule_next(node, now, rng, sink);
     }
 }
 
@@ -72,7 +162,9 @@ pub struct SaturationWorkload {
 impl SaturationWorkload {
     /// Every node requests `1 + extra_rounds` times total.
     pub fn new(n: usize, extra_rounds: u32) -> Self {
-        SaturationWorkload { remaining: vec![extra_rounds; n] }
+        SaturationWorkload {
+            remaining: vec![extra_rounds; n],
+        }
     }
 
     /// Total requests this workload will issue.
@@ -83,13 +175,23 @@ impl SaturationWorkload {
 
 impl Workload for SaturationWorkload {
     fn init(&mut self, n: usize, _rng: &mut SmallRng, sink: &mut ArrivalSink) {
-        assert_eq!(self.remaining.len(), n, "SaturationWorkload built for a different N");
+        assert_eq!(
+            self.remaining.len(),
+            n,
+            "SaturationWorkload built for a different N"
+        );
         for node in NodeId::all(n) {
             sink.schedule(SimTime::ZERO, node);
         }
     }
 
-    fn on_complete(&mut self, node: NodeId, now: SimTime, _rng: &mut SmallRng, sink: &mut ArrivalSink) {
+    fn on_complete(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        _rng: &mut SmallRng,
+        sink: &mut ArrivalSink,
+    ) {
         let r = &mut self.remaining[node.index()];
         if *r > 0 {
             *r -= 1;
@@ -105,7 +207,10 @@ mod tests {
 
     #[test]
     fn poisson_initial_arrivals_before_horizon() {
-        let mut w = PoissonWorkload { mean_interarrival: 10.0, horizon: SimTime::from_ticks(1000) };
+        let mut w = PoissonWorkload {
+            mean_interarrival: 10.0,
+            horizon: SimTime::from_ticks(1000),
+        };
         let mut rng = SmallRng::seed_from_u64(5);
         let mut sink = ArrivalSink::new();
         w.init(8, &mut rng, &mut sink);
@@ -117,7 +222,10 @@ mod tests {
 
     #[test]
     fn poisson_respects_horizon_on_completion() {
-        let mut w = PoissonWorkload { mean_interarrival: 5.0, horizon: SimTime::from_ticks(100) };
+        let mut w = PoissonWorkload {
+            mean_interarrival: 5.0,
+            horizon: SimTime::from_ticks(100),
+        };
         let mut rng = SmallRng::seed_from_u64(5);
         let mut sink = ArrivalSink::new();
         // Completing at t=99 may or may not schedule (gap >= 1 pushes past
@@ -130,12 +238,52 @@ mod tests {
 
     #[test]
     fn poisson_gap_mean_is_calibrated() {
-        let w = PoissonWorkload { mean_interarrival: 20.0, horizon: SimTime::from_ticks(1) };
+        let w = PoissonWorkload {
+            mean_interarrival: 20.0,
+            horizon: SimTime::from_ticks(1),
+        };
         let mut rng = SmallRng::seed_from_u64(7);
         let n = 20_000;
         let total: u64 = (0..n).map(|_| w.sample_gap(&mut rng).ticks()).sum();
         let mean = total as f64 / n as f64;
         assert!((18.5..21.5).contains(&mean), "empirical mean {mean}");
+    }
+
+    #[test]
+    fn hotspot_skews_demand() {
+        // Closed loop schedules one arrival per completion regardless of
+        // heat, so the skew shows in the *gaps*: sample many and compare.
+        let mut w = HotSpotWorkload::new(1, 10.0, 500.0, SimTime::from_ticks(1_000_000));
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut sink = ArrivalSink::new();
+        let mut hot_total = 0u64;
+        let mut cold_total = 0u64;
+        for _ in 0..2000 {
+            w.on_complete(NodeId::new(0), SimTime::ZERO, &mut rng, &mut sink);
+            w.on_complete(NodeId::new(1), SimTime::ZERO, &mut rng, &mut sink);
+        }
+        for (at, node) in sink.drain() {
+            if node.index() == 0 {
+                hot_total += at.ticks();
+            } else {
+                cold_total += at.ticks();
+            }
+        }
+        assert!(
+            cold_total > hot_total * 10,
+            "cold gaps (mean 500) must dwarf hot gaps (mean 10): {cold_total} vs {hot_total}"
+        );
+    }
+
+    #[test]
+    fn hotspot_respects_horizon() {
+        let mut w = HotSpotWorkload::new(1, 5.0, 50.0, SimTime::from_ticks(100));
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut sink = ArrivalSink::new();
+        for _ in 0..256 {
+            w.on_complete(NodeId::new(0), SimTime::from_ticks(99), &mut rng, &mut sink);
+        }
+        assert!(sink.is_empty(), "99 + gap >= 100 must never schedule");
     }
 
     #[test]

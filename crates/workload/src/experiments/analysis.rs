@@ -32,8 +32,8 @@ pub fn an1(sizes: &[usize], seeds: &[u64]) -> Table {
         vec!["N".into(), "paper".into(), "measured".into()],
     );
     for &n in sizes {
-        let mean: f64 = seeds.iter().map(|&s| lone_request(n, s).nme).sum::<f64>()
-            / seeds.len() as f64;
+        let mean: f64 =
+            seeds.iter().map(|&s| lone_request(n, s).nme).sum::<f64>() / seeds.len() as f64;
         t.push_row(vec![n.to_string(), (n / 2 + 2).to_string(), fmt1(mean)]);
     }
     t
@@ -90,10 +90,18 @@ pub fn an4(sizes: &[usize], seeds: &[u64]) -> Table {
     let mut t = Table::new(
         "AN4",
         "light-load RT bounds: paper [(⌊N/2⌋+2)·Tn, (N-1+1)·Tn], Tn=5",
-        vec!["N".into(), "paper low".into(), "paper high".into(), "measured".into()],
+        vec![
+            "N".into(),
+            "paper low".into(),
+            "paper high".into(),
+            "measured".into(),
+        ],
     );
     for &n in sizes {
-        let mean: f64 = seeds.iter().map(|&s| lone_request(n, s).rt_mean).sum::<f64>()
+        let mean: f64 = seeds
+            .iter()
+            .map(|&s| lone_request(n, s).rt_mean)
+            .sum::<f64>()
             / seeds.len() as f64;
         let low = ((n / 2 + 2) * 5) as f64;
         let high = (n * 5) as f64;
@@ -107,7 +115,12 @@ pub fn an5(sizes: &[usize], seeds: &[u64]) -> Table {
     let mut t = Table::new(
         "AN5",
         "heavy-load RT: paper ≈ N·(Tn+Tc) = 15·N (burst, mean over queue positions ≈ half)",
-        vec!["N".into(), "paper N*15".into(), "paper mean N*15/2".into(), "measured mean".into()],
+        vec![
+            "N".into(),
+            "paper N*15".into(),
+            "paper mean N*15/2".into(),
+            "measured mean".into(),
+        ],
     );
     for &n in sizes {
         let mean: f64 = seeds
@@ -152,7 +165,11 @@ mod tests {
         for row in &t.rows {
             let bound: f64 = row[1].parse().unwrap();
             let measured: f64 = row[2].parse().unwrap();
-            assert!(measured <= bound, "N={}: {measured} exceeds bound {bound}", row[0]);
+            assert!(
+                measured <= bound,
+                "N={}: {measured} exceeds bound {bound}",
+                row[0]
+            );
         }
     }
 

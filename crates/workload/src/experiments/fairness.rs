@@ -34,11 +34,17 @@ pub struct Fairness {
 pub fn measure(algo: Algo, n: usize, rounds: u32, seeds: &[u64]) -> Fairness {
     let mut per_node: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
     for &seed in seeds {
-        let report = algo.run(SimConfig::paper(n, seed), SaturationWorkload::new(n, rounds));
+        let report = algo.run(
+            SimConfig::paper(n, seed),
+            SaturationWorkload::new(n, rounds),
+        );
         assert!(report.is_safe() && !report.deadlocked, "{}", algo.name());
         for rec in report.metrics.records() {
             if let Some(rt) = rec.response_time() {
-                per_node.entry(rec.node.raw()).or_default().push(rt.as_f64());
+                per_node
+                    .entry(rec.node.raw())
+                    .or_default()
+                    .push(rt.as_f64());
             }
         }
     }
@@ -51,7 +57,10 @@ pub fn measure(algo: Algo, n: usize, rounds: u32, seeds: &[u64]) -> Fairness {
     let jain = (sum * sum) / (means.len() as f64 * sum_sq);
     let fastest = means.iter().cloned().fold(f64::INFINITY, f64::min);
     let slowest = means.iter().cloned().fold(0.0, f64::max);
-    Fairness { jain, spread: slowest / fastest }
+    Fairness {
+        jain,
+        spread: slowest / fastest,
+    }
 }
 
 /// Renders the EXT2 table over the principal algorithms.
@@ -59,7 +68,11 @@ pub fn run(n: usize, rounds: u32, seeds: &[u64]) -> Table {
     let mut t = Table::new(
         "EXT2",
         format!("service fairness under saturation (N={n}, {rounds}+1 rounds/node)"),
-        vec!["algorithm".into(), "Jain index".into(), "max/min node RT".into()],
+        vec![
+            "algorithm".into(),
+            "Jain index".into(),
+            "max/min node RT".into(),
+        ],
     );
     for algo in Algo::all_six() {
         let f = measure(algo, n, rounds, seeds);
@@ -88,8 +101,16 @@ mod tests {
         let f = measure(Algo::Rcv(ForwardPolicy::Random), 8, 4, &[1, 2]);
         // The id tie-break skews service, but starvation freedom bounds
         // the spread: every request is eventually ordered.
-        assert!(f.jain > 0.5, "RCV Jain index {:.3} implausibly unfair", f.jain);
-        assert!(f.spread < 10.0, "RCV spread {:.2} implies near-starvation", f.spread);
+        assert!(
+            f.jain > 0.5,
+            "RCV Jain index {:.3} implausibly unfair",
+            f.jain
+        );
+        assert!(
+            f.spread < 10.0,
+            "RCV spread {:.2} implies near-starvation",
+            f.spread
+        );
     }
 
     #[test]

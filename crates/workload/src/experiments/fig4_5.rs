@@ -27,15 +27,22 @@ pub fn run(sizes: &[usize], seeds: &[u64]) -> (Table, Table) {
         "mean messages per CS execution vs node count (burst, every node once)",
         columns.clone(),
     );
-    let mut fig5 = Table::new("FIG5", "mean response time (ticks) vs node count (burst)", columns);
+    let mut fig5 = Table::new(
+        "FIG5",
+        "mean response time (ticks) vs node count (burst)",
+        columns,
+    );
 
     // One job per (N, algorithm) grid point, run in parallel; every job is
     // an independent deterministic simulation, so the tables are identical
     // to the serial computation.
-    let jobs: Vec<(usize, Algo)> =
-        sizes.iter().flat_map(|&n| algos.iter().map(move |&a| (n, a))).collect();
-    let outcomes: Vec<Outcome> =
-        parmap(jobs, default_threads(), |(n, algo)| burst_mean(algo, n, seeds));
+    let jobs: Vec<(usize, Algo)> = sizes
+        .iter()
+        .flat_map(|&n| algos.iter().map(move |&a| (n, a)))
+        .collect();
+    let outcomes: Vec<Outcome> = parmap(jobs, default_threads(), |(n, algo)| {
+        burst_mean(algo, n, seeds)
+    });
 
     for (row_idx, &n) in sizes.iter().enumerate() {
         let mut nme_row = vec![n.to_string()];

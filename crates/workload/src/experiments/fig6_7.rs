@@ -48,8 +48,9 @@ pub fn run(n: usize, inv_lambdas: &[f64], seeds: &[u64]) -> (Table, Table) {
         .iter()
         .flat_map(|&il| fig7_algos.iter().map(move |&a| (il, a)))
         .collect();
-    let outcomes: Vec<Outcome> =
-        parmap(jobs, default_threads(), |(il, algo)| poisson_mean(algo, n, il, seeds));
+    let outcomes: Vec<Outcome> = parmap(jobs, default_threads(), |(il, algo)| {
+        poisson_mean(algo, n, il, seeds)
+    });
 
     for (row_idx, &inv_lambda) in inv_lambdas.iter().enumerate() {
         let row = &outcomes[row_idx * fig7_algos.len()..(row_idx + 1) * fig7_algos.len()];
@@ -109,6 +110,9 @@ mod tests {
         let (_, fig7) = run(12, &[2.0], &[3]);
         let mk = fig7.numeric_column("Maekawa")[0];
         let bc = fig7.numeric_column("Broadcast")[0];
-        assert!(mk > bc, "Maekawa RT ({mk}) must exceed Broadcast RT ({bc}) under load");
+        assert!(
+            mk > bc,
+            "Maekawa RT ({mk}) must exceed Broadcast RT ({bc}) under load"
+        );
     }
 }

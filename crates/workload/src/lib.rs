@@ -10,6 +10,9 @@
 //! * [`experiments`] — one module per paper figure (FIG4-7) and per
 //!   analytic claim (AN1-5), each rendering a [`report::Table`];
 //! * [`report`] — markdown/CSV/fixed-width table rendering;
+//! * [`scenario`] — the declarative scenario conformance registry
+//!   (workload shape × fault regime × delay model × N × seeds) behind the
+//!   `matrix` binary and its CI gate;
 //! * [`sweep`] — order-preserving parallel map for experiment grids.
 //!
 //! The `repro` binary in `rcv-bench` is a thin CLI over this crate.
@@ -23,10 +26,12 @@ pub mod experiments;
 pub mod phased;
 pub mod report;
 pub mod runner;
+pub mod scenario;
 pub mod sweep;
 
 pub use algo::Algo;
-pub use arrival::{PoissonWorkload, SaturationWorkload};
+pub use arrival::{HotSpotWorkload, PoissonWorkload, SaturationWorkload};
 pub use phased::{Phase, PhasedWorkload, TimedPhase};
 pub use report::Table;
 pub use runner::Outcome;
+pub use scenario::{Cell, CellResult, ScenarioSpec, REGISTRY_VERSION};

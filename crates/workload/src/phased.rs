@@ -8,7 +8,6 @@
 //! long-gone burst with fresh requests).
 
 use rand::rngs::SmallRng;
-use rand::Rng;
 use rcv_simnet::{ArrivalSink, NodeId, SimDuration, SimTime, Workload};
 
 /// One phase of a [`PhasedWorkload`].
@@ -50,7 +49,10 @@ impl PhasedWorkload {
     pub fn new(phases: Vec<TimedPhase>) -> Self {
         assert!(!phases.is_empty(), "need at least one phase");
         let total: u64 = phases.iter().map(|p| p.duration.ticks()).sum();
-        PhasedWorkload { phases, end: SimTime::from_ticks(total) }
+        PhasedWorkload {
+            phases,
+            end: SimTime::from_ticks(total),
+        }
     }
 
     /// When the whole workload stops issuing arrivals.
@@ -97,9 +99,7 @@ impl PhasedWorkload {
                     cursor = self.next_boundary(cursor);
                 }
                 Some((Phase::Poisson { mean_interarrival }, _)) => {
-                    let u: f64 = rng.gen();
-                    let gap = (-mean_interarrival * (1.0 - u).ln()).round() as u64;
-                    let at = cursor + SimDuration::from_ticks(gap.max(1));
+                    let at = cursor + crate::arrival::exp_gap(*mean_interarrival, rng);
                     // The draw may cross into the next phase; allow it as
                     // long as it lands before the overall end (approximate
                     // but simple; the next completion re-samples there).
@@ -134,7 +134,13 @@ impl Workload for PhasedWorkload {
         }
     }
 
-    fn on_complete(&mut self, node: NodeId, now: SimTime, rng: &mut SmallRng, sink: &mut ArrivalSink) {
+    fn on_complete(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        rng: &mut SmallRng,
+        sink: &mut ArrivalSink,
+    ) {
         self.schedule_next(node, now, rng, sink);
     }
 }
@@ -146,10 +152,18 @@ mod tests {
 
     fn phases() -> PhasedWorkload {
         PhasedWorkload::new(vec![
-            TimedPhase { phase: Phase::Burst, duration: SimDuration::from_ticks(500) },
-            TimedPhase { phase: Phase::Quiet, duration: SimDuration::from_ticks(1_000) },
             TimedPhase {
-                phase: Phase::Poisson { mean_interarrival: 50.0 },
+                phase: Phase::Burst,
+                duration: SimDuration::from_ticks(500),
+            },
+            TimedPhase {
+                phase: Phase::Quiet,
+                duration: SimDuration::from_ticks(1_000),
+            },
+            TimedPhase {
+                phase: Phase::Poisson {
+                    mean_interarrival: 50.0,
+                },
                 duration: SimDuration::from_ticks(2_000),
             },
         ])
@@ -173,7 +187,12 @@ mod tests {
         let mut sink = ArrivalSink::new();
         // Completion at t=700 (inside Quiet 500..1500): next arrival must
         // land at or after 1500 but before 3500.
-        w.schedule_next(NodeId::new(0), SimTime::from_ticks(700), &mut rng, &mut sink);
+        w.schedule_next(
+            NodeId::new(0),
+            SimTime::from_ticks(700),
+            &mut rng,
+            &mut sink,
+        );
         let arrivals: Vec<_> = sink.drain().collect();
         assert_eq!(arrivals.len(), 1);
         let at = arrivals[0].0.ticks();
@@ -185,7 +204,12 @@ mod tests {
         let w = phases();
         let mut rng = SmallRng::seed_from_u64(3);
         let mut sink = ArrivalSink::new();
-        w.schedule_next(NodeId::new(0), SimTime::from_ticks(3_490), &mut rng, &mut sink);
+        w.schedule_next(
+            NodeId::new(0),
+            SimTime::from_ticks(3_490),
+            &mut rng,
+            &mut sink,
+        );
         for (at, _) in sink.drain() {
             assert!(at < SimTime::from_ticks(3_500));
         }
@@ -201,11 +225,10 @@ mod tests {
         use rcv_core::RcvNode;
         use rcv_simnet::{Engine, SimConfig};
         for seed in 0..4 {
-            let report =
-                Engine::new(SimConfig::paper_non_fifo(8, seed), phases(), |id, n| {
-                    RcvNode::new(id, n)
-                })
-                .run();
+            let report = Engine::new(SimConfig::paper_non_fifo(8, seed), phases(), |id, n| {
+                RcvNode::new(id, n)
+            })
+            .run();
             assert!(report.is_safe(), "seed={seed}");
             assert!(!report.deadlocked, "seed={seed}");
             // The burst alone contributes 8 completions; the Poisson storm

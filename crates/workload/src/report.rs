@@ -19,12 +19,22 @@ pub struct Table {
 impl Table {
     /// Creates an empty table.
     pub fn new(id: &'static str, title: impl Into<String>, columns: Vec<String>) -> Self {
-        Table { id, title: title.into(), columns, rows: Vec::new() }
+        Table {
+            id,
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row; must match the column count.
     pub fn push_row(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.columns.len(), "row width mismatch in {}", self.id);
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width mismatch in {}",
+            self.id
+        );
         self.rows.push(row);
     }
 
@@ -57,8 +67,13 @@ impl Table {
 
     /// Numeric values of one column (skips unparsable cells).
     pub fn numeric_column(&self, name: &str) -> Vec<f64> {
-        let Some(idx) = self.column_index(name) else { return Vec::new() };
-        self.rows.iter().filter_map(|r| r[idx].parse().ok()).collect()
+        let Some(idx) = self.column_index(name) else {
+            return Vec::new();
+        };
+        self.rows
+            .iter()
+            .filter_map(|r| r[idx].parse().ok())
+            .collect()
     }
 }
 
@@ -80,8 +95,11 @@ impl fmt::Display for Table {
             .collect();
         writeln!(f, "  {}", header.join("  "))?;
         for row in &self.rows {
-            let cells: Vec<String> =
-                row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+            let cells: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
             writeln!(f, "  {}", cells.join("  "))?;
         }
         Ok(())

@@ -99,8 +99,10 @@ pub fn burst_mean(algo: Algo, n: usize, seeds: &[u64]) -> Outcome {
 
 /// Seed-averaged Poisson outcome.
 pub fn poisson_mean(algo: Algo, n: usize, inv_lambda: f64, seeds: &[u64]) -> Outcome {
-    let runs: Vec<Outcome> =
-        seeds.iter().map(|&s| run_poisson(algo, n, inv_lambda, s)).collect();
+    let runs: Vec<Outcome> = seeds
+        .iter()
+        .map(|&s| run_poisson(algo, n, inv_lambda, s))
+        .collect();
     Outcome::mean_of(&runs)
 }
 

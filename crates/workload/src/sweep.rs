@@ -39,7 +39,10 @@ where
                 s.spawn(move || (off, chunk_items.into_iter().map(f).collect::<Vec<R>>()))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
     });
     indexed.sort_by_key(|&(off, _)| off);
     indexed.into_iter().flat_map(|(_, rs)| rs).collect()
@@ -47,7 +50,9 @@ where
 
 /// A sensible worker count for sweeps.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
 }
 
 #[cfg(test)]
@@ -99,8 +104,7 @@ mod tests {
             .iter()
             .map(|&(n, s)| run_burst(Algo::Broadcast, n, s).nme)
             .collect();
-        let parallel: Vec<f64> =
-            parmap(jobs, 4, |(n, s)| run_burst(Algo::Broadcast, n, s).nme);
+        let parallel: Vec<f64> = parmap(jobs, 4, |(n, s)| run_burst(Algo::Broadcast, n, s).nme);
         assert_eq!(serial, parallel, "determinism must be thread-independent");
     }
 }

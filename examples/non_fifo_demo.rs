@@ -21,9 +21,15 @@ fn run(label: &str, n: usize, delay: DelayModel, seeds: std::ops::Range<u64>) {
     let expected: usize = seeds.clone().count() * n;
 
     for seed in seeds {
-        let cfg = SimConfig { delay: delay.clone(), ..SimConfig::paper(n, seed) };
+        let cfg = SimConfig {
+            delay: delay.clone(),
+            ..SimConfig::paper(n, seed)
+        };
         let report = Engine::new(cfg, BurstOnce, RcvNode::new).run();
-        assert!(report.is_safe(), "{label}: mutual exclusion violated at seed {seed}");
+        assert!(
+            report.is_safe(),
+            "{label}: mutual exclusion violated at seed {seed}"
+        );
         assert!(!report.deadlocked, "{label}: deadlock at seed {seed}");
         total_completed += report.metrics.completed();
         worst_nme = worst_nme.max(report.metrics.nme().unwrap_or(0.0));
@@ -39,7 +45,12 @@ fn main() {
     let n = 15;
     println!("RCV under non-FIFO delivery ({n}-node burst, 12 seeds per model)\n");
 
-    run("constant Tn=5 (FIFO)", n, DelayModel::paper_constant(), 0..12);
+    run(
+        "constant Tn=5 (FIFO)",
+        n,
+        DelayModel::paper_constant(),
+        0..12,
+    );
     run(
         "uniform 1..9 (reordering)",
         n,
@@ -58,7 +69,12 @@ fn main() {
         },
         0..12,
     );
-    run("exponential mean 5, cap 60", n, DelayModel::Exponential { mean: 5.0, cap: 60 }, 0..12);
+    run(
+        "exponential mean 5, cap 60",
+        n,
+        DelayModel::Exponential { mean: 5.0, cap: 60 },
+        0..12,
+    );
 
     println!(
         "\nEvery run completed all {n} requests with mutual exclusion intact —\n\

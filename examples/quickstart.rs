@@ -17,8 +17,7 @@ fn main() {
 
     println!("RCV quickstart: {n} nodes, all requesting at t=0, Tn=5, Tc=10\n");
 
-    let (report, nodes) =
-        Engine::new(config, BurstOnce, RcvNode::new).run_collecting();
+    let (report, nodes) = Engine::new(config, BurstOnce, RcvNode::new).run_collecting();
 
     println!("mutual exclusion held : {}", report.is_safe());
     println!("requests completed    : {}/{n}", report.metrics.completed());
@@ -28,7 +27,10 @@ fn main() {
         report.metrics.nme().expect("completed runs have an NME")
     );
     println!("response time         : {}", report.metrics.response_time());
-    println!("message breakdown     : {:?}", report.metrics.messages_by_class());
+    println!(
+        "message breakdown     : {:?}",
+        report.metrics.messages_by_class()
+    );
 
     // The engine's monitor watches the CS from outside; the nodes' own
     // bookkeeping must agree with it.

@@ -41,6 +41,12 @@ fn main() {
     println!("messages exchanged      : {}", report.messages);
     println!("timed out               : {}", report.timed_out);
 
-    assert!(report.is_clean((n as u64) * (rounds as u64)), "cluster run was not clean");
-    println!("\nAll {} critical sections executed with zero overlap.", report.completed);
+    assert!(
+        report.is_clean((n as u64) * (rounds as u64)),
+        "cluster run was not clean"
+    );
+    println!(
+        "\nAll {} critical sections executed with zero overlap.",
+        report.completed
+    );
 }

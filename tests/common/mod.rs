@@ -1,0 +1,22 @@
+//! Strategy helpers shared by the property-based integration suites.
+
+use proptest::prelude::*;
+use rcv_simnet::{DelayModel, SimDuration};
+
+/// An arbitrary delay model spanning the full envelope the engine
+/// supports: the paper's constant, non-FIFO uniform jitter, and the
+/// heavy-tailed exponential. One definition, shared by every prop suite,
+/// so widening the envelope widens it for all of them at once.
+pub fn arb_delay() -> impl Strategy<Value = DelayModel> {
+    prop_oneof![
+        Just(DelayModel::paper_constant()),
+        (1u64..6, 6u64..20).prop_map(|(lo, hi)| DelayModel::Uniform {
+            min: SimDuration::from_ticks(lo),
+            max: SimDuration::from_ticks(hi),
+        }),
+        (2u64..10).prop_map(|m| DelayModel::Exponential {
+            mean: m as f64,
+            cap: 40
+        }),
+    ]
+}

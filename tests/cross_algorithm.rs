@@ -2,10 +2,10 @@
 //! satisfy the three correctness properties on shared scenarios, and the
 //! relative performance claims of the paper's §6 must hold between them.
 
+use rcv_simnet::{BurstOnce, FixedTrace, NodeId, SimConfig, SimTime};
 use rcv_workload::algo::Algo;
 use rcv_workload::arrival::SaturationWorkload;
 use rcv_workload::runner::{burst_mean, poisson_mean, run_burst};
-use rcv_simnet::{BurstOnce, FixedTrace, NodeId, SimConfig, SimTime};
 
 #[test]
 fn all_algorithms_clean_on_bursts() {
@@ -33,7 +33,12 @@ fn all_algorithms_clean_under_saturation() {
         let rounds = 3;
         let r = algo.run(SimConfig::paper(n, 5), SaturationWorkload::new(n, rounds));
         assert!(r.is_safe(), "{}", algo.name());
-        assert_eq!(r.metrics.completed(), n * (rounds as usize + 1), "{}", algo.name());
+        assert_eq!(
+            r.metrics.completed(),
+            n * (rounds as usize + 1),
+            "{}",
+            algo.name()
+        );
     }
 }
 
@@ -79,8 +84,14 @@ fn fig7_claim_rt_ordering_under_heavy_load() {
     let broadcast = poisson_mean(Algo::Broadcast, n, inv_lambda, &seeds).rt_mean;
     let ricart = poisson_mean(Algo::Ricart, n, inv_lambda, &seeds).rt_mean;
 
-    assert!(maekawa > rcv, "Maekawa RT {maekawa:.0} must exceed RCV RT {rcv:.0}");
-    assert!(maekawa > broadcast && maekawa > ricart, "Maekawa must be the slowest");
+    assert!(
+        maekawa > rcv,
+        "Maekawa RT {maekawa:.0} must exceed RCV RT {rcv:.0}"
+    );
+    assert!(
+        maekawa > broadcast && maekawa > ricart,
+        "Maekawa must be the slowest"
+    );
     // RCV a little above the token/permission algorithms (paper: "a little
     // higher than Broadcast and Ricart") — allow equality within 25%.
     assert!(
@@ -108,7 +119,10 @@ fn sync_delay_rcv_beats_maekawa() {
         rcv < mk,
         "RCV sync delay {rcv:.1} must beat Maekawa's {mk:.1} (Tn vs 2Tn)"
     );
-    assert!((4.5..=6.0).contains(&rcv), "RCV sync delay {rcv:.1} should be ≈ Tn = 5");
+    assert!(
+        (4.5..=6.0).contains(&rcv),
+        "RCV sync delay {rcv:.1} should be ≈ Tn = 5"
+    );
 }
 
 /// Ricart's NME is exactly 2(N−1) regardless of load — the anchor the

@@ -16,9 +16,7 @@
 
 use rcv_baselines::SuzukiKasami;
 use rcv_core::{RcvConfig, RcvNode};
-use rcv_simnet::{
-    BurstOnce, Engine, FaultPlan, FixedTrace, NodeId, SimConfig, SimTime,
-};
+use rcv_simnet::{BurstOnce, Engine, FaultPlan, FixedTrace, NodeId, SimConfig, SimTime};
 
 #[test]
 fn duplication_is_absorbed_by_the_guards() {
@@ -26,8 +24,7 @@ fn duplication_is_absorbed_by_the_guards() {
         for seed in 0..6 {
             let mut cfg = SimConfig::paper_non_fifo(12, seed);
             cfg.faults = FaultPlan::duplicating(every);
-            let (report, nodes) =
-                Engine::new(cfg, BurstOnce, RcvNode::new).run_collecting();
+            let (report, nodes) = Engine::new(cfg, BurstOnce, RcvNode::new).run_collecting();
             assert!(report.is_safe(), "dup={every} seed={seed}: violation");
             assert!(!report.deadlocked, "dup={every} seed={seed}: deadlock");
             assert_eq!(report.metrics.completed(), 12, "dup={every} seed={seed}");
@@ -63,15 +60,18 @@ fn crash_of_idle_bystander_is_safe_but_wedges_contended_bursts() {
     for seed in 0..10 {
         let mut cfg = SimConfig::paper(n, seed);
         cfg.faults = FaultPlan::crash(NodeId::new((n - 1) as u32), SimTime::ZERO);
-        let arrivals: Vec<(SimTime, NodeId)> =
-            (0..(n - 1) as u32).map(|i| (SimTime::ZERO, NodeId::new(i))).collect();
-        let report =
-            Engine::new(cfg, FixedTrace::new(arrivals), RcvNode::new).run();
+        let arrivals: Vec<(SimTime, NodeId)> = (0..(n - 1) as u32)
+            .map(|i| (SimTime::ZERO, NodeId::new(i)))
+            .collect();
+        let report = Engine::new(cfg, FixedTrace::new(arrivals), RcvNode::new).run();
         assert!(report.is_safe(), "seed={seed}: violation under crash");
         // Liveness is lost exactly when RMs were swallowed — the stall is
         // always attributable, never silent corruption.
         if report.deadlocked {
-            assert!(report.metrics.messages_dropped() > 0, "seed={seed}: deadlock without drops");
+            assert!(
+                report.metrics.messages_dropped() > 0,
+                "seed={seed}: deadlock without drops"
+            );
         } else {
             assert_eq!(report.metrics.completed(), n - 1, "seed={seed}");
         }
@@ -109,7 +109,10 @@ fn rcv_light_load_survives_what_kills_the_token() {
         RcvNode::with_config(
             id,
             nn,
-            RcvConfig { forward: rcv_core::ForwardPolicy::Sequential, ..RcvConfig::paper() },
+            RcvConfig {
+                forward: rcv_core::ForwardPolicy::Sequential,
+                ..RcvConfig::paper()
+            },
         )
     })
     .run();

@@ -1,0 +1,135 @@
+//! Property-based coverage of the fault *composition* paths behind the
+//! scenario conformance matrix: loss + straggler + duplication stacked on
+//! non-FIFO delivery. The registry pins ~170 named cells; these properties
+//! sample the continuous neighbourhood around them, so a composition bug
+//! that happens to miss every named cell still gets caught.
+//!
+//! Invariant policy mirrors `rcv_workload::scenario`:
+//!
+//! * safety is unconditional — no sampled cell may ever record a mutual
+//!   exclusion violation (or an RCV internal anomaly);
+//! * every run must terminate (drain its queue, never hit `max_events`);
+//! * liveness is only demanded of regimes that cannot starve a request —
+//!   stragglers and duplication, never loss or crashes.
+
+mod common;
+
+use common::arb_delay;
+use proptest::prelude::*;
+use rcv_core::{total_anomalies, RcvNode};
+use rcv_simnet::{BurstOnce, Engine, FaultPlan, NodeId, SimConfig};
+use rcv_workload::scenario::{cells, registry, run_cell};
+use rcv_workload::Algo;
+
+/// The algorithms that tolerate non-FIFO delivery (the others are excluded
+/// from jittered cells by `ScenarioSpec::algorithms`, so sampling them
+/// here would test a combination the matrix never runs).
+fn non_fifo_algos() -> [Algo; 4] {
+    [
+        Algo::Rcv(rcv_core::ForwardPolicy::Random),
+        Algo::Ricart,
+        Algo::Broadcast,
+        Algo::Raymond,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 32,
+        .. ProptestConfig::default()
+    })]
+
+    /// The full stack — loss + duplication + straggler on arbitrary delay
+    /// models — on the paper's algorithm. Loss may stall it (reliable
+    /// channels are part of its model); it must never corrupt it.
+    #[test]
+    fn stacked_faults_never_break_rcv_safety(
+        n in 4usize..12,
+        seed in 0u64..1_000_000,
+        loss_every in 5u64..40,
+        dup_every in 1u64..10,
+        factor in 2u64..10,
+        straggler in 0u32..4,
+        delay in arb_delay(),
+    ) {
+        let mut cfg = SimConfig::paper(n, seed);
+        cfg.delay = delay;
+        cfg.faults = FaultPlan::losing(loss_every)
+            .with_duplication(dup_every)
+            .with_straggler(NodeId::new(straggler.min(n as u32 - 1)), factor);
+        let (report, nodes) = Engine::new(cfg, BurstOnce, RcvNode::new).run_collecting();
+        prop_assert!(report.is_safe(), "violation: n={n} seed={seed}");
+        prop_assert!(!report.truncated, "runaway: n={n} seed={seed}");
+        prop_assert_eq!(total_anomalies(&nodes), 0, "anomaly: n={n} seed={seed}");
+    }
+
+    /// Loss + straggler (no duplication — only RCV's guards are proven for
+    /// that) across every non-FIFO-tolerant algorithm: safe, terminating,
+    /// and any stall is attributable to an actually-lost message.
+    #[test]
+    fn loss_straggler_composition_is_safe_for_all_algorithms(
+        algo_idx in 0usize..4,
+        n in 4usize..12,
+        seed in 0u64..1_000_000,
+        loss_every in 3u64..30,
+        factor in 2u64..10,
+        delay in arb_delay(),
+    ) {
+        let algo = non_fifo_algos()[algo_idx];
+        let mut cfg = SimConfig::paper(n, seed);
+        cfg.delay = delay;
+        cfg.faults =
+            FaultPlan::losing(loss_every).with_straggler(NodeId::new(0), factor);
+        cfg.panic_on_violation = false;
+        let report = algo.run(cfg, BurstOnce);
+        prop_assert!(report.is_safe(), "violation: {} n={n} seed={seed}", algo.name());
+        prop_assert!(!report.truncated, "runaway: {} n={n} seed={seed}", algo.name());
+        if report.deadlocked {
+            prop_assert!(
+                report.metrics.messages_lost() > 0,
+                "{} stalled without losing a message (n={n} seed={seed})",
+                algo.name()
+            );
+        } else {
+            prop_assert_eq!(report.metrics.completed(), n, "{} n={n} seed={seed}", algo.name());
+        }
+    }
+
+    /// A straggler alone is slow, not dead: with reliable channels every
+    /// algorithm must still complete every request, however skewed the
+    /// delays (constant model so the FIFO-dependent four run too).
+    #[test]
+    fn stragglers_never_cost_liveness(
+        algo_idx in 0usize..8,
+        n in 4usize..12,
+        seed in 0u64..1_000_000,
+        factor in 2u64..16,
+        straggler in 0u32..8,
+    ) {
+        let algo = Algo::all()[algo_idx];
+        let mut cfg = SimConfig::paper(n, seed);
+        cfg.faults = FaultPlan::straggler(NodeId::new(straggler.min(n as u32 - 1)), factor);
+        let report = algo.run(cfg, BurstOnce);
+        prop_assert!(report.is_safe(), "violation: {} n={n} seed={seed}", algo.name());
+        prop_assert!(
+            report.all_completed(),
+            "{} starved under a x{factor} straggler (n={n} seed={seed})",
+            algo.name()
+        );
+    }
+
+    /// Conformance spot-check: any cell sampled from the live registry
+    /// passes its own invariants — the same check `matrix` runs, so a
+    /// registry edit that breaks a cell fails here before the CI gate.
+    #[test]
+    fn sampled_registry_cells_pass(raw in 0usize..1_000_000) {
+        // Reduce modulo the live grid size so every cell stays reachable
+        // however the registry grows or shrinks.
+        let all = cells(&registry());
+        let r = run_cell(&all[raw % all.len()]);
+        prop_assert!(
+            r.passed(),
+            "{} / {}: {}", r.scenario, r.algo, r.verdict
+        );
+    }
+}

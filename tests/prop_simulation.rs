@@ -2,22 +2,12 @@
 //! (system size, seeds, delay models, request schedules) and the full RCV
 //! stack must stay safe and live on every one of them.
 
+mod common;
+
+use common::arb_delay;
 use proptest::prelude::*;
 use rcv_core::{check_nonl_consistency, total_anomalies, ForwardPolicy, RcvConfig, RcvNode};
-use rcv_simnet::{
-    DelayModel, Engine, FixedTrace, NodeId, SimConfig, SimDuration, SimTime,
-};
-
-fn arb_delay() -> impl Strategy<Value = DelayModel> {
-    prop_oneof![
-        Just(DelayModel::paper_constant()),
-        (1u64..6, 6u64..20).prop_map(|(lo, hi)| DelayModel::Uniform {
-            min: SimDuration::from_ticks(lo),
-            max: SimDuration::from_ticks(hi),
-        }),
-        (2u64..10).prop_map(|m| DelayModel::Exponential { mean: m as f64, cap: 40 }),
-    ]
-}
+use rcv_simnet::{Engine, FixedTrace, NodeId, SimConfig, SimDuration, SimTime};
 
 fn arb_policy() -> impl Strategy<Value = ForwardPolicy> {
     prop_oneof![

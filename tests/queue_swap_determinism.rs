@@ -48,8 +48,15 @@ const POISSON_N10_IL30_SEED7: [Fingerprint; 8] = [
 
 fn assert_fingerprint(report: &SimReport, want: &Fingerprint, scenario: &str) {
     let (name, events, end, msgs, rt_mean) = *want;
-    assert_eq!(report.events, events, "{name} [{scenario}]: event count drifted");
-    assert_eq!(report.end_time.ticks(), end, "{name} [{scenario}]: end time drifted");
+    assert_eq!(
+        report.events, events,
+        "{name} [{scenario}]: event count drifted"
+    );
+    assert_eq!(
+        report.end_time.ticks(),
+        end,
+        "{name} [{scenario}]: end time drifted"
+    );
     assert_eq!(
         report.metrics.messages_sent(),
         msgs,
@@ -98,7 +105,12 @@ fn repeated_runs_are_identical() {
         let b = algo.run(SimConfig::paper(9, 5), BurstOnce);
         assert_eq!(a.events, b.events, "{}", algo.name());
         assert_eq!(a.end_time, b.end_time, "{}", algo.name());
-        assert_eq!(a.metrics.messages_sent(), b.metrics.messages_sent(), "{}", algo.name());
+        assert_eq!(
+            a.metrics.messages_sent(),
+            b.metrics.messages_sent(),
+            "{}",
+            algo.name()
+        );
         assert_eq!(
             a.metrics.response_time(),
             b.metrics.response_time(),

@@ -25,24 +25,51 @@ fn run_burst_with_nodes(
     delay: DelayModel,
     policy: ForwardPolicy,
 ) -> (SimReport, Vec<RcvNode>) {
-    let cfg = SimConfig { delay, ..SimConfig::paper(n, seed) };
+    let cfg = SimConfig {
+        delay,
+        ..SimConfig::paper(n, seed)
+    };
     Engine::new(cfg, BurstOnce, |id, n| {
-        RcvNode::with_config(id, n, RcvConfig { forward: policy, ..RcvConfig::paper() })
+        RcvNode::with_config(
+            id,
+            n,
+            RcvConfig {
+                forward: policy,
+                ..RcvConfig::paper()
+            },
+        )
     })
     .run_collecting()
 }
 
 fn assert_clean_nodes(report: &SimReport, nodes: &[RcvNode], n: usize, label: &str) {
     assert!(report.is_safe(), "{label}: mutual exclusion violated");
-    assert!(!report.deadlocked, "{label}: deadlocked with outstanding requests");
+    assert!(
+        !report.deadlocked,
+        "{label}: deadlocked with outstanding requests"
+    );
     assert!(!report.truncated, "{label}: run truncated (livelock?)");
-    assert_eq!(report.metrics.completed(), n, "{label}: some request starved");
-    assert_eq!(report.cs_entries as usize, n, "{label}: CS entry count mismatch");
-    assert_eq!(total_anomalies(nodes), 0, "{label}: protocol anomaly counters fired");
+    assert_eq!(
+        report.metrics.completed(),
+        n,
+        "{label}: some request starved"
+    );
+    assert_eq!(
+        report.cs_entries as usize, n,
+        "{label}: CS entry count mismatch"
+    );
+    assert_eq!(
+        total_anomalies(nodes),
+        0,
+        "{label}: protocol anomaly counters fired"
+    );
     check_local_invariants(nodes).unwrap_or_else(|e| panic!("{label}: {e}"));
     check_nonl_consistency(nodes).unwrap_or_else(|e| panic!("{label}: {e}"));
     let stale: u64 = nodes.iter().map(|x| x.stats().stale_ems).sum();
-    assert_eq!(stale, 0, "{label}: stale EM guard fired (duplicate grant attempt)");
+    assert_eq!(
+        stale, 0,
+        "{label}: stale EM guard fired (duplicate grant attempt)"
+    );
 }
 
 #[test]
@@ -74,7 +101,12 @@ fn burst_is_safe_under_heavy_tailed_delays() {
         for seed in 7..15 {
             let (report, nodes) =
                 run_burst_with_nodes(n, seed, delay.clone(), ForwardPolicy::Random);
-            assert_clean_nodes(&report, &nodes, n, &format!("N={n} seed={seed} exponential"));
+            assert_clean_nodes(
+                &report,
+                &nodes,
+                n,
+                &format!("N={n} seed={seed} exponential"),
+            );
         }
     }
 }
@@ -90,7 +122,12 @@ fn all_forward_policies_are_safe() {
         for seed in 0..4 {
             let (report, nodes) =
                 run_burst_with_nodes(12, seed, DelayModel::paper_jittered(), policy);
-            assert_clean_nodes(&report, &nodes, 12, &format!("policy={policy:?} seed={seed}"));
+            assert_clean_nodes(
+                &report,
+                &nodes,
+                12,
+                &format!("policy={policy:?} seed={seed}"),
+            );
         }
     }
 }
@@ -98,8 +135,12 @@ fn all_forward_policies_are_safe() {
 #[test]
 fn single_and_two_node_edge_cases() {
     for n in [1, 2] {
-        let (report, nodes) =
-            run_burst_with_nodes(n, 0, DelayModel::paper_constant(), ForwardPolicy::Sequential);
+        let (report, nodes) = run_burst_with_nodes(
+            n,
+            0,
+            DelayModel::paper_constant(),
+            ForwardPolicy::Sequential,
+        );
         assert_clean_nodes(&report, &nodes, n, &format!("edge N={n}"));
     }
 }
@@ -145,15 +186,25 @@ fn saturated_repeated_requests_stay_safe() {
         let cfg = SimConfig::paper_non_fifo(n, seed);
         let (report, nodes) = Engine::new(
             cfg,
-            SaturatedRounds { remaining: vec![rounds; n] },
+            SaturatedRounds {
+                remaining: vec![rounds; n],
+            },
             RcvNode::new,
         )
         .run_collecting();
         let expected = n * (rounds as usize + 1);
         assert!(report.is_safe(), "seed={seed}: violation under saturation");
         assert!(!report.deadlocked, "seed={seed}: deadlock under saturation");
-        assert_eq!(report.metrics.completed(), expected, "seed={seed}: starvation");
-        assert_eq!(total_anomalies(&nodes), 0, "seed={seed}: anomalies under saturation");
+        assert_eq!(
+            report.metrics.completed(),
+            expected,
+            "seed={seed}: starvation"
+        );
+        assert_eq!(
+            total_anomalies(&nodes),
+            0,
+            "seed={seed}: anomalies under saturation"
+        );
         check_nonl_consistency(&nodes).unwrap();
     }
 }
@@ -162,17 +213,17 @@ fn saturated_repeated_requests_stay_safe() {
 #[test]
 fn final_states_satisfy_lemmas() {
     let n = 16;
-    let (report, nodes) = run_burst_with_nodes(
-        n,
-        77,
-        DelayModel::paper_jittered(),
-        ForwardPolicy::Random,
-    );
+    let (report, nodes) =
+        run_burst_with_nodes(n, 77, DelayModel::paper_jittered(), ForwardPolicy::Random);
     assert_clean_nodes(&report, &nodes, n, "lemma run");
     // Everyone finished: all NONLs eventually drain of own tuples, every
     // node is idle, and nobody holds a stale Next pointer.
     for node in &nodes {
         assert!(matches!(node.state(), rcv_core::ReqState::Idle));
-        assert!(node.si().next.is_none(), "{:?} holds a dangling Next", node.id());
+        assert!(
+            node.si().next.is_none(),
+            "{:?} holds a dangling Next",
+            node.id()
+        );
     }
 }

@@ -9,8 +9,7 @@ use rcv_workload::arrival::PoissonWorkload;
 #[test]
 fn burst_at_n_100() {
     let (report, nodes) =
-        Engine::new(SimConfig::paper(100, 9), BurstOnce, RcvNode::new)
-            .run_collecting();
+        Engine::new(SimConfig::paper(100, 9), BurstOnce, RcvNode::new).run_collecting();
     assert!(report.is_safe());
     assert_eq!(report.metrics.completed(), 100);
     assert_eq!(total_anomalies(&nodes), 0);
@@ -22,8 +21,7 @@ fn burst_at_n_100() {
 #[test]
 fn burst_at_n_200_non_fifo() {
     let (report, nodes) =
-        Engine::new(SimConfig::paper_non_fifo(200, 4), BurstOnce, RcvNode::new)
-            .run_collecting();
+        Engine::new(SimConfig::paper_non_fifo(200, 4), BurstOnce, RcvNode::new).run_collecting();
     assert!(report.is_safe());
     assert_eq!(report.metrics.completed(), 200);
     assert_eq!(total_anomalies(&nodes), 0);
@@ -33,8 +31,7 @@ fn burst_at_n_200_non_fifo() {
 fn long_horizon_poisson_stability() {
     // 30 nodes, 100k ticks of sustained Poisson load: thousands of CS
     // executions with zero violations and a drained queue.
-    let report =
-        Algo::paper_four()[0].run(SimConfig::paper(30, 11), PoissonWorkload::paper(10.0));
+    let report = Algo::paper_four()[0].run(SimConfig::paper(30, 11), PoissonWorkload::paper(10.0));
     assert!(report.is_safe());
     assert!(!report.deadlocked);
     assert!(!report.truncated);
@@ -43,7 +40,11 @@ fn long_horizon_poisson_stability() {
         "only {} completions in 100k ticks",
         report.metrics.completed()
     );
-    assert_eq!(report.metrics.outstanding(), 0, "horizon must drain cleanly");
+    assert_eq!(
+        report.metrics.outstanding(),
+        0,
+        "horizon must drain cleanly"
+    );
 }
 
 #[test]

@@ -42,8 +42,16 @@ fn every_algorithm_survives_one_contended_round() {
     let n = 5;
     for algo in Algo::all() {
         let report = algo.run(SimConfig::paper(n, 7), SaturationWorkload::new(n, 1));
-        assert!(report.is_safe(), "{}: violation under contention", algo.name());
-        assert!(!report.deadlocked, "{}: deadlock under contention", algo.name());
+        assert!(
+            report.is_safe(),
+            "{}: violation under contention",
+            algo.name()
+        );
+        assert!(
+            !report.deadlocked,
+            "{}: deadlock under contention",
+            algo.name()
+        );
         assert_eq!(
             report.metrics.completed(),
             2 * n,
