@@ -15,8 +15,8 @@ pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
 
 impl<T> Mutex<T> {
-    /// Wraps a value.
-    pub fn new(value: T) -> Self {
+    /// Wraps a value (usable in statics, as in real `parking_lot`).
+    pub const fn new(value: T) -> Self {
         Mutex(sync::Mutex::new(value))
     }
 

@@ -29,9 +29,9 @@ pub mod raymond;
 pub mod ricart_agrawala;
 pub mod suzuki_kasami;
 
-pub use lamport::Lamport;
-pub use maekawa::{Maekawa, QuorumSystem};
-pub use ra_dynamic::RaDynamic;
-pub use raymond::Raymond;
-pub use ricart_agrawala::RicartAgrawala;
-pub use suzuki_kasami::SuzukiKasami;
+pub use lamport::{Lamport, LpMessage};
+pub use maekawa::{Maekawa, MkMessage, QuorumSystem};
+pub use ra_dynamic::{RaDynamic, RdMessage};
+pub use raymond::{Raymond, RyMessage};
+pub use ricart_agrawala::{RaMessage, RicartAgrawala};
+pub use suzuki_kasami::{SkMessage, SuzukiKasami, Token};

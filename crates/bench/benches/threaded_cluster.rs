@@ -1,6 +1,8 @@
 //! **Runtime bench** — throughput of the real-thread cluster: wall time
 //! for N threads to each complete a round of CS executions through the
-//! full RCV protocol (channels, delay injection, optional byte codec).
+//! full RCV protocol (channels, delay injection, optional byte codec),
+//! plus a cross-algorithm group driving the baselines through the same
+//! cluster via `Algo::run_threaded`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -8,6 +10,7 @@ use std::time::Duration;
 
 use rcv_core::RcvConfig;
 use rcv_runtime::{run_rcv_cluster, with_codec_verification, ClusterSpec, NetDelay};
+use rcv_workload::{Algo, ThreadSpec};
 
 fn spec(n: usize, rounds: u32, seed: u64) -> ClusterSpec<rcv_core::RcvMessage> {
     let mut s = ClusterSpec::quick(n, seed);
@@ -55,5 +58,30 @@ fn threaded(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, threaded);
+fn threaded_baselines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("threaded_cluster_algos");
+    g.sample_size(10);
+    for algo in [Algo::Ricart, Algo::Broadcast, Algo::Raymond] {
+        g.bench_with_input(BenchmarkId::new(algo.name(), 4usize), &4usize, |b, &n| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let mut spec = ThreadSpec::quick(n, seed);
+                spec.rounds = 2;
+                spec.think = Duration::from_micros(50);
+                spec.cs_duration = Duration::from_micros(200);
+                spec.delay = NetDelay::Uniform {
+                    min: Duration::from_micros(20),
+                    max: Duration::from_micros(200),
+                };
+                let r = algo.run_threaded(&spec);
+                assert!(r.is_clean(spec.expected()), "{:?}", r.report);
+                black_box(r.report.messages)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, threaded, threaded_baselines);
 criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! `rtmatrix` — the differential simnet↔runtime conformance harness.
+//!
+//! ```text
+//! rtmatrix [--limit K] [--threads T] [--out PATH] [--list]
+//!          [--timeout-secs S] [--stall-timeout-secs S] [--reruns R]
+//!          [--tick-us U] [--no-codec]
+//! ```
+//!
+//! * `--limit K` — truncate the runtime-mappable registry grid to ~K
+//!   cells (algorithm coverage is still guaranteed). `0` = full grid.
+//! * `--threads T` — concurrent differential cells (each one spawns its
+//!   own `n + 1` cluster threads; keep this small). Default 2.
+//! * `--list` — print the selected cells instead of running them.
+//! * `--out PATH` — where to write the JSON report (schema
+//!   `rcv-rtmatrix/v1`). Default `RTMATRIX_RESULTS.json`. Not a committed
+//!   baseline: real schedules are not bit-stable.
+//! * `--timeout-secs` / `--stall-timeout-secs` / `--reruns` / `--tick-us`
+//!   / `--no-codec` — override the `DiffOptions` defaults.
+//!
+//! Exit codes: 0 all cells pass, 1 differential failure, 2 usage/IO error.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use rcv_bench::rtmatrix::{render_report, run_diff_cells, runtime_grid, DiffOptions, SCHEMA};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: rtmatrix [--limit K] [--threads T] [--out PATH] [--list]\n\
+         \u{20}               [--timeout-secs S] [--stall-timeout-secs S] [--reruns R]\n\
+         \u{20}               [--tick-us U] [--no-codec]"
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    limit: usize,
+    threads: usize,
+    out: String,
+    list: bool,
+    opts: DiffOptions,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        limit: 0,
+        threads: 2,
+        out: "RTMATRIX_RESULTS.json".to_string(),
+        list: false,
+        opts: DiffOptions::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--limit" => args.limit = value("--limit")?.parse().map_err(|_| "bad limit")?,
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "bad thread count")?
+            }
+            "--out" => args.out = value("--out")?,
+            "--list" => args.list = true,
+            "--timeout-secs" => {
+                args.opts.timeout = Duration::from_secs(
+                    value("--timeout-secs")?
+                        .parse()
+                        .map_err(|_| "bad timeout")?,
+                )
+            }
+            "--stall-timeout-secs" => {
+                args.opts.stall_timeout = Duration::from_secs(
+                    value("--stall-timeout-secs")?
+                        .parse()
+                        .map_err(|_| "bad stall timeout")?,
+                )
+            }
+            "--reruns" => {
+                args.opts.reruns = value("--reruns")?.parse().map_err(|_| "bad rerun count")?
+            }
+            "--tick-us" => {
+                args.opts.tick =
+                    Duration::from_micros(value("--tick-us")?.parse().map_err(|_| "bad tick")?)
+            }
+            "--no-codec" => args.opts.verify_codec = false,
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let grid = runtime_grid(args.limit);
+    if args.list {
+        println!("# {SCHEMA}: {} differential cells", grid.len());
+        for c in &grid {
+            println!("{} / {}", c.scenario.name, c.algo.name());
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    eprintln!(
+        "[rtmatrix] running {} cells on both backends ({} at a time, tick {:?}, codec {})",
+        grid.len(),
+        args.threads,
+        args.opts.tick,
+        if args.opts.verify_codec { "on" } else { "off" },
+    );
+    let started = Instant::now();
+    let outcomes = run_diff_cells(grid, args.threads, &args.opts);
+    let failed: Vec<_> = outcomes.iter().filter(|o| !o.passed()).collect();
+    for f in &failed {
+        eprintln!(
+            "[rtmatrix] FAILED {} / {}: {}",
+            f.scenario, f.algo, f.verdict
+        );
+    }
+    let retried = outcomes.iter().filter(|o| o.retries > 0).count();
+    eprintln!(
+        "[rtmatrix] {} pass / {} fail ({} needed schedule reruns) in {:.1?}",
+        outcomes.len() - failed.len(),
+        failed.len(),
+        retried,
+        started.elapsed(),
+    );
+
+    std::fs::write(&args.out, render_report(&outcomes))
+        .map_err(|e| format!("writing {}: {e}", args.out))?;
+    eprintln!("[rtmatrix] wrote {}", args.out);
+
+    Ok(if failed.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("rtmatrix: {e}");
+            usage()
+        }
+    }
+}

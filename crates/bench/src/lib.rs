@@ -15,7 +15,11 @@
 //! * the **`matrix` binary** — executes the scenario conformance grid of
 //!   `rcv_workload::scenario` (sharded in CI), writes
 //!   `MATRIX_RESULTS.json` (see [`matrix`]) and gates on the committed
-//!   baseline.
+//!   baseline;
+//! * the **`rtmatrix` binary** — the differential simnet↔runtime
+//!   conformance harness (see [`rtmatrix`]): registry cells executed on
+//!   both the deterministic simulator and the real-thread runtime, with
+//!   safety/anomaly/liveness/message-envelope cross-checks.
 //!
 //! This library only hosts the small amount of shared helper code; the
 //! interesting logic lives in `rcv-workload`.
@@ -25,6 +29,7 @@
 
 pub mod matrix;
 pub mod perf;
+pub mod rtmatrix;
 
 use rcv_workload::Table;
 

@@ -1,0 +1,494 @@
+//! Differential **simnet ↔ runtime** conformance harness.
+//!
+//! The simulator proves the protocols deterministically; the threaded
+//! runtime proves them under a real scheduler. This module makes the two
+//! agree: it takes [`Cell`]s from the PR-3 scenario registry, runs each on
+//! **both** backends, and cross-checks
+//!
+//! * **safety** — zero mutual-exclusion violations on either side
+//!   (simnet's `SafetyMonitor` vs the runtime's `CsChecker`);
+//! * **anomaly-freedom** — RCV's internal anomaly counters stay zero
+//!   under real concurrency, not just simulated concurrency;
+//! * **liveness** — cells whose fault regime preserves reliable delivery
+//!   must complete every CS on real threads too (with bounded reruns,
+//!   because a wall-clock schedule — unlike a simulated one — can
+//!   legitimately starve a node past the soft deadline on a loaded CI
+//!   box);
+//! * **message-count envelopes** — on fault-free cells, the runtime's
+//!   per-CS message cost must stay within a generous band of the
+//!   simulator's (an order-of-magnitude tripwire for message storms or
+//!   vanished traffic, not an exact-count check: real schedules
+//!   legitimately shift contention).
+//!
+//! Scenario→cluster mapping: closed-loop shapes map to per-node rounds
+//! and think times
+//! ([`rcv_workload::ScenarioSpec::runtime_mappable`]); tick-denominated
+//! simulator quantities (delays, CS duration, Poisson means) are scaled
+//! by [`DiffOptions::tick`] to thread-schedulable magnitudes. Every run
+//! is wrapped in `rcv_runtime::run_with_watchdog`, so a deadlocked
+//! cluster fails loudly with a thread dump instead of hanging CI.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use rcv_runtime::{run_with_watchdog, NetDelay, WireFaults};
+use rcv_workload::scenario::{
+    cell_seed, cells, registry, run_cell, Cell, DelaySpec, FaultSpec, ShapeSpec,
+};
+use rcv_workload::sweep::parmap;
+use rcv_workload::{Algo, ClusterRun, ThreadSpec};
+
+use crate::perf::json_str;
+
+/// Version tag of the emitted JSON layout.
+pub const SCHEMA: &str = "rcv-rtmatrix/v1";
+
+/// Knobs of a differential run.
+#[derive(Clone, Copy, Debug)]
+pub struct DiffOptions {
+    /// Wall-clock length of one simulator tick (delays, CS duration and
+    /// think times are all tick-denominated).
+    pub tick: Duration,
+    /// Soft deadline for cells that must complete (per attempt).
+    pub timeout: Duration,
+    /// Soft deadline for cells that are *expected* to stall (lossy
+    /// regimes): long enough to prove safety under traffic, short enough
+    /// not to burn the CI budget waiting for a liveness nobody claimed.
+    pub stall_timeout: Duration,
+    /// Extra attempts (fresh seed each) before a stalled live cell fails —
+    /// the flaky-schedule rerun policy.
+    pub reruns: u32,
+    /// Round-trip every message through its binary wire codec.
+    pub verify_codec: bool,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions {
+            tick: Duration::from_micros(200),
+            timeout: Duration::from_secs(30),
+            stall_timeout: Duration::from_secs(2),
+            reruns: 2,
+            verify_codec: true,
+        }
+    }
+}
+
+/// Result of one differential cell: the simulator verdict, the runtime
+/// observation, and the combined verdict.
+#[derive(Clone, Debug)]
+pub struct DiffOutcome {
+    /// Scenario name.
+    pub scenario: String,
+    /// Algorithm display name.
+    pub algo: &'static str,
+    /// `"pass"` or `"fail:<reason>"` for the cross-check.
+    pub verdict: String,
+    /// Whether the cell demanded liveness.
+    pub expect_live: bool,
+    /// CS executions the runtime side must complete when live.
+    pub expected: u64,
+    /// The simulator-side verdict (from `run_cell`).
+    pub sim_verdict: String,
+    /// Simulator messages per completed CS (0 when none completed).
+    pub sim_per_cs: f64,
+    /// Runtime CS completions (last attempt).
+    pub rt_completed: u64,
+    /// Runtime messages sent (last attempt).
+    pub rt_messages: u64,
+    /// Runtime messages per completed CS (0 when none completed).
+    pub rt_per_cs: f64,
+    /// Runtime mutual-exclusion violations (0 ⇔ safe).
+    pub rt_violations: u64,
+    /// RCV internal anomalies on the runtime side (0 for baselines).
+    pub rt_anomalies: u64,
+    /// Messages dropped by wire-level loss injection.
+    pub rt_lost: u64,
+    /// Extra copies delivered by wire-level duplication injection.
+    pub rt_duplicated: u64,
+    /// Whether the last runtime attempt hit its soft deadline.
+    pub rt_timed_out: bool,
+    /// Flaky-schedule reruns consumed (0 = first attempt was conclusive).
+    pub retries: u32,
+}
+
+impl DiffOutcome {
+    /// Whether the cell passed the differential check.
+    pub fn passed(&self) -> bool {
+        self.verdict == "pass"
+    }
+}
+
+/// Multiplicative half-width of the fault-free message envelope.
+const ENVELOPE_FACTOR: f64 = 4.0;
+/// Additive slack of the envelope (absorbs small-N granularity).
+const ENVELOPE_SLACK: f64 = 8.0;
+
+/// The reduced differential grid: all
+/// [`rcv_workload::ScenarioSpec::runtime_mappable`] registry cells,
+/// optionally truncated to ~`limit` cells. Truncation
+/// interleaves scenarios (rotated per-scenario so early picks span
+/// different algorithms) and then guarantees every one of the 8
+/// algorithms is represented, appending first occurrences if needed — so
+/// a CI-sized slice still exercises the full algorithm set and several
+/// fault regimes. `limit == 0` means the full mappable grid.
+pub fn runtime_grid(limit: usize) -> Vec<Cell> {
+    let mappable: Vec<Cell> = cells(&registry())
+        .into_iter()
+        .filter(|c| c.scenario.runtime_mappable())
+        .collect();
+    if limit == 0 || limit >= mappable.len() {
+        return mappable;
+    }
+
+    // Group per scenario, preserving registry order.
+    let mut groups: Vec<Vec<Cell>> = Vec::new();
+    for c in &mappable {
+        match groups.last_mut() {
+            Some(g) if g[0].scenario.name == c.scenario.name => g.push(c.clone()),
+            _ => groups.push(vec![c.clone()]),
+        }
+    }
+    // Rotate each group by its index so round-robin picks hit different
+    // algorithms in different scenarios.
+    for (i, g) in groups.iter_mut().enumerate() {
+        let k = i % g.len();
+        g.rotate_left(k);
+    }
+
+    let mut picked: Vec<Cell> = Vec::new();
+    let mut round = 0usize;
+    'outer: loop {
+        let mut any = false;
+        for g in &groups {
+            if let Some(c) = g.get(round) {
+                any = true;
+                picked.push(c.clone());
+                if picked.len() >= limit {
+                    break 'outer;
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+        round += 1;
+    }
+
+    // Coverage guarantee: every algorithm appears at least once.
+    for algo in Algo::all() {
+        if !picked.iter().any(|c| c.algo == algo) {
+            if let Some(c) = mappable.iter().find(|c| c.algo == algo) {
+                picked.push(c.clone());
+            }
+        }
+    }
+    picked
+}
+
+/// Maps a registry cell onto threaded-cluster parameters. `attempt`
+/// perturbs the seed stream so flaky-schedule reruns are independent.
+pub fn thread_spec(cell: &Cell, opts: &DiffOptions, attempt: u32) -> ThreadSpec {
+    let spec = &cell.scenario;
+    assert!(
+        spec.runtime_mappable(),
+        "{} is not runtime-mappable",
+        spec.name
+    );
+    let (rounds, think_ticks) = match spec.shape {
+        ShapeSpec::Burst => (1, 0u64),
+        ShapeSpec::Saturation { rounds } => (1 + rounds, 0),
+        // The runtime has no open-loop arrival process; a Poisson cell
+        // becomes closed-loop re-requests with the mean as think time.
+        ShapeSpec::Poisson { mean, .. } => (2, mean.round().max(0.0) as u64),
+        _ => unreachable!("runtime_mappable filtered shapes"),
+    };
+    let t = |ticks: u64| opts.tick.saturating_mul(ticks.min(u32::MAX as u64) as u32);
+    let delay = match spec.delay {
+        // The paper's constant Tn = 5 (per-pair FIFO by construction).
+        DelaySpec::Constant => NetDelay::Uniform {
+            min: t(5),
+            max: t(5),
+        },
+        // Uniform jitter in [1, 9] ticks — genuinely non-FIFO.
+        DelaySpec::Jitter => NetDelay::Uniform {
+            min: t(1),
+            max: t(9),
+        },
+        // Exponential mean 5 capped at 40 — heavy-tailed reordering.
+        DelaySpec::HeavyTail => NetDelay::Exponential {
+            mean: t(5),
+            cap: t(40),
+        },
+    };
+    let faults = match spec.faults {
+        FaultSpec::None => WireFaults::none(),
+        FaultSpec::Duplication { every } => WireFaults::none().with_duplication(every),
+        FaultSpec::Loss { every } => WireFaults::none().with_loss(every),
+        FaultSpec::Straggler { node, factor } => {
+            WireFaults::none().with_straggler(node, factor.min(u32::MAX as u64) as u32)
+        }
+        FaultSpec::Stacked {
+            loss_every,
+            dup_every,
+            straggler: (node, factor),
+        } => WireFaults::none()
+            .with_loss(loss_every)
+            .with_duplication(dup_every)
+            .with_straggler(node, factor.min(u32::MAX as u64) as u32),
+        FaultSpec::Crash { .. } => unreachable!("runtime_mappable filtered crash"),
+    };
+    let expect_live = spec.expect_live();
+    ThreadSpec {
+        n: spec.n,
+        rounds,
+        think: t(think_ticks),
+        // The paper's Tc = 10 ticks, same scale the simulator uses.
+        cs_duration: t(rcv_simnet::SimConfig::paper(spec.n, 0).cs_duration.ticks()),
+        delay,
+        faults,
+        tick: opts.tick,
+        // A seed stream disjoint from the simulator's (idx 0 and 1).
+        seed: cell_seed(&spec.name, cell.algo.name(), 1_000 + attempt),
+        timeout: if expect_live {
+            opts.timeout
+        } else {
+            opts.stall_timeout
+        },
+        verify_codec: opts.verify_codec,
+        rcv_retransmit_ticks: None,
+    }
+}
+
+/// Runs one cell on both backends and cross-checks them.
+pub fn run_diff_cell(cell: &Cell, opts: &DiffOptions) -> DiffOutcome {
+    let sim = run_cell(cell);
+    let spec = &cell.scenario;
+    let expect_live = spec.expect_live();
+    let algo = cell.algo;
+
+    let mut retries = 0u32;
+    let (run, expected): (ClusterRun, u64) = loop {
+        let ts = thread_spec(cell, opts, retries);
+        let expected = ts.expected();
+        let label = format!("{}/{}", spec.name, algo.name());
+        // Hard deadline: soft timeout + a wide margin for teardown. If the
+        // cluster machinery itself wedges, this panics with a thread dump.
+        let hard = ts.timeout + Duration::from_secs(30);
+        let run = run_with_watchdog(&label, hard, move || algo.run_threaded(&ts));
+        // ONLY a stalled-but-safe live cell earns a rerun: a safety
+        // violation or an RCV anomaly on ANY attempt is exactly the
+        // schedule-dependent bug this harness hunts and must be judged,
+        // never retried away.
+        let stalled_but_safe =
+            run.report.violations == 0 && run.anomalies == 0 && !run.is_clean(expected);
+        if !expect_live || !stalled_but_safe || retries >= opts.reruns {
+            break (run, expected);
+        }
+        retries += 1; // flaky wall-clock schedule: fresh seed, try again
+    };
+
+    let sim_per_cs = if sim.completed > 0 {
+        sim.messages as f64 / sim.completed as f64
+    } else {
+        0.0
+    };
+    let rt_per_cs = if run.report.completed > 0 {
+        run.report.messages as f64 / run.report.completed as f64
+    } else {
+        0.0
+    };
+
+    let fail: Option<String> = if !sim.passed() {
+        Some(format!("sim:{}", sim.verdict))
+    } else if run.report.violations > 0 {
+        Some(format!("rt-unsafe({} violations)", run.report.violations))
+    } else if run.anomalies > 0 {
+        Some(format!("rt-anomalies({})", run.anomalies))
+    } else if expect_live && !run.report.is_clean(expected) {
+        Some(format!(
+            "rt-stalled({}/{} after {} attempts)",
+            run.report.completed,
+            expected,
+            retries + 1
+        ))
+    } else if matches!(spec.faults, FaultSpec::None) && expect_live {
+        // Fault-free cells: both sides completed everything; their per-CS
+        // message costs must be the same order of magnitude.
+        let hi = sim_per_cs * ENVELOPE_FACTOR + ENVELOPE_SLACK;
+        let lo = (sim_per_cs / ENVELOPE_FACTOR - ENVELOPE_SLACK).max(0.0);
+        if rt_per_cs > hi || rt_per_cs < lo {
+            Some(format!(
+                "envelope(rt {rt_per_cs:.1} msgs/cs outside [{lo:.1}, {hi:.1}] around sim {sim_per_cs:.1})"
+            ))
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+
+    DiffOutcome {
+        scenario: spec.name.clone(),
+        algo: algo.name(),
+        verdict: fail.map_or_else(|| "pass".into(), |f| format!("fail:{f}")),
+        expect_live,
+        expected,
+        sim_verdict: sim.verdict,
+        sim_per_cs,
+        rt_completed: run.report.completed,
+        rt_messages: run.report.messages,
+        rt_per_cs,
+        rt_violations: run.report.violations,
+        rt_anomalies: run.anomalies,
+        rt_lost: run.report.lost,
+        rt_duplicated: run.report.duplicated,
+        rt_timed_out: run.report.timed_out,
+        retries,
+    }
+}
+
+/// Runs a slice of cells (order-preserving, limited parallelism — each
+/// cell already spawns `n + 1` threads of its own).
+pub fn run_diff_cells(grid: Vec<Cell>, threads: usize, opts: &DiffOptions) -> Vec<DiffOutcome> {
+    let opts = *opts;
+    parmap(grid, threads, move |c| run_diff_cell(&c, &opts))
+}
+
+/// Renders the differential report as JSON (schema [`SCHEMA`]). Unlike
+/// `MATRIX_RESULTS.json` this is **not** a committed baseline — real
+/// schedules are not bit-stable — it is a CI artifact for post-mortems.
+pub fn render_report(outcomes: &[DiffOutcome]) -> String {
+    let pass = outcomes.iter().filter(|o| o.passed()).count();
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": {},", json_str(SCHEMA));
+    let _ = writeln!(s, "  \"cells_total\": {},", outcomes.len());
+    let _ = writeln!(s, "  \"cells_pass\": {pass},");
+    s.push_str("  \"cells\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"scenario\": {}, \"algo\": {}, \"verdict\": {}, \"expect_live\": {}, \
+             \"expected\": {}, \"sim_verdict\": {}, \"sim_per_cs\": \"{:.2}\", \
+             \"rt_completed\": {}, \"rt_messages\": {}, \"rt_per_cs\": \"{:.2}\", \
+             \"rt_violations\": {}, \"rt_anomalies\": {}, \"rt_lost\": {}, \
+             \"rt_duplicated\": {}, \"rt_timed_out\": {}, \"retries\": {}}}",
+            json_str(&o.scenario),
+            json_str(o.algo),
+            json_str(&o.verdict),
+            o.expect_live,
+            o.expected,
+            json_str(&o.sim_verdict),
+            o.sim_per_cs,
+            o.rt_completed,
+            o.rt_messages,
+            o.rt_per_cs,
+            o.rt_violations,
+            o.rt_anomalies,
+            o.rt_lost,
+            o.rt_duplicated,
+            o.rt_timed_out,
+            o.retries,
+        );
+        s.push_str(if i + 1 < outcomes.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_mappable_grid_excludes_crash_and_open_loop_shapes() {
+        let grid = runtime_grid(0);
+        assert!(grid.len() >= 100, "mappable grid shrank to {}", grid.len());
+        for c in &grid {
+            assert!(c.scenario.runtime_mappable(), "{}", c.scenario.name);
+            assert!(
+                !matches!(c.scenario.faults, FaultSpec::Crash { .. }),
+                "crash cell {} leaked into the runtime grid",
+                c.scenario.name
+            );
+        }
+    }
+
+    #[test]
+    fn reduced_grid_represents_all_eight_algorithms() {
+        let grid = runtime_grid(24);
+        assert!(grid.len() >= 24, "got {}", grid.len());
+        for algo in Algo::all() {
+            assert!(
+                grid.iter().any(|c| c.algo == algo),
+                "{} missing from the reduced grid",
+                algo.name()
+            );
+        }
+        // Variety: a reduced grid must not collapse to a single scenario
+        // family or a single fault regime.
+        let scenarios: std::collections::BTreeSet<_> =
+            grid.iter().map(|c| c.scenario.name.clone()).collect();
+        assert!(scenarios.len() >= 8, "only {} scenarios", scenarios.len());
+        assert!(grid
+            .iter()
+            .any(|c| !matches!(c.scenario.faults, FaultSpec::None)));
+    }
+
+    #[test]
+    fn thread_spec_mapping_mirrors_the_scenario() {
+        let opts = DiffOptions::default();
+        let grid = runtime_grid(0);
+        let stacked = grid
+            .iter()
+            .find(|c| matches!(c.scenario.faults, FaultSpec::Stacked { .. }))
+            .expect("stacked cell");
+        let ts = thread_spec(stacked, &opts, 0);
+        assert!(ts.faults.lossy());
+        assert!(ts.faults.dup_every.is_some());
+        assert!(ts.faults.straggler.is_some());
+        assert_eq!(ts.n, stacked.scenario.n);
+        assert_eq!(ts.timeout, opts.stall_timeout, "lossy => stall timeout");
+
+        let sat = grid
+            .iter()
+            .find(|c| matches!(c.scenario.shape, ShapeSpec::Saturation { .. }))
+            .expect("saturation cell");
+        let ts = thread_spec(sat, &opts, 0);
+        assert!(ts.rounds > 1, "saturation maps to multiple rounds");
+        assert_eq!(ts.timeout, opts.timeout);
+
+        // Rerun seeds differ (fresh schedule per attempt).
+        assert_ne!(
+            thread_spec(sat, &opts, 0).seed,
+            thread_spec(sat, &opts, 1).seed
+        );
+    }
+
+    #[test]
+    fn report_renders_verdicts() {
+        let o = DiffOutcome {
+            scenario: "burst-n8".into(),
+            algo: "Ricart",
+            verdict: "pass".into(),
+            expect_live: true,
+            expected: 8,
+            sim_verdict: "pass".into(),
+            sim_per_cs: 14.0,
+            rt_completed: 8,
+            rt_messages: 112,
+            rt_per_cs: 14.0,
+            rt_violations: 0,
+            rt_anomalies: 0,
+            rt_lost: 0,
+            rt_duplicated: 0,
+            rt_timed_out: false,
+            retries: 0,
+        };
+        let doc = render_report(&[o]);
+        assert!(doc.contains("\"schema\": \"rcv-rtmatrix/v1\""), "{doc}");
+        assert!(doc.contains("\"cells_pass\": 1"), "{doc}");
+        assert!(doc.contains("\"rt_messages\": 112"), "{doc}");
+    }
+}

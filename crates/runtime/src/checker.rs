@@ -96,6 +96,62 @@ mod tests {
     }
 
     #[test]
+    fn zero_duration_critical_sections_are_counted() {
+        // enter immediately followed by exit — a CS of zero duration — must
+        // register as a full, safe execution, never as a missed entry.
+        let c = CsChecker::new();
+        for i in 0..100u32 {
+            assert!(c.enter(NodeId::new(i % 4)));
+            c.exit(NodeId::new(i % 4));
+        }
+        assert!(c.is_safe());
+        assert_eq!(c.entries(), 100);
+    }
+
+    #[test]
+    fn back_to_back_reentry_by_same_node_is_a_violation() {
+        // A node re-entering without an intervening exit is a protocol bug
+        // even though no *other* node overlaps — the checker must flag it,
+        // not treat the second entry as idempotent.
+        let c = CsChecker::new();
+        assert!(c.enter(NodeId::new(2)));
+        assert!(!c.enter(NodeId::new(2)));
+        assert_eq!(c.violations(), 1);
+        assert_eq!(c.entries(), 2);
+    }
+
+    #[test]
+    fn exit_without_any_entry_is_a_violation() {
+        let c = CsChecker::new();
+        c.exit(NodeId::new(0));
+        assert_eq!(c.violations(), 1);
+        assert!(!c.is_safe());
+    }
+
+    #[test]
+    fn overlap_at_identical_instants_is_detected_and_recovers() {
+        // Two entries in the same instant (no sleep, no interleaving gap —
+        // the tightest overlap real threads can produce) must count exactly
+        // one violation, and the checker must keep functioning afterwards.
+        let c = CsChecker::new();
+        assert!(c.enter(NodeId::new(0)));
+        assert!(!c.enter(NodeId::new(1)));
+        assert_eq!(c.violations(), 1);
+        c.exit(NodeId::new(1)); // current (usurping) occupant leaves
+        assert!(
+            c.enter(NodeId::new(2)),
+            "checker must recover after overlap"
+        );
+        c.exit(NodeId::new(2));
+        assert_eq!(
+            c.violations(),
+            1,
+            "clean traffic after recovery stays clean"
+        );
+        assert_eq!(c.entries(), 3);
+    }
+
+    #[test]
     fn concurrent_hammering_never_double_admits() {
         // 8 threads fight over the checker with disciplined enter/exit; the
         // checker itself must serialize correctly (no false violations).

@@ -1,22 +1,27 @@
 //! The thread-per-node cluster: runs any [`MutexProtocol`] over real OS
 //! threads and crossbeam channels, with an impairment layer that injects
 //! random per-message delays (and therefore reordering — the channels stop
-//! being FIFO, exactly the property the RCV algorithm claims not to need).
+//! being FIFO, exactly the property the RCV algorithm claims not to need)
+//! and, optionally, wire-level faults mirroring the simulator's
+//! `FaultPlan`: message loss, duplicated delivery and per-endpoint
+//! straggler slowdowns, all applied by the network thread.
 //!
 //! Topology:
 //!
 //! ```text
 //! node thread 0 ─┐                        ┌─▶ node inbox 0
 //! node thread 1 ─┼─▶ network thread ──────┼─▶ node inbox 1
-//!      ...       │   (delay heap)         └─▶ ...
-//! node thread N ─┘
+//!      ...       │   (delay heap,         └─▶ ...
+//! node thread N ─┘    loss/dup/straggler)
 //! ```
 //!
 //! Each node thread owns its protocol state machine, issues its workload's
 //! requests, executes the CS by *sleeping* for `cs_duration` (registering
 //! entry/exit with the shared [`CsChecker`]), and keeps serving protocol
 //! messages between and after its own requests until the whole cluster is
-//! done.
+//! done. Every cluster thread registers a [`crate::watchdog::StatusCell`],
+//! so a deadlocked run can be post-mortemed with
+//! [`crate::watchdog::thread_dump`].
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -30,6 +35,7 @@ use rand::{Rng, SeedableRng};
 use rcv_simnet::{Ctx, MutexProtocol, NodeId, SimDuration, SimTime};
 
 use crate::checker::CsChecker;
+use crate::watchdog::StatusCell;
 
 /// Per-message network impairment.
 #[derive(Clone, Copy, Debug)]
@@ -43,6 +49,15 @@ pub enum NetDelay {
         /// Maximum injected delay.
         max: Duration,
     },
+    /// Exponential delay with the given mean, capped — heavy-tailed,
+    /// aggressive reordering (the runtime mirror of the simulator's
+    /// `DelayModel::Exponential`).
+    Exponential {
+        /// Mean of the exponential distribution.
+        mean: Duration,
+        /// Hard cap on a single sample.
+        cap: Duration,
+    },
 }
 
 impl NetDelay {
@@ -53,7 +68,64 @@ impl NetDelay {
                 let span = max.saturating_sub(min);
                 min + span.mul_f64(rng.gen::<f64>())
             }
+            NetDelay::Exponential { mean, cap } => {
+                // Inverse-CDF sampling; `1 - u` is in (0, 1], so the log is
+                // finite or the cap applies.
+                let u: f64 = rng.gen();
+                let d = -mean.as_secs_f64() * (1.0 - u).ln();
+                Duration::from_secs_f64(d.min(cap.as_secs_f64()))
+            }
         }
+    }
+}
+
+/// Wire-level fault injection, applied by the network thread — the
+/// real-concurrency mirror of `rcv_simnet::FaultPlan` (minus crash-stop,
+/// which has no faithful analogue while every node thread must join).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireFaults {
+    /// Every `k`-th message crossing the network thread is dropped.
+    pub loss_every: Option<u64>,
+    /// Every `k`-th delivered message is delivered twice (the duplicate
+    /// arrives later, after an extra delay).
+    pub dup_every: Option<u64>,
+    /// `(node index, factor)`: messages to or from this node take
+    /// `factor ×` the sampled delay — a slow node, FIFO-breaking even
+    /// under otherwise constant delays.
+    pub straggler: Option<(u32, u32)>,
+}
+
+impl WireFaults {
+    /// No faults — the paper's reliable model.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds message loss with period `every` (must be ≥ 1).
+    pub fn with_loss(mut self, every: u64) -> Self {
+        assert!(every >= 1, "loss period must be >= 1");
+        self.loss_every = Some(every);
+        self
+    }
+
+    /// Adds duplicated delivery with period `every` (must be ≥ 1).
+    pub fn with_duplication(mut self, every: u64) -> Self {
+        assert!(every >= 1, "duplication period must be >= 1");
+        self.dup_every = Some(every);
+        self
+    }
+
+    /// Makes `node`'s links `factor ×` slower (factor must be ≥ 1).
+    pub fn with_straggler(mut self, node: u32, factor: u32) -> Self {
+        assert!(factor >= 1, "straggler factor must be >= 1");
+        self.straggler = Some((node, factor));
+        self
+    }
+
+    /// Whether messages can vanish — the one regime that voids the
+    /// liveness guarantee of every retransmission-free algorithm.
+    pub fn lossy(&self) -> bool {
+        self.loss_every.is_some()
     }
 }
 
@@ -74,6 +146,13 @@ pub struct ClusterSpec<M> {
     pub cs_duration: Duration,
     /// Network impairment.
     pub delay: NetDelay,
+    /// Wire-level fault injection (loss, duplication, stragglers).
+    pub faults: WireFaults,
+    /// Wall-clock length of one simulator tick: protocol timers armed via
+    /// `Ctx::set_timer` and the `Ctx::now()` clock both use this scale, so
+    /// tick-denominated protocol logic keeps its proportions when delays
+    /// are scaled up to thread-schedulable magnitudes.
+    pub tick: Duration,
     /// Seed for all per-node RNG streams.
     pub seed: u64,
     /// Abort the run (reporting `timed_out`) after this long.
@@ -94,6 +173,8 @@ impl<M> ClusterSpec<M> {
                 min: Duration::from_micros(50),
                 max: Duration::from_millis(2),
             },
+            faults: WireFaults::none(),
+            tick: Duration::from_micros(1),
             seed,
             timeout: Duration::from_secs(30),
             wire_hook: None,
@@ -112,6 +193,10 @@ pub struct ClusterReport {
     pub violations: u64,
     /// Messages that crossed the network thread.
     pub messages: u64,
+    /// Messages dropped by wire-level loss injection.
+    pub lost: u64,
+    /// Extra copies delivered by wire-level duplication injection.
+    pub duplicated: u64,
     /// True if the run hit the timeout before all rounds completed.
     pub timed_out: bool,
 }
@@ -127,6 +212,13 @@ struct Envelope<M> {
     from: NodeId,
     to: NodeId,
     msg: M,
+}
+
+/// What a node thread hands the network thread: the sampled base delay is
+/// applied (and possibly stretched, dropped or doubled) network-side.
+struct Submitted<M> {
+    env: Envelope<M>,
+    delay: Duration,
 }
 
 enum Packet<M> {
@@ -161,8 +253,22 @@ impl<M> Ord for Pending<M> {
 /// Runs a cluster of `spec.n` protocol nodes to completion.
 pub fn run_cluster<P>(
     spec: ClusterSpec<P::Message>,
-    mut make_node: impl FnMut(NodeId, usize) -> P,
+    make_node: impl FnMut(NodeId, usize) -> P,
 ) -> ClusterReport
+where
+    P: MutexProtocol + Send + 'static,
+{
+    run_cluster_collecting(spec, make_node).0
+}
+
+/// Like [`run_cluster`], but also hands back every node's final protocol
+/// state (in node-id order) — the runtime analogue of the simulator's
+/// `Engine::run_collecting`, used e.g. to read RCV's internal anomaly
+/// counters after a real-thread run.
+pub fn run_cluster_collecting<P>(
+    spec: ClusterSpec<P::Message>,
+    mut make_node: impl FnMut(NodeId, usize) -> P,
+) -> (ClusterReport, Vec<P>)
 where
     P: MutexProtocol + Send + 'static,
 {
@@ -171,6 +277,8 @@ where
     let checker = Arc::new(CsChecker::new());
     let messages = Arc::new(AtomicU64::new(0));
     let completed = Arc::new(AtomicU64::new(0));
+    let lost = Arc::new(AtomicU64::new(0));
+    let duplicated = Arc::new(AtomicU64::new(0));
 
     // Inboxes.
     let mut inbox_tx = Vec::with_capacity(n);
@@ -182,12 +290,14 @@ where
     }
 
     // Network thread.
-    let (net_tx, net_rx) = unbounded::<Pending<P::Message>>();
+    let (net_tx, net_rx) = unbounded::<Submitted<P::Message>>();
     let net_out: Vec<Sender<Packet<P::Message>>> = inbox_tx.clone();
     let hook = spec.wire_hook.clone();
+    let faults = spec.faults;
+    let net_counters = (Arc::clone(&lost), Arc::clone(&duplicated));
     let net_handle = std::thread::Builder::new()
         .name("rcv-net".into())
-        .spawn(move || network_thread(net_rx, net_out, hook))
+        .spawn(move || network_thread(net_rx, net_out, hook, faults, net_counters))
         .expect("spawn network thread");
 
     // Done notifications.
@@ -215,8 +325,10 @@ where
             think: spec.think,
             cs_duration: spec.cs_duration,
             delay: spec.delay,
+            tick: spec.tick,
             start,
             timers: Vec::new(),
+            status: StatusCell::register(format!("rcv-node-{idx}")),
         };
         handles.push(
             std::thread::Builder::new()
@@ -249,29 +361,45 @@ where
     }
 
     // Tear down: stop node threads, then the network drains and exits.
+    // Node panics (protocol bugs, codec failures) must surface, not be
+    // swallowed into a mystery timeout.
     for tx in &inbox_tx {
         let _ = tx.send(Packet::Shutdown);
     }
+    let mut nodes = Vec::with_capacity(n);
     for h in handles {
-        let _ = h.join();
+        match h.join() {
+            Ok(proto) => nodes.push(proto),
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
     }
-    let _ = net_handle.join();
+    if let Err(panic) = net_handle.join() {
+        std::panic::resume_unwind(panic);
+    }
 
-    ClusterReport {
+    let report = ClusterReport {
         completed: completed.load(Ordering::Relaxed),
         cs_entries: checker.entries(),
         violations: checker.violations(),
         messages: messages.load(Ordering::Relaxed),
+        lost: lost.load(Ordering::Relaxed),
+        duplicated: duplicated.load(Ordering::Relaxed),
         timed_out,
-    }
+    };
+    (report, nodes)
 }
 
-fn network_thread<M>(
-    rx: Receiver<Pending<M>>,
+fn network_thread<M: Clone>(
+    rx: Receiver<Submitted<M>>,
     out: Vec<Sender<Packet<M>>>,
     hook: Option<WireHook<M>>,
+    faults: WireFaults,
+    (lost, duplicated): (Arc<AtomicU64>, Arc<AtomicU64>),
 ) {
+    let status = StatusCell::register("rcv-net");
     let mut heap: BinaryHeap<Reverse<Pending<M>>> = BinaryHeap::new();
+    let mut seen = 0u64; // messages received from node threads
+    let mut seq = 0u64; // heap insertion order
     let mut disconnected = false;
     loop {
         // Deliver everything due.
@@ -282,6 +410,7 @@ fn network_thread<M>(
                 Some(h) => h(p.env.msg),
                 None => p.env.msg,
             };
+            status.bump();
             // A closed inbox just means that node already shut down.
             let _ = out[p.env.to.index()].send(Packet::Msg {
                 from: p.env.from,
@@ -300,7 +429,47 @@ fn network_thread<M>(
             continue;
         }
         match rx.recv_timeout(wait.max(Duration::from_micros(100))) {
-            Ok(p) => heap.push(Reverse(p)),
+            Ok(Submitted { env, mut delay }) => {
+                seen += 1;
+                if let Some((node, factor)) = faults.straggler {
+                    let node = node as usize;
+                    if env.from.index() == node || env.to.index() == node {
+                        delay *= factor;
+                    }
+                }
+                status.bump();
+                if faults.loss_every.is_some_and(|k| seen.is_multiple_of(k)) {
+                    lost.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let now = Instant::now();
+                if faults.dup_every.is_some_and(|k| seen.is_multiple_of(k)) {
+                    duplicated.fetch_add(1, Ordering::Relaxed);
+                    seq += 1;
+                    heap.push(Reverse(Pending {
+                        due: now + delay + delay,
+                        seq,
+                        env: Envelope {
+                            from: env.from,
+                            to: env.to,
+                            msg: env.msg.clone(),
+                        },
+                    }));
+                }
+                seq += 1;
+                heap.push(Reverse(Pending {
+                    due: now + delay,
+                    seq,
+                    env,
+                }));
+                // Periodic status only: formatting per message would put
+                // an allocation in the cluster's single serialization
+                // point (StatusCell's own contract: transitions, not
+                // events — progress is visible through bump()).
+                if seen % 1024 == 1 {
+                    status.set(format!("in-flight {} (seen {seen})", heap.len()));
+                }
+            }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => disconnected = true,
         }
@@ -311,7 +480,7 @@ struct NodeThread<P: MutexProtocol> {
     me: NodeId,
     proto: P,
     rx: Receiver<Packet<P::Message>>,
-    net_tx: Sender<Pending<P::Message>>,
+    net_tx: Sender<Submitted<P::Message>>,
     checker: Arc<CsChecker>,
     messages: Arc<AtomicU64>,
     completed: Arc<AtomicU64>,
@@ -321,15 +490,20 @@ struct NodeThread<P: MutexProtocol> {
     think: Duration,
     cs_duration: Duration,
     delay: NetDelay,
+    /// Wall-clock length of one simulator tick (timer/clock scale).
+    tick: Duration,
     start: Instant,
-    /// Armed one-shot timers: `(due, tag)`. SimDuration ticks map to
-    /// microseconds in the threaded runtime (same scale as `now()`).
+    /// Armed one-shot timers: `(due, tag)`.
     timers: Vec<(Instant, u64)>,
+    /// Watchdog slot: state transitions are recorded here so a hung run
+    /// can be diagnosed from [`crate::watchdog::thread_dump`].
+    status: StatusCell,
 }
 
 impl<P: MutexProtocol> NodeThread<P> {
     fn now(&self) -> SimTime {
-        SimTime::from_ticks(self.start.elapsed().as_micros() as u64)
+        let tick_us = self.tick.as_micros().max(1) as u64;
+        SimTime::from_ticks(self.start.elapsed().as_micros() as u64 / tick_us)
     }
 
     /// Dispatches one protocol handler and materializes its intents.
@@ -351,20 +525,21 @@ impl<P: MutexProtocol> NodeThread<P> {
             f(&mut self.proto, &mut ctx);
         }
         for (delay, tag) in armed {
+            let ticks = delay.ticks().min(u32::MAX as u64) as u32;
             self.timers
-                .push((Instant::now() + Duration::from_micros(delay.ticks()), tag));
+                .push((Instant::now() + self.tick.saturating_mul(ticks), tag));
         }
         for (to, msg) in outbox {
             let delay = self.delay.sample(&mut self.rng);
             self.messages.fetch_add(1, Ordering::Relaxed);
-            let p = Pending {
-                due: Instant::now() + delay,
-                seq: self.messages.load(Ordering::Relaxed),
+            self.status.bump();
+            let p = Submitted {
                 env: Envelope {
                     from: self.me,
                     to,
                     msg,
                 },
+                delay,
             };
             if self.net_tx.send(p).is_err() {
                 return false; // network gone: shutting down
@@ -380,6 +555,7 @@ impl<P: MutexProtocol> NodeThread<P> {
 
     /// Holds the CS for `cs_duration`, then releases through the protocol.
     fn execute_cs(&mut self) {
+        self.status.set("in CS");
         self.checker.enter(self.me);
         std::thread::sleep(self.cs_duration);
         self.checker.exit(self.me);
@@ -389,7 +565,7 @@ impl<P: MutexProtocol> NodeThread<P> {
         debug_assert!(!entered_again, "release must not re-enter the CS");
     }
 
-    fn run(mut self) {
+    fn run(mut self) -> P {
         let mut remaining = self.rounds;
         let mut waiting_grant = false;
         let mut next_request: Option<Instant> = (remaining > 0).then(Instant::now);
@@ -405,6 +581,8 @@ impl<P: MutexProtocol> NodeThread<P> {
                     next_request = None;
                     remaining -= 1;
                     waiting_grant = true;
+                    self.status
+                        .set(format!("requesting (rounds left {remaining})"));
                     if self.dispatch(|p, ctx| p.on_request(ctx)) {
                         waiting_grant = false; // entered synchronously
                     }
@@ -415,6 +593,7 @@ impl<P: MutexProtocol> NodeThread<P> {
                     next_request = Some(Instant::now() + self.think);
                 } else if !announced_done {
                     announced_done = true;
+                    self.status.set("done (serving peers)");
                     let _ = self.done_tx.send(self.me);
                 }
             }
@@ -447,10 +626,55 @@ impl<P: MutexProtocol> NodeThread<P> {
                         waiting_grant = false; // CS executed to completion
                     }
                 }
-                Ok(Packet::Shutdown) => return,
+                Ok(Packet::Shutdown) => return self.proto,
                 Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => return,
+                Err(RecvTimeoutError::Disconnected) => return self.proto,
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_delay_samples_stay_in_range() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let d = NetDelay::Uniform {
+            min: Duration::from_micros(100),
+            max: Duration::from_micros(900),
+        };
+        for _ in 0..200 {
+            let s = d.sample(&mut rng);
+            assert!(s >= Duration::from_micros(100) && s <= Duration::from_micros(900));
+        }
+        let e = NetDelay::Exponential {
+            mean: Duration::from_micros(200),
+            cap: Duration::from_millis(2),
+        };
+        for _ in 0..200 {
+            assert!(e.sample(&mut rng) <= Duration::from_millis(2));
+        }
+        assert_eq!(NetDelay::None.sample(&mut rng), Duration::ZERO);
+    }
+
+    #[test]
+    fn wire_faults_builder_composes() {
+        let f = WireFaults::none()
+            .with_loss(17)
+            .with_duplication(5)
+            .with_straggler(2, 8);
+        assert_eq!(f.loss_every, Some(17));
+        assert_eq!(f.dup_every, Some(5));
+        assert_eq!(f.straggler, Some((2, 8)));
+        assert!(f.lossy());
+        assert!(!WireFaults::none().with_duplication(3).lossy());
+    }
+
+    #[test]
+    #[should_panic(expected = "loss period")]
+    fn zero_loss_period_is_rejected() {
+        let _ = WireFaults::none().with_loss(0);
     }
 }

@@ -20,6 +20,13 @@
 //! let report = run_rcv_cluster(ClusterSpec::quick(3, 42), RcvConfig::paper());
 //! assert!(report.is_clean(3)); // 3 nodes, one CS execution each, no overlap
 //! ```
+//!
+//! Beyond RCV, the cluster is algorithm-agnostic: [`run_cluster`] accepts
+//! any `MutexProtocol`, [`wire::WireCodec`] covers every baseline message
+//! type, and [`ClusterSpec::faults`] mirrors the simulator's fault plans
+//! (loss, duplication, stragglers) at the real-network layer. The
+//! [`watchdog`] module guards threaded tests with a hard wall-clock
+//! deadline plus a thread dump, so a deadlocked cluster fails loudly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,8 +34,12 @@
 mod checker;
 mod cluster;
 mod rcv_cluster;
+pub mod watchdog;
 pub mod wire;
 
 pub use checker::CsChecker;
-pub use cluster::{run_cluster, ClusterReport, ClusterSpec, NetDelay, WireHook};
-pub use rcv_cluster::{run_rcv_cluster, with_codec_verification};
+pub use cluster::{
+    run_cluster, run_cluster_collecting, ClusterReport, ClusterSpec, NetDelay, WireFaults, WireHook,
+};
+pub use rcv_cluster::{run_rcv_cluster, run_rcv_cluster_collecting, with_codec_verification};
+pub use watchdog::run_with_watchdog;

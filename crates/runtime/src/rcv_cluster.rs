@@ -1,13 +1,15 @@
 //! Convenience entry points for running the **RCV** protocol on the
 //! threaded cluster, including codec-verified mode where every message is
 //! serialized to bytes and parsed back on the wire.
-
-use std::sync::Arc;
+//!
+//! (Baselines run on the same cluster through the generic
+//! [`crate::run_cluster`] + [`crate::wire::verifying_hook`]; the uniform
+//! all-8-algorithms dispatch lives in `rcv_workload::algo`.)
 
 use rcv_core::{RcvConfig, RcvNode};
 use rcv_simnet::NodeId;
 
-use crate::cluster::{run_cluster, ClusterReport, ClusterSpec};
+use crate::cluster::{run_cluster_collecting, ClusterReport, ClusterSpec};
 use crate::wire;
 
 /// Runs an RCV cluster per `spec`.
@@ -15,9 +17,21 @@ pub fn run_rcv_cluster(
     spec: ClusterSpec<rcv_core::RcvMessage>,
     config: RcvConfig,
 ) -> ClusterReport {
-    run_cluster(spec, move |id: NodeId, n| {
+    run_rcv_cluster_collecting(spec, config).0
+}
+
+/// Runs an RCV cluster and also reports the sum of the nodes' internal
+/// anomaly counters (UL exhaustion, Lemma-6 violations) — the runtime
+/// analogue of `rcv_core::total_anomalies` after a simulation.
+pub fn run_rcv_cluster_collecting(
+    spec: ClusterSpec<rcv_core::RcvMessage>,
+    config: RcvConfig,
+) -> (ClusterReport, u64) {
+    let (report, nodes) = run_cluster_collecting(spec, move |id: NodeId, n| {
         RcvNode::with_config(id, n, config)
-    })
+    });
+    let anomalies = nodes.iter().map(|n| n.stats().anomalies()).sum();
+    (report, anomalies)
 }
 
 /// Adds the encode/decode round-trip hook to a spec: every message crosses
@@ -25,17 +39,14 @@ pub fn run_rcv_cluster(
 pub fn with_codec_verification(
     mut spec: ClusterSpec<rcv_core::RcvMessage>,
 ) -> ClusterSpec<rcv_core::RcvMessage> {
-    spec.wire_hook = Some(Arc::new(|msg| {
-        let bytes = wire::encode(&msg);
-        wire::decode(bytes).expect("wire codec must round-trip every live message")
-    }));
+    spec.wire_hook = Some(wire::verifying_hook());
     spec
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cluster::NetDelay;
+    use crate::cluster::{NetDelay, WireFaults};
     use std::time::Duration;
 
     #[test]
@@ -78,5 +89,41 @@ mod tests {
         let r = run_rcv_cluster(spec, RcvConfig::paper());
         assert!(r.is_clean(3), "{r:?}");
         assert_eq!(r.messages, 0, "one node never needs the network");
+    }
+
+    #[test]
+    fn rcv_threads_report_zero_anomalies() {
+        let mut spec = with_codec_verification(ClusterSpec::quick(5, 6));
+        spec.rounds = 2;
+        let (r, anomalies) = run_rcv_cluster_collecting(spec, RcvConfig::paper());
+        assert!(r.is_clean(10), "{r:?}");
+        assert_eq!(anomalies, 0, "RCV internal anomaly counters fired");
+    }
+
+    #[test]
+    fn rcv_threads_survive_duplication() {
+        // Every message delivered twice: RCV's stale-EM / duplicate-IM
+        // guards must absorb it — safe AND live.
+        let mut spec = with_codec_verification(ClusterSpec::quick(5, 7));
+        spec.rounds = 2;
+        spec.faults = WireFaults::none().with_duplication(1);
+        let (r, anomalies) = run_rcv_cluster_collecting(spec, RcvConfig::paper());
+        assert!(r.is_clean(10), "{r:?}");
+        assert_eq!(anomalies, 0);
+        assert!(r.duplicated > 0, "duplication regime must actually fire");
+    }
+
+    #[test]
+    fn rcv_threads_recover_from_loss_with_retransmission() {
+        // Message loss voids retransmission-free liveness; with the
+        // retransmit extension armed, RCV must still complete every CS.
+        let mut spec = ClusterSpec::quick(4, 8);
+        spec.rounds = 2;
+        spec.faults = WireFaults::none().with_loss(9);
+        spec.timeout = Duration::from_secs(60);
+        let (r, anomalies) = run_rcv_cluster_collecting(spec, RcvConfig::with_retransmit(2_000));
+        assert!(r.is_clean(8), "{r:?}");
+        assert_eq!(anomalies, 0);
+        assert!(r.lost > 0, "loss regime must actually drop messages");
     }
 }

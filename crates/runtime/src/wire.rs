@@ -18,11 +18,23 @@
 //! ```
 //!
 //! The threaded cluster can run in `verify_codec` mode, round-tripping
-//! every RCV message through this codec on delivery.
+//! every message through its codec on delivery.
+//!
+//! The [`WireCodec`] trait extends the same guarantee to **every** message
+//! type in the workspace: RCV plus all baseline algorithms (see
+//! [`baselines`]). Decoders are strict — trailing garbage is an error, a
+//! strict prefix of a valid encoding is an error, and adversarial bytes
+//! must never panic (property-tested in `tests/prop_wire_roundtrip.rs`).
+
+pub mod baselines;
+
+use std::sync::Arc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rcv_core::{MsgBody, Nonl, Nsit, RcvMessage, ReqTuple};
 use rcv_simnet::NodeId;
+
+use crate::cluster::WireHook;
 
 /// Decoding failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -33,6 +45,8 @@ pub enum WireError {
     BadTag(u8),
     /// A length prefix exceeded the sanity limit.
     LengthOverflow(u32),
+    /// Bytes remained after a complete message (this many).
+    Trailing(usize),
 }
 
 impl core::fmt::Display for WireError {
@@ -41,6 +55,7 @@ impl core::fmt::Display for WireError {
             WireError::Truncated => write!(f, "truncated message"),
             WireError::BadTag(t) => write!(f, "unknown message tag {t}"),
             WireError::LengthOverflow(l) => write!(f, "implausible length prefix {l}"),
+            WireError::Trailing(n) => write!(f, "{n} trailing byte(s) after message"),
         }
     }
 }
@@ -48,6 +63,61 @@ impl core::fmt::Display for WireError {
 impl std::error::Error for WireError {}
 
 const MAX_LEN: u32 = 1 << 20;
+
+/// A message type with a self-contained binary wire format.
+///
+/// Implementations must uphold, for every value `m`:
+///
+/// * **round-trip**: `decode_wire(encode_wire(&m)) == Ok(m)`;
+/// * **strictness**: decoding any strict prefix of `encode_wire(&m)`, or
+///   the encoding followed by trailing bytes, returns `Err`;
+/// * **total decoding**: `decode_wire` returns `Err` (never panics) on
+///   arbitrary byte soup.
+pub trait WireCodec: Sized {
+    /// Protocol label used in diagnostics ("RCV", "Ricart", …).
+    const PROTOCOL: &'static str;
+
+    /// Serializes the message.
+    fn encode_wire(&self) -> Bytes;
+
+    /// Parses a message, consuming the whole buffer.
+    fn decode_wire(buf: Bytes) -> Result<Self, WireError>;
+}
+
+/// Finishes a strict decode: `v` is the parsed message, `buf` must be
+/// fully consumed.
+pub(crate) fn finish<T>(buf: &Bytes, v: T) -> Result<T, WireError> {
+    if buf.remaining() == 0 {
+        Ok(v)
+    } else {
+        Err(WireError::Trailing(buf.remaining()))
+    }
+}
+
+/// A [`WireHook`] that serializes every message to bytes and parses it
+/// back on delivery, panicking loudly if the codec is lossy — the proof
+/// that the protocol state crossing the network is plain data.
+pub fn verifying_hook<M>() -> WireHook<M>
+where
+    M: WireCodec + PartialEq + core::fmt::Debug + Send + Sync + 'static,
+{
+    Arc::new(|msg: M| {
+        let bytes = msg.encode_wire();
+        let decoded = M::decode_wire(bytes).unwrap_or_else(|e| {
+            panic!(
+                "{} wire codec failed to round-trip a live message: {e} ({msg:?})",
+                M::PROTOCOL
+            )
+        });
+        assert_eq!(
+            decoded,
+            msg,
+            "{} wire codec round-trip altered a message",
+            M::PROTOCOL
+        );
+        decoded
+    })
+}
 
 fn put_tuple(buf: &mut BytesMut, t: &ReqTuple) {
     buf.put_u32(t.node.raw());
@@ -141,7 +211,8 @@ pub fn encode(msg: &RcvMessage) -> Bytes {
     buf.freeze()
 }
 
-/// Deserializes an [`RcvMessage`].
+/// Deserializes an [`RcvMessage`]. Strict: the whole buffer must be one
+/// message — trailing bytes are a [`WireError::Trailing`] error.
 pub fn decode(mut buf: Bytes) -> Result<RcvMessage, WireError> {
     if buf.remaining() < 1 {
         return Err(WireError::Truncated);
@@ -174,7 +245,19 @@ pub fn decode(mut buf: Bytes) -> Result<RcvMessage, WireError> {
         }
         t => return Err(WireError::BadTag(t)),
     };
-    Ok(msg)
+    finish(&buf, msg)
+}
+
+impl WireCodec for RcvMessage {
+    const PROTOCOL: &'static str = "RCV";
+
+    fn encode_wire(&self) -> Bytes {
+        encode(self)
+    }
+
+    fn decode_wire(buf: Bytes) -> Result<Self, WireError> {
+        decode(buf)
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +336,22 @@ mod tests {
                 full.len()
             );
         }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let full = encode(&RcvMessage::Em {
+            for_req: t(1, 3),
+            body: sample_body(),
+        });
+        let mut extended = BytesMut::with_capacity(full.len() + 1);
+        extended.put_slice(full.as_slice());
+        extended.put_u8(0xAA);
+        assert_eq!(
+            decode(extended.freeze()),
+            Err(WireError::Trailing(1)),
+            "a byte of trailing garbage must not decode"
+        );
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod runner;
 pub mod scenario;
 pub mod sweep;
 
-pub use algo::Algo;
+pub use algo::{Algo, ClusterRun, ThreadSpec};
 pub use arrival::{HotSpotWorkload, PoissonWorkload, SaturationWorkload};
 pub use phased::{Phase, PhasedWorkload, TimedPhase};
 pub use report::Table;

@@ -332,6 +332,22 @@ impl ScenarioSpec {
     pub fn expect_live(&self) -> bool {
         !self.faults.plan().threatens_liveness()
     }
+
+    /// Whether the real-thread runtime can express this scenario
+    /// faithfully: closed-loop shapes (burst / saturation / Poisson-like
+    /// think times) map onto per-node rounds, and every fault regime
+    /// except crash-stop has a wire-level mirror
+    /// (`rcv_runtime::WireFaults`). Hot-spot and ramp shapes are per-node
+    /// heterogeneous / time-varying and stay simulator-only; crash cells
+    /// need a node to vanish, which a joinable thread cannot.
+    pub fn runtime_mappable(&self) -> bool {
+        let shape_ok = matches!(
+            self.shape,
+            ShapeSpec::Burst | ShapeSpec::Saturation { .. } | ShapeSpec::Poisson { .. }
+        );
+        let faults_ok = !matches!(self.faults, FaultSpec::Crash { .. });
+        shape_ok && faults_ok
+    }
 }
 
 /// One cell of the conformance matrix: a scenario × an algorithm.
