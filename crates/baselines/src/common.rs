@@ -7,7 +7,7 @@ use rcv_simnet::NodeId;
 
 /// A Lamport logical clock (Lamport 1978), as used by Ricart–Agrawala,
 /// Lamport's algorithm and Maekawa's priority scheme.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct LamportClock {
     value: u64,
 }

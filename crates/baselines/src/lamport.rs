@@ -17,7 +17,7 @@ use rcv_simnet::{Ctx, MutexProtocol, NodeId, ProtocolMessage};
 use crate::common::{LamportClock, Priority};
 
 /// Lamport algorithm message.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum LpMessage {
     /// Timestamped CS request.
     Request {
@@ -50,7 +50,7 @@ impl ProtocolMessage for LpMessage {
     }
 }
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 enum Phase {
     Idle,
     Waiting,
@@ -58,6 +58,10 @@ enum Phase {
 }
 
 /// One Lamport-algorithm node.
+///
+/// `Clone`/`Debug`/`Hash` exist for the exhaustive model checker
+/// (`rcv-mc`), which snapshots and fingerprints whole-system states.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Lamport {
     me: NodeId,
     n: usize,

@@ -12,7 +12,7 @@ use rcv_simnet::{Ctx, MutexProtocol, NodeId, ProtocolMessage};
 use crate::common::{LamportClock, Priority};
 
 /// Ricart–Agrawala message.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum RaMessage {
     /// Timestamped CS request.
     Request {
@@ -40,7 +40,7 @@ impl ProtocolMessage for RaMessage {
 }
 
 /// Requester lifecycle.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 enum Phase {
     Idle,
     Waiting,
@@ -48,6 +48,10 @@ enum Phase {
 }
 
 /// One Ricart–Agrawala node.
+///
+/// `Clone`/`Debug`/`Hash` exist for the exhaustive model checker
+/// (`rcv-mc`), which snapshots and fingerprints whole-system states.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct RicartAgrawala {
     me: NodeId,
     n: usize,
@@ -129,7 +133,20 @@ impl MutexProtocol for RicartAgrawala {
                 }
             }
             RaMessage::Reply => {
-                debug_assert_eq!(self.phase, Phase::Waiting, "reply outside a wait");
+                // A REPLY outside a wait is a network duplicate (or a
+                // copy straggling in after the grant completed): drop it.
+                // Found by the rcv-mc duplication branching — the old
+                // `debug_assert_eq!(phase, Waiting)` here crashed debug
+                // builds on that benign schedule. Within one wait the
+                // per-sender bitmap below dedups further copies; a
+                // duplicate landing in a *later* wait is still counted
+                // (classic RA replies carry no request id) and rcv-mc
+                // proves that genuinely breaks safety across rounds —
+                // which is why the scenario registry keeps duplication
+                // regimes away from the baselines.
+                if self.phase != Phase::Waiting {
+                    return;
+                }
                 if !self.replies[from.index()] {
                     self.replies[from.index()] = true;
                     self.replies_needed -= 1;

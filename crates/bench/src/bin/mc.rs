@@ -1,0 +1,195 @@
+//! `mc` — exhaustive model checking from the command line.
+//!
+//! ```text
+//! mc --ci [--out PATH]
+//! mc --algo A --n N [--drops D] [--dups P] [--rounds R]
+//!    [--strategy dfs|bfs] [--depth K] [--max-states M] [--out PATH]
+//! mc --list
+//! ```
+//!
+//! * `--ci` — run the time-boxed CI suite (RCV at N=3 under all three
+//!   deterministic forwarding policies with loss+duplication branching,
+//!   plus Ricart–Agrawala and Lamport at N=3), each to exhaustion.
+//! * `--algo A` — one scenario; `A` is `rcv-seq`, `rcv-most-stale`,
+//!   `rcv-freshest`, `ricart` or `lamport` (Lamport checks in FIFO mode,
+//!   its correctness precondition).
+//! * `--strategy bfs` — breadth-first: slower frontier, but a violation,
+//!   if found, is a *minimal* counterexample.
+//! * `--depth K` — bound the search (the verdict is then explicitly
+//!   "bounded", not "exhaustive").
+//! * `--out PATH` — write the `rcv-mc/v1` JSON artifact (state counts,
+//!   timings, counterexample trace if any).
+//! * `--list` — print the CI suite cells and exit.
+//!
+//! On a violation the narrated counterexample replay is printed in full.
+//!
+//! Exit codes: 0 clean and exhausted, 1 violation or incomplete search,
+//! 2 usage error.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use rcv_bench::mc::{
+    algo_slug, ci_suite, parse_algo, render_report, run_cell, McCell, McOptions, McOutcome,
+    Strategy, SCHEMA,
+};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: mc --ci [--out PATH]\n\
+         \u{20}      mc --algo A --n N [--drops D] [--dups P] [--rounds R]\n\
+         \u{20}         [--strategy dfs|bfs] [--depth K] [--max-states M] [--out PATH]\n\
+         \u{20}      mc --list\n\
+         algorithms: rcv-seq rcv-most-stale rcv-freshest ricart lamport"
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    ci: bool,
+    list: bool,
+    cell: Option<McCell>,
+    opts: McOptions,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        ci: false,
+        list: false,
+        cell: None,
+        opts: McOptions::default(),
+        out: None,
+    };
+    let mut algo = None;
+    let mut n = None;
+    let mut drops = 0;
+    let mut dups = 0;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--ci" => args.ci = true,
+            "--list" => args.list = true,
+            "--algo" => {
+                let a = value("--algo")?;
+                algo = Some(parse_algo(&a).ok_or(format!("unknown algorithm {a}"))?);
+            }
+            "--n" => n = Some(value("--n")?.parse().map_err(|_| "bad node count")?),
+            "--drops" => drops = value("--drops")?.parse().map_err(|_| "bad drop budget")?,
+            "--dups" => dups = value("--dups")?.parse().map_err(|_| "bad dup budget")?,
+            "--rounds" => {
+                args.opts.rounds = value("--rounds")?.parse().map_err(|_| "bad round count")?
+            }
+            "--strategy" => {
+                let s = value("--strategy")?;
+                args.opts.strategy =
+                    Strategy::parse(&s).ok_or(format!("unknown strategy {s} (dfs|bfs)"))?;
+            }
+            "--depth" => {
+                args.opts.max_depth =
+                    Some(value("--depth")?.parse().map_err(|_| "bad depth bound")?)
+            }
+            "--max-states" => {
+                args.opts.max_states = value("--max-states")?
+                    .parse()
+                    .map_err(|_| "bad state cap")?
+            }
+            "--out" => args.out = Some(value("--out")?),
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    match (algo, n) {
+        (Some(algo), Some(n)) => {
+            args.cell = Some(McCell {
+                algo,
+                n,
+                drops,
+                dups,
+            })
+        }
+        (None, None) => {}
+        _ => return Err("--algo and --n go together".into()),
+    }
+    if !args.ci && !args.list && args.cell.is_none() {
+        return Err("nothing to do: pass --ci, --list or --algo/--n".into());
+    }
+    Ok(args)
+}
+
+fn report_outcome(o: &McOutcome) {
+    println!(
+        "[mc] {:<24} {} ({:.2}s)",
+        o.cell,
+        o.report.summary(),
+        o.secs
+    );
+    if let Some((desc, steps, trace)) = &o.report.violation {
+        println!("[mc] VIOLATION in {}: {desc}", o.cell);
+        println!("[mc] minimal counterexample, {steps} steps; narrated replay:");
+        print!("{trace}");
+    } else if !o.report.exhausted {
+        println!("[mc] {}: search INCOMPLETE — no exhaustive verdict", o.cell);
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    if args.list {
+        println!("# {SCHEMA}: {} CI cells", ci_suite().len());
+        for c in ci_suite() {
+            println!("{}", c.name());
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let cells = if args.ci {
+        ci_suite()
+    } else {
+        vec![args.cell.clone().expect("parse_args guarantees a cell")]
+    };
+    for c in &cells {
+        if !c.algo.model_checkable() {
+            return Err(format!(
+                "{} has no model-checker adapter",
+                algo_slug(c.algo)
+            ));
+        }
+    }
+
+    let started = Instant::now();
+    let mut outcomes = Vec::with_capacity(cells.len());
+    for cell in &cells {
+        let o = run_cell(cell, &args.opts);
+        report_outcome(&o);
+        outcomes.push(o);
+    }
+    let failed = outcomes.iter().filter(|o| !o.passed()).count();
+    println!(
+        "[mc] {} / {} cells exhausted violation-free in {:.1?}",
+        outcomes.len() - failed,
+        outcomes.len(),
+        started.elapsed(),
+    );
+
+    if let Some(out) = &args.out {
+        std::fs::write(out, render_report(&outcomes)).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("[mc] wrote {out}");
+    }
+
+    Ok(if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("mc: {e}");
+            usage()
+        }
+    }
+}

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod matrix;
+pub mod mc;
 pub mod perf;
 pub mod rtmatrix;
 

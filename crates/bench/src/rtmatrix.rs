@@ -260,6 +260,25 @@ pub fn thread_spec(cell: &Cell, opts: &DiffOptions, attempt: u32) -> ThreadSpec 
     }
 }
 
+/// Whether an attempt's outcome permits a fresh-seed rerun.
+///
+/// ONLY a stalled-but-safe live cell is eligible: a mutual-exclusion
+/// violation or an RCV anomaly on ANY attempt is exactly the
+/// schedule-dependent bug this harness hunts and must be judged, never
+/// retried away — no input combination can make an unsafe or anomalous
+/// run eligible. Pure so the guarantee is testable in isolation.
+pub fn rerun_eligible(
+    expect_live: bool,
+    run: &ClusterRun,
+    expected: u64,
+    retries: u32,
+    max_reruns: u32,
+) -> bool {
+    let stalled_but_safe =
+        run.report.violations == 0 && run.anomalies == 0 && !run.is_clean(expected);
+    expect_live && stalled_but_safe && retries < max_reruns
+}
+
 /// Runs one cell on both backends and cross-checks them.
 pub fn run_diff_cell(cell: &Cell, opts: &DiffOptions) -> DiffOutcome {
     let sim = run_cell(cell);
@@ -276,13 +295,7 @@ pub fn run_diff_cell(cell: &Cell, opts: &DiffOptions) -> DiffOutcome {
         // cluster machinery itself wedges, this panics with a thread dump.
         let hard = ts.timeout + Duration::from_secs(30);
         let run = run_with_watchdog(&label, hard, move || algo.run_threaded(&ts));
-        // ONLY a stalled-but-safe live cell earns a rerun: a safety
-        // violation or an RCV anomaly on ANY attempt is exactly the
-        // schedule-dependent bug this harness hunts and must be judged,
-        // never retried away.
-        let stalled_but_safe =
-            run.report.violations == 0 && run.anomalies == 0 && !run.is_clean(expected);
-        if !expect_live || !stalled_but_safe || retries >= opts.reruns {
+        if !rerun_eligible(expect_live, &run, expected, retries, opts.reruns) {
             break (run, expected);
         }
         retries += 1; // flaky wall-clock schedule: fresh seed, try again
@@ -400,6 +413,64 @@ pub fn render_report(outcomes: &[DiffOutcome]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rcv_runtime::ClusterReport;
+
+    /// A run outcome with everything healthy except what the caller breaks.
+    fn run(completed: u64, violations: u64, anomalies: u64, timed_out: bool) -> ClusterRun {
+        ClusterRun {
+            report: ClusterReport {
+                completed,
+                cs_entries: completed,
+                violations,
+                messages: 100,
+                lost: 0,
+                duplicated: 0,
+                timed_out,
+            },
+            anomalies,
+        }
+    }
+
+    #[test]
+    fn safety_and_anomaly_failures_are_never_rerun_eligible() {
+        // The core guarantee: across every combination of liveness
+        // expectation, completion level and retry budget, a violation or
+        // an anomaly disqualifies the rerun — the failure must be judged.
+        for expect_live in [false, true] {
+            for completed in [0, 3, 8] {
+                for timed_out in [false, true] {
+                    for retries in [0, 1] {
+                        for (violations, anomalies) in [(1, 0), (0, 1), (2, 3)] {
+                            assert!(
+                                !rerun_eligible(
+                                    expect_live,
+                                    &run(completed, violations, anomalies, timed_out),
+                                    8,
+                                    retries,
+                                    5,
+                                ),
+                                "violations={violations} anomalies={anomalies} must never retry"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn only_stalled_but_safe_live_cells_earn_a_rerun() {
+        // The one eligible shape: live expectation, safe, anomaly-free,
+        // incomplete, budget remaining.
+        let stalled = run(3, 0, 0, true);
+        assert!(rerun_eligible(true, &stalled, 8, 0, 2));
+        // Budget exhausted → judged as-is.
+        assert!(!rerun_eligible(true, &stalled, 8, 2, 2));
+        // Cells expected to stall (fault regimes) are judged directly.
+        assert!(!rerun_eligible(false, &stalled, 8, 0, 2));
+        // A clean run has nothing to retry.
+        assert!(!rerun_eligible(true, &run(8, 0, 0, false), 8, 0, 2));
+    }
 
     #[test]
     fn full_mappable_grid_excludes_crash_and_open_loop_shapes() {

@@ -13,7 +13,7 @@ use rcv_simnet::NodeId;
 use crate::si::Si;
 
 /// How an RM picks its next hop among unvisited nodes.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum ForwardPolicy {
     /// Uniformly random among unvisited nodes (the paper's choice).
     #[default]
@@ -61,7 +61,7 @@ impl ForwardPolicy {
 }
 
 /// Per-node configuration.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct RcvConfig {
     /// RM forwarding policy.
     pub forward: ForwardPolicy,

@@ -10,7 +10,7 @@ use crate::tuple::ReqTuple;
 /// The state snapshot every message carries: `MONL` + `MSIT` (paper
 /// Figure 3). The Exchange procedure reconciles it bidirectionally with the
 /// receiver's SI.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct MsgBody {
     /// Message Ordered Node List.
     pub monl: Nonl,
@@ -35,7 +35,7 @@ impl MsgBody {
 }
 
 /// A message of the RCV algorithm.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum RcvMessage {
     /// Request Message: roams the network gathering votes for its home
     /// node's request.

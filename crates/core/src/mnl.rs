@@ -15,7 +15,7 @@ use rcv_simnet::NodeId;
 use crate::tuple::ReqTuple;
 
 /// Arrival-ordered list of outstanding requests, at most one per node.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct Mnl {
     items: Vec<ReqTuple>,
 }

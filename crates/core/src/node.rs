@@ -14,7 +14,7 @@ use crate::stats::RcvNodeStats;
 use crate::tuple::ReqTuple;
 
 /// Where this node stands with respect to its own CS request.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ReqState {
     /// No outstanding request.
     Idle,
@@ -26,9 +26,9 @@ pub enum ReqState {
 
 /// One node running the RCV distributed mutual exclusion algorithm.
 ///
-/// `Clone` + `Debug` exist for the bounded model checker
-/// (`tests/model_check.rs`), which snapshots and fingerprints whole-system
-/// states while exploring every message interleaving.
+/// `Clone` + `Debug` exist for the exhaustive model checker (the
+/// `rcv-mc` crate), which snapshots and fingerprints whole-system states
+/// while exploring every message interleaving.
 #[derive(Clone, Debug)]
 pub struct RcvNode {
     me: NodeId,
@@ -78,6 +78,22 @@ impl RcvNode {
     /// Protocol counters.
     pub fn stats(&self) -> &RcvNodeStats {
         &self.stats
+    }
+
+    /// Feeds the node's **protocol-relevant** state into `h`: everything
+    /// that determines future behavior (id, system size, SI, request
+    /// state, configuration). The observer counters in [`RcvNode::stats`]
+    /// are deliberately excluded — two nodes differing only in how many
+    /// messages they have counted behave identically, and the exhaustive
+    /// model checker (`rcv-mc`) must merge such states or equivalent
+    /// interleavings never converge.
+    pub fn state_digest<H: std::hash::Hasher>(&self, h: &mut H) {
+        use std::hash::Hash;
+        self.me.hash(h);
+        self.n.hash(h);
+        self.si.hash(h);
+        self.state.hash(h);
+        self.config.hash(h);
     }
 
     /// Fresh snapshot body for an outgoing message.

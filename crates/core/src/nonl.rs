@@ -12,7 +12,7 @@ use rcv_simnet::NodeId;
 use crate::tuple::ReqTuple;
 
 /// An ordered list of requests granted the CS, front = next/current holder.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct Nonl {
     items: Vec<ReqTuple>,
 }

@@ -14,7 +14,7 @@ use crate::mnl::Mnl;
 use crate::tuple::ReqTuple;
 
 /// One NSIT row: the recorded state of a single node.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct NsitRow {
     /// Version counter ("TS" in the paper): how up to date this copy is.
     pub ts: u64,
@@ -23,7 +23,7 @@ pub struct NsitRow {
 }
 
 /// The full table, indexed by node id.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Nsit {
     rows: Vec<NsitRow>,
 }

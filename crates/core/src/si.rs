@@ -8,7 +8,7 @@ use crate::nsit::Nsit;
 use crate::tuple::ReqTuple;
 
 /// A node's complete replicated view of the system.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Si {
     /// The request to hand the CS to when this node releases it (set by an
     /// Inform Message). We keep the full tuple rather than the paper's bare

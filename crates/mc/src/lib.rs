@@ -1,0 +1,54 @@
+//! Exhaustive model checking for the sans-io mutual exclusion protocols.
+//!
+//! The simulator ([`rcv_simnet::Engine`]) samples schedules; this crate
+//! *enumerates* them. A system state is the tuple (all node states,
+//! multiset of in-flight events, CS occupancy, fault budgets); from each
+//! state the [`ModelChecker`] branches on every eligible pending event —
+//! and, when the fault budgets allow, on losing or duplicating each
+//! in-flight message — deduplicating revisited states by a canonical
+//! 128-bit fingerprint. In every reachable state it checks:
+//!
+//! * **mutual exclusion** — an `enter_cs` intent while another node holds
+//!   the CS (or a double entry by the holder) is a violation;
+//! * **per-node invariants** — protocol-specific hooks
+//!   ([`McProtocol::check_node`]; for RCV: the paper's structural lemmas
+//!   plus a zero anomaly count);
+//! * **cross-node invariants** — an optional whole-system predicate (for
+//!   RCV: Lemma 6/7 NONL prefix consistency);
+//!
+//! and in every *terminal* state (nothing in flight) it checks the goal:
+//! every requester completed all its rounds — **unless** a message was
+//! actually lost on that path (no-deadlock-without-attributable-fault;
+//! duplication alone must never cause a stall).
+//!
+//! On any violation the checker rebuilds the offending path from its
+//! parent-pointer arena and replays it through the [`rcv_simnet::Trace`]
+//! machinery, yielding a human-readable minimal counterexample (BFS finds
+//! a shortest path; DFS finds *a* path). Search order is pluggable via
+//! [`Frontier`] ([`Dfs`]/[`Bfs`]).
+//!
+//! Determinism contract: the checker's dispatch must be a pure function
+//! of the node state, so protocols must not consume randomness
+//! (`ForwardPolicy::Random` is rejected by the RCV harness) and virtual
+//! time is frozen at zero (the shipped protocols are time-independent).
+//!
+//! FIFO: Lamport's algorithm assumes FIFO channels, so its harness
+//! restricts delivery to per-channel heads ([`ModelChecker::fifo`]);
+//! exploring it with arbitrary reordering produces a genuine mutual
+//! exclusion violation — kept as a test that the counterexample machinery
+//! detects and renders real safety bugs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adapters;
+mod checker;
+mod harness;
+mod state;
+
+pub use adapters::McProtocol;
+pub use checker::{
+    Action, Bfs, Counterexample, Dfs, Frontier, McReport, McSummary, ModelChecker, StateId,
+};
+pub use harness::{lamport_checker, rcv_checker, ricart_checker};
+pub use state::{McEvent, SystemState};

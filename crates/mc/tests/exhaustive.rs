@@ -1,0 +1,302 @@
+//! Exhaustive safety/liveness verification at small N — the successor of
+//! the hand-rolled explorer that used to live in
+//! `crates/core/tests/model_check.rs`, now covering fault branching
+//! (bounded loss + duplication), both search strategies and the
+//! Ricart–Agrawala and Lamport baselines alongside RCV.
+
+use rcv_core::ForwardPolicy;
+use rcv_mc::{lamport_checker, rcv_checker, ricart_checker, Action, McEvent};
+use rcv_simnet::NodeId;
+
+/// Deterministic policies only: the checker's dispatch must be a pure
+/// function of the state.
+const POLICIES: [ForwardPolicy; 3] = [
+    ForwardPolicy::Sequential,
+    ForwardPolicy::MostStale,
+    ForwardPolicy::Freshest,
+];
+
+fn ids(raw: &[u32]) -> Vec<NodeId> {
+    raw.iter().map(|&r| NodeId::new(r)).collect()
+}
+
+#[test]
+fn rcv_n2_both_request_all_policies() {
+    for policy in POLICIES {
+        let r = rcv_checker(2, policy).run_dfs();
+        r.expect_clean_exhaustive();
+        assert!(r.terminals > 0, "no terminal state reached");
+        println!("rcv n2 {policy:?}: {}", r.summary());
+    }
+}
+
+#[test]
+fn rcv_n3_two_requesters_all_policies() {
+    for policy in POLICIES {
+        let r = rcv_checker(3, policy).requesters(ids(&[0, 2])).run_dfs();
+        r.expect_clean_exhaustive();
+        println!("rcv n3 two {policy:?}: {}", r.summary());
+    }
+}
+
+#[test]
+fn rcv_n3_full_burst_all_policies() {
+    for policy in POLICIES {
+        let r = rcv_checker(3, policy).run_dfs();
+        r.expect_clean_exhaustive();
+        println!("rcv n3 burst {policy:?}: {}", r.summary());
+    }
+}
+
+#[test]
+fn rcv_n4_two_requesters_sequential() {
+    let r = rcv_checker(4, ForwardPolicy::Sequential)
+        .requesters(ids(&[1, 3]))
+        .run_dfs();
+    r.expect_clean_exhaustive();
+    println!("rcv n4 two: {}", r.summary());
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "large state space; run under --release")]
+fn rcv_n4_full_burst_all_policies() {
+    for policy in POLICIES {
+        let r = rcv_checker(4, policy).max_states(50_000_000).run_dfs();
+        r.expect_clean_exhaustive();
+        println!("rcv n4 burst {policy:?}: {}", r.summary());
+    }
+}
+
+#[test]
+fn rcv_n5_two_requesters_sequential() {
+    let r = rcv_checker(5, ForwardPolicy::Sequential)
+        .requesters(ids(&[0, 4]))
+        .run_dfs();
+    r.expect_clean_exhaustive();
+    println!("rcv n5 two: {}", r.summary());
+}
+
+/// The headline configuration from the issue: N=3 full burst with loss
+/// AND duplication branching enabled, exhausted to the end.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "large state space; run under --release")]
+fn rcv_n3_burst_with_loss_and_duplication() {
+    for policy in POLICIES {
+        let r = rcv_checker(3, policy).drops(1).dups(1).run_dfs();
+        r.expect_clean_exhaustive();
+        println!("rcv n3 faults {policy:?}: {}", r.summary());
+    }
+}
+
+#[test]
+fn rcv_n2_with_loss_and_duplication() {
+    for policy in POLICIES {
+        let r = rcv_checker(2, policy).drops(1).dups(1).run_dfs();
+        r.expect_clean_exhaustive();
+        println!("rcv n2 faults {policy:?}: {}", r.summary());
+    }
+}
+
+/// Duplication alone must never stall RCV (the goal predicate enforces
+/// completion on paths where no message was lost).
+#[test]
+fn rcv_n3_duplication_only_still_live() {
+    let r = rcv_checker(3, ForwardPolicy::Sequential).dups(2).run_dfs();
+    r.expect_clean_exhaustive();
+    println!("rcv n3 dup2: {}", r.summary());
+}
+
+/// Multi-round: each requester cycles through the CS twice, covering
+/// re-request paths over non-fresh SI state.
+#[test]
+fn rcv_n2_two_rounds() {
+    for policy in POLICIES {
+        let r = rcv_checker(2, policy).rounds(2).run_dfs();
+        r.expect_clean_exhaustive();
+        println!("rcv n2 rounds=2 {policy:?}: {}", r.summary());
+    }
+}
+
+/// DFS and BFS must agree on the size of the reachable state space.
+#[test]
+fn dfs_and_bfs_agree_on_state_counts() {
+    let dfs = rcv_checker(3, ForwardPolicy::Sequential).run_dfs();
+    let bfs = rcv_checker(3, ForwardPolicy::Sequential).run_bfs();
+    dfs.expect_clean_exhaustive();
+    bfs.expect_clean_exhaustive();
+    assert_eq!(dfs.visited, bfs.visited);
+    assert_eq!(dfs.transitions, bfs.transitions);
+    assert_eq!(dfs.terminals, bfs.terminals);
+}
+
+#[test]
+fn ricart_n3_burst() {
+    let r = ricart_checker(3).run_dfs();
+    r.expect_clean_exhaustive();
+    println!("ricart n3: {}", r.summary());
+}
+
+#[test]
+fn ricart_n3_with_duplication() {
+    // Within one wait RA's per-sender reply bitmap dedups duplicated
+    // REPLYs and REQUEST duplicates re-trigger a reply or a deferral,
+    // both safe — single-round duplication is exhaustively clean. (The
+    // first run of this configuration also flushed out a latent crash:
+    // the REPLY handler debug-asserted `phase == Waiting`, but a
+    // duplicate copy legally arrives after entry; the handler now drops
+    // out-of-wait replies.)
+    let r = ricart_checker(3).dups(1).run_dfs();
+    r.expect_clean_exhaustive();
+    println!("ricart n3 dup: {}", r.summary());
+}
+
+/// Across rounds, duplication genuinely breaks classic Ricart–Agrawala:
+/// REPLYs carry no request identifier, so a duplicated grant from round
+/// one straggles into the next wait and authorizes a premature entry.
+/// Pinned like the Lamport non-FIFO violation — a real protocol
+/// limitation the checker proves (and the reason the scenario registry
+/// keeps duplication regimes away from the baselines), not a bug in the
+/// implementation.
+#[test]
+fn ricart_multi_round_duplication_finds_premature_entry() {
+    let r = ricart_checker(2).dups(1).rounds(2).run_bfs();
+    println!("ricart cross-round dup violation: {}", r.summary());
+    let v = r
+        .violation
+        .expect("cross-round duplication must break classic RA");
+    assert!(
+        v.description.contains("MUTUAL EXCLUSION"),
+        "unexpected violation kind: {}",
+        v.description
+    );
+    assert!(
+        v.steps.len() <= 6,
+        "BFS should find the 6-step minimal trace, got {}",
+        v.steps.len()
+    );
+    assert!(
+        v.trace.matches("ENTERS the critical section").count() >= 2,
+        "replay must narrate both entries:\n{}",
+        v.trace
+    );
+}
+
+#[test]
+fn ricart_n4_two_requesters_with_loss() {
+    // Losing any message stalls someone (no retransmission), but that is
+    // an attributable fault; safety must hold on every prefix.
+    let r = ricart_checker(4)
+        .requesters(ids(&[0, 2]))
+        .drops(1)
+        .run_dfs();
+    r.expect_clean_exhaustive();
+    println!("ricart n4 loss: {}", r.summary());
+}
+
+#[test]
+fn lamport_n3_burst_fifo() {
+    let r = lamport_checker(3).run_dfs();
+    r.expect_clean_exhaustive();
+    println!("lamport n3 fifo: {}", r.summary());
+}
+
+/// Lamport WITHOUT the FIFO assumption is genuinely unsafe — the
+/// documented limitation, demonstrated exhaustively: an ACK from an
+/// in-CS node can authorize a second entry before the first REQUEST
+/// arrives. This pins the checker's ability to find and render real
+/// violations (BFS ⇒ the counterexample is minimal).
+#[test]
+fn lamport_non_fifo_finds_mutual_exclusion_violation() {
+    let r = lamport_checker(2).fifo(false).run_bfs();
+    let v = r.violation.expect("non-FIFO Lamport must violate safety");
+    assert!(
+        v.description.contains("MUTUAL EXCLUSION"),
+        "unexpected violation kind: {}",
+        v.description
+    );
+    // The replayed narrative must carry both entries.
+    assert!(
+        v.trace.matches("ENTERS the critical section").count() >= 2,
+        "trace should narrate both CS entries:\n{}",
+        v.trace
+    );
+    // Every step of a minimal trace is a delivery of a reliable network:
+    // no drop/duplicate actions were available, and BFS found it within
+    // a handful of steps.
+    assert!(v.steps.iter().all(|(_, a)| *a == Action::Deliver));
+    assert!(
+        v.steps.len() <= 8,
+        "expected a short minimal counterexample, got {} steps",
+        v.steps.len()
+    );
+    println!(
+        "lamport non-fifo violation after {} steps:\n{}",
+        v.steps.len(),
+        v.trace
+    );
+}
+
+/// The checker's loss branching must show up in the counterexample
+/// machinery too: force a lost EM for RCV and check the stall is
+/// *attributed* (no goal violation), while the un-dropped sibling paths
+/// still complete.
+#[test]
+fn rcv_loss_paths_are_attributed_not_deadlocks() {
+    let r = rcv_checker(2, ForwardPolicy::Sequential).drops(2).run_dfs();
+    r.expect_clean_exhaustive();
+    // Sanity: with a loss budget the terminal count strictly exceeds the
+    // fault-free run's (stalled terminals join completed ones).
+    let clean = rcv_checker(2, ForwardPolicy::Sequential).run_dfs();
+    assert!(r.terminals > clean.terminals);
+}
+
+/// Depth bounding truncates instead of lying: a tiny bound must report
+/// truncated > 0 and therefore exhausted() == false.
+#[test]
+fn depth_bound_reports_truncation() {
+    let r = rcv_checker(3, ForwardPolicy::Sequential)
+        .max_depth(3)
+        .run_bfs();
+    assert!(r.violation.is_none());
+    assert!(r.truncated > 0);
+    assert!(!r.exhausted());
+}
+
+/// State-cap abort is reported, not silent.
+#[test]
+fn state_cap_aborts_loudly() {
+    let r = rcv_checker(3, ForwardPolicy::Sequential)
+        .max_states(10)
+        .run_dfs();
+    assert!(r.aborted.is_some());
+    assert!(!r.exhausted());
+}
+
+/// Fingerprint sanity: delivering two *identical* in-flight copies in
+/// either order reaches one canonical state, so a duplication budget of
+/// one exactly doubles nothing — the checker merges the permutations.
+#[test]
+fn duplicate_copies_are_merged_choices() {
+    let r = rcv_checker(2, ForwardPolicy::Sequential).dups(1).run_dfs();
+    r.expect_clean_exhaustive();
+    // The merged exploration is strictly smaller than treating every
+    // pending index as a distinct choice would be: transitions per state
+    // stay bounded by distinct events, which this asserts indirectly by
+    // terminating quickly. Nothing more to assert than cleanliness here.
+    let _ = r;
+}
+
+/// The old explorer pinned these cross-checks as well: event kinds in
+/// counterexample steps expose the public `McEvent` API.
+#[test]
+fn mc_event_api_is_usable() {
+    let ev: McEvent<u32> = McEvent::CsExit {
+        node: NodeId::new(1),
+    };
+    assert_eq!(
+        ev,
+        McEvent::CsExit {
+            node: NodeId::new(1)
+        }
+    );
+}

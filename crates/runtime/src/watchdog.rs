@@ -152,6 +152,66 @@ mod tests {
     }
 
     #[test]
+    fn worker_panic_payload_survives_verbatim_and_immediately() {
+        // The Disconnected arm must re-raise the worker's own payload —
+        // not wrap it, not stringify it — and must do so as soon as the
+        // worker dies, not after waiting out the deadline.
+        let deadline = Duration::from_secs(600);
+        let started = Instant::now();
+        let payload = std::panic::catch_unwind(|| {
+            run_with_watchdog("payload", deadline, || panic!("exact original payload"))
+        })
+        .expect_err("worker panicked");
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "propagation waited on the deadline"
+        );
+        let msg = payload
+            .downcast_ref::<&'static str>()
+            .expect("panic! with a literal keeps its &str payload");
+        assert_eq!(*msg, "exact original payload");
+    }
+
+    #[test]
+    fn non_string_panic_payloads_are_preserved() {
+        // panic_any with a typed payload (the cluster's teardown re-raises
+        // whatever a node thread threw): the exact value must come back.
+        #[derive(Debug, PartialEq)]
+        struct Crash(u32);
+        let payload = std::panic::catch_unwind(|| {
+            run_with_watchdog("typed", Duration::from_secs(600), || {
+                std::panic::panic_any(Crash(7))
+            })
+        })
+        .expect_err("worker panicked");
+        assert_eq!(payload.downcast_ref::<Crash>(), Some(&Crash(7)));
+    }
+
+    #[test]
+    fn spawned_node_thread_panic_reaches_the_caller() {
+        // The cluster pattern: the worker spawns node threads, joins them,
+        // and re-raises the first panic it finds. Composed with the
+        // watchdog, a panic three threads deep must surface in the calling
+        // thread with its payload intact.
+        let payload = std::panic::catch_unwind(|| {
+            run_with_watchdog("cluster-like", Duration::from_secs(600), || {
+                let node = std::thread::Builder::new()
+                    .name("rcv-node-0".into())
+                    .spawn(|| panic!("node thread died: Lemma 6 violated"))
+                    .expect("spawn node");
+                if let Err(p) = node.join() {
+                    std::panic::resume_unwind(p);
+                }
+            })
+        })
+        .expect_err("node panic must propagate");
+        let msg = payload
+            .downcast_ref::<&'static str>()
+            .expect("payload type preserved through two hops");
+        assert_eq!(*msg, "node thread died: Lemma 6 violated");
+    }
+
+    #[test]
     fn dump_lists_registered_cells() {
         let cell = StatusCell::register("dump-me");
         cell.set("round 2/3");

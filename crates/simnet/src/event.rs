@@ -168,6 +168,30 @@ impl<M> EventQueue<M> {
         self.len() == 0
     }
 
+    /// Events currently on the O(1) bucket-ring path.
+    ///
+    /// The ring covers `[now, now + ring_capacity())`: an event lands here
+    /// iff its delay from `now` at schedule time is **strictly less** than
+    /// [`EventQueue::ring_capacity`]. Exposed so tests can pin the
+    /// ring/overflow boundary exactly; the split is a performance detail,
+    /// never an ordering one.
+    pub fn ring_len(&self) -> usize {
+        self.ring_len
+    }
+
+    /// Events currently on the far-future overflow-heap path
+    /// (scheduled at `now + ring_capacity()` or later).
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
+    }
+
+    /// Number of per-tick buckets in the ring: the `with_horizon` request
+    /// `+ 1`, rounded up to a power of two and capped. The first delay
+    /// that takes the overflow path is exactly this many ticks.
+    pub fn ring_capacity(&self) -> u64 {
+        self.buckets.len() as u64
+    }
+
     /// Schedules `kind` to fire at `at`.
     ///
     /// `at` must not precede the current clock; this is a causality bug in
@@ -518,6 +542,66 @@ mod tests {
             .map(|e| e.at.ticks())
             .collect();
         assert_eq!(order, vec![50, 52, 60]);
+    }
+
+    #[test]
+    fn ring_overflow_boundary_is_exactly_ring_capacity() {
+        let mut q: EventQueue<()> = EventQueue::with_horizon(SimDuration::from_ticks(4));
+        // want = 4 + 1 = 5, rounded up to the next power of two.
+        let cap = q.ring_capacity();
+        assert_eq!(cap, 8);
+        let node = NodeId::new(0);
+        // Delay cap-1 is the last ring tick; delay cap is the first
+        // overflow tick. The requested horizon itself (4) is well inside.
+        q.schedule(t(4), EventKind::Arrival { node });
+        q.schedule(t(cap - 1), EventKind::Arrival { node });
+        q.schedule(t(cap), EventKind::Arrival { node });
+        q.schedule(t(cap + 1), EventKind::Arrival { node });
+        assert_eq!((q.ring_len(), q.overflow_len()), (2, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.at.ticks())
+            .collect();
+        assert_eq!(order, vec![4, cap - 1, cap, cap + 1]);
+    }
+
+    #[test]
+    fn boundary_tracks_the_moving_clock() {
+        // The ring window is relative to `now`, not to t=0: after the
+        // clock advances, the same absolute tick can switch paths.
+        let mut q: EventQueue<()> = EventQueue::with_horizon(SimDuration::from_ticks(4));
+        let cap = q.ring_capacity();
+        let node = NodeId::new(0);
+        q.schedule(t(cap + 2), EventKind::Arrival { node }); // overflow at now=0
+        assert_eq!(q.overflow_len(), 1);
+        q.schedule(t(3), EventKind::Arrival { node });
+        q.pop(); // now = 3; cap+2 is now within the window
+        q.schedule(t(cap + 2), EventKind::Arrival { node }); // ring this time
+        assert_eq!((q.ring_len(), q.overflow_len()), (1, 1));
+        // Both copies fire at the same tick; the overflow one was
+        // scheduled first and must keep its insertion-order priority.
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.at.ticks())
+            .collect();
+        assert_eq!(order, vec![cap + 2, cap + 2]);
+    }
+
+    #[test]
+    fn ring_capacity_multiples_do_not_alias() {
+        // Ticks congruent modulo the ring length share a bucket slot;
+        // events exactly one or two whole ring lengths ahead must not be
+        // mistaken for the near event occupying the same slot.
+        let mut q: EventQueue<()> = EventQueue::with_horizon(SimDuration::from_ticks(4));
+        let cap = q.ring_capacity();
+        let node = NodeId::new(0);
+        q.schedule(t(5), EventKind::Arrival { node });
+        q.schedule(t(5 + cap), EventKind::Arrival { node });
+        q.schedule(t(5 + 2 * cap), EventKind::Arrival { node });
+        assert_eq!((q.ring_len(), q.overflow_len()), (1, 2));
+        let mut fired = Vec::new();
+        while let Some(e) = q.pop() {
+            fired.push(e.at.ticks());
+        }
+        assert_eq!(fired, vec![5, 5 + cap, 5 + 2 * cap]);
     }
 
     #[test]

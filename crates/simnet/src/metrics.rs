@@ -31,13 +31,18 @@ pub struct RequestRecord {
 
 impl RequestRecord {
     /// Response time (issue → entry), if the request completed its wait.
+    ///
+    /// Saturating: a hand-built (or deserialized) record whose `entered`
+    /// precedes `issued` reports zero rather than panicking — metric
+    /// accessors must stay total even on partial or malformed lifecycles.
     pub fn response_time(&self) -> Option<SimDuration> {
-        self.entered.map(|e| e - self.issued)
+        self.entered.map(|e| e.saturating_since(self.issued))
     }
 
-    /// Total turnaround (issue → exit).
+    /// Total turnaround (issue → exit). Saturating, like
+    /// [`RequestRecord::response_time`].
     pub fn turnaround(&self) -> Option<SimDuration> {
-        self.exited.map(|e| e - self.issued)
+        self.exited.map(|e| e.saturating_since(self.issued))
     }
 }
 
@@ -180,11 +185,29 @@ impl SimMetrics {
     }
 
     /// Summary of response times over completed waits.
+    ///
+    /// Total on empty and partial runs: requests that never entered the
+    /// CS contribute no sample, and an empty sample set yields the empty
+    /// [`Summary`] (`count == 0`) rather than a panic.
     pub fn response_time(&self) -> Summary {
         let samples: Vec<f64> = self
             .records
             .iter()
             .filter_map(|r| r.response_time())
+            .map(|d| d.as_f64())
+            .collect();
+        Summary::of(&samples)
+    }
+
+    /// Summary of turnaround times (issue → CS exit) over completed
+    /// requests — the paper's alternative prose reading of "response
+    /// time" (see the module docs). Total on empty and partial runs,
+    /// like [`SimMetrics::response_time`].
+    pub fn turnaround(&self) -> Summary {
+        let samples: Vec<f64> = self
+            .records
+            .iter()
+            .filter_map(|r| r.turnaround())
             .map(|d| d.as_f64())
             .collect();
         Summary::of(&samples)
@@ -251,6 +274,56 @@ mod tests {
         let mut m = SimMetrics::new();
         m.message_sent("RM", 1);
         assert_eq!(m.nme(), None);
+    }
+
+    #[test]
+    fn empty_run_is_total() {
+        // A run that never issued a request: every accessor answers.
+        let m = SimMetrics::new();
+        assert_eq!(m.records(), &[]);
+        assert_eq!(m.completed(), 0);
+        assert_eq!(m.outstanding(), 0);
+        assert_eq!(m.nme(), None);
+        assert_eq!(m.response_time().count, 0);
+        assert_eq!(m.turnaround().count, 0);
+        assert!(m.messages_by_class().is_empty());
+    }
+
+    #[test]
+    fn partial_run_summaries_skip_incomplete_lifecycles() {
+        // Node 0 completes; node 1 entered but never exited (run cut off
+        // mid-CS); node 2 is still waiting. No accessor may panic, and
+        // each summary counts exactly the lifecycles that reached its
+        // stage.
+        let mut m = SimMetrics::new();
+        m.request_issued(NodeId::new(0), t(0));
+        m.cs_entered(NodeId::new(0), t(4));
+        m.cs_exited(NodeId::new(0), t(9));
+        m.request_issued(NodeId::new(1), t(1));
+        m.cs_entered(NodeId::new(1), t(6));
+        m.request_issued(NodeId::new(2), t(2));
+
+        assert_eq!(m.completed(), 1);
+        assert_eq!(m.outstanding(), 2);
+        let rt = m.response_time();
+        assert_eq!(rt.count, 2, "both entries produced a response sample");
+        assert_eq!(rt.mean, (4.0 + 5.0) / 2.0);
+        let ta = m.turnaround();
+        assert_eq!(ta.count, 1, "only the completed request has turnaround");
+        assert_eq!(ta.mean, 9.0);
+        assert_eq!(m.records().len(), 3);
+    }
+
+    #[test]
+    fn malformed_record_durations_saturate_instead_of_panicking() {
+        let r = RequestRecord {
+            node: NodeId::new(0),
+            issued: t(10),
+            entered: Some(t(5)),
+            exited: Some(t(7)),
+        };
+        assert_eq!(r.response_time().unwrap().ticks(), 0);
+        assert_eq!(r.turnaround().unwrap().ticks(), 0);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! * [`simnet`] — the discrete-event simulation substrate;
 //! * [`baselines`] — Ricart–Agrawala, Maekawa, Suzuki–Kasami broadcast,
 //!   Lamport and Raymond comparators;
+//! * [`mc`] — the exhaustive model checker (every interleaving at
+//!   small N);
 //! * [`runtime`] — the real-thread message-passing runtime;
 //! * [`workload`] — workload generators, metrics and the experiment
 //!   runners that regenerate every figure of the paper.
@@ -19,6 +21,7 @@
 
 pub use rcv_baselines as baselines;
 pub use rcv_core as core;
+pub use rcv_mc as mc;
 pub use rcv_runtime as runtime;
 pub use rcv_simnet as simnet;
 pub use rcv_workload as workload;

@@ -99,6 +99,61 @@ proptest! {
         prop_assert!(cal.is_empty());
     }
 
+    /// Boundary-concentrated deltas: every scheduled delay sits within ±2
+    /// ticks of a whole multiple of the ring capacity — exactly the
+    /// ring/overflow hand-off (and its modulo-aliasing wraparounds) that a
+    /// uniform generator rarely lands on. Also pins the *path* each event
+    /// takes at schedule time via the occupancy accessors: delay < capacity
+    /// must go to the ring, delay ≥ capacity to the overflow heap.
+    #[test]
+    fn boundary_concentrated_deltas_match_reference(
+        horizon in 0u64..24,
+        ops in proptest::collection::vec((0u64..5, 0u64..3, any::<bool>()), 1..120),
+    ) {
+        let mut cal: EventQueue<()> = EventQueue::with_horizon(SimDuration::from_ticks(horizon));
+        let mut reference = ReferenceQueue::default();
+        let cap = cal.ring_capacity();
+
+        for (next_id, (offset, mult, do_pop)) in ops.into_iter().enumerate() {
+            let next_id = next_id as u32;
+            // delta ∈ {k·cap − 2 … k·cap + 2} for k ∈ {0, 1, 2}.
+            let delta = (mult * cap + offset).saturating_sub(2);
+            let at = cal.now() + SimDuration::from_ticks(delta);
+
+            let (ring_before, over_before) = (cal.ring_len(), cal.overflow_len());
+            cal.schedule(at, EventKind::Arrival { node: NodeId::new(next_id) });
+            reference.schedule(at.ticks(), next_id);
+            if delta < cap {
+                prop_assert_eq!(cal.ring_len(), ring_before + 1, "delay {} < cap {}", delta, cap);
+            } else {
+                prop_assert_eq!(cal.overflow_len(), over_before + 1, "delay {} >= cap {}", delta, cap);
+            }
+            prop_assert_eq!(cal.len(), cal.ring_len() + cal.overflow_len());
+
+            if do_pop {
+                let got = cal.pop().expect("just scheduled");
+                let want = reference.pop().expect("just scheduled");
+                prop_assert_eq!((got.at.ticks(), id_of(got.kind)), want);
+            }
+        }
+
+        loop {
+            match (cal.pop(), reference.pop()) {
+                (None, None) => break,
+                (Some(got), Some(want)) => {
+                    prop_assert_eq!((got.at.ticks(), id_of(got.kind)), want);
+                }
+                (got, want) => {
+                    panic!(
+                        "queues disagree on emptiness: calendar={:?} reference={:?}",
+                        got.map(|e| e.at),
+                        want,
+                    );
+                }
+            }
+        }
+    }
+
     /// Heavy tie pressure: many events on few distinct ticks must pop in
     /// exact insertion order within each tick, across ring and overflow.
     #[test]
