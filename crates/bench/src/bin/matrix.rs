@@ -1,12 +1,17 @@
 //! `matrix` — run the scenario conformance grid and gate on the baseline.
 //!
 //! ```text
-//! matrix [--shard I/M] [--threads T] [--out PATH] [--check BASELINE] [--list]
+//! matrix [--shard I/M] [--filter SUBSTR] [--threads T] [--out PATH]
+//!        [--check BASELINE] [--list]
 //! matrix --merge FILE... [--out PATH] [--check BASELINE]
 //! ```
 //!
 //! * `--shard I/M` — run only the cells whose index ≡ I (mod M); the
 //!   default `0/1` is the full grid.
+//! * `--filter SUBSTR` — run only the cells whose scenario name contains
+//!   `SUBSTR` (e.g. `chaos` for the CI chaos job). A filtered run is a
+//!   targeted slice: it exits 1 on any failing cell, and it cannot be
+//!   combined with `--check` (the gate needs the full grid).
 //! * `--list` — print the (sharded) cell list instead of running it.
 //! * `--out PATH` — where to write the JSON document. Defaults to
 //!   `MATRIX_RESULTS.json` for a full grid / merge, and to
@@ -27,7 +32,8 @@ use rcv_workload::sweep::default_threads;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: matrix [--shard I/M] [--threads T] [--out PATH] [--check BASELINE] [--list]\n\
+        "usage: matrix [--shard I/M] [--filter SUBSTR] [--threads T] [--out PATH]\n\
+         \u{20}      [--check BASELINE] [--list]\n\
          \u{20}      matrix --merge FILE... [--out PATH] [--check BASELINE]"
     );
     ExitCode::from(2)
@@ -35,6 +41,7 @@ fn usage() -> ExitCode {
 
 struct Args {
     shard: (usize, usize),
+    filter: Option<String>,
     threads: usize,
     out: Option<String>,
     check: Option<String>,
@@ -45,6 +52,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         shard: (0, 1),
+        filter: None,
         threads: default_threads(),
         out: None,
         check: None,
@@ -70,6 +78,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "bad thread count")?;
             }
+            "--filter" => args.filter = Some(value("--filter")?),
             "--out" => args.out = Some(value("--out")?),
             "--check" => args.check = Some(value("--check")?),
             "--list" => args.list = true,
@@ -119,7 +128,12 @@ fn require_full_grid(doc: &MatrixDoc) -> Result<(), String> {
 fn run() -> Result<ExitCode, String> {
     let args = parse_args()?;
     let (i, m) = args.shard;
-    let full_shard = m == 1;
+    let full_shard = m == 1 && args.filter.is_none();
+    if args.filter.is_some() && args.check.is_some() {
+        return Err(
+            "--filter and --check are mutually exclusive (the gate needs the full grid)".into(),
+        );
+    }
 
     // Read the baseline FIRST: the default --out is the baseline's own
     // path (`MATRIX_RESULTS.json`), so reading it after the write would
@@ -138,7 +152,13 @@ fn run() -> Result<ExitCode, String> {
     };
 
     let doc = if args.merge.is_empty() {
-        let grid = shard(cells(&registry()), i, m);
+        let mut grid = shard(cells(&registry()), i, m);
+        if let Some(f) = &args.filter {
+            grid.retain(|c| c.scenario.name.contains(f.as_str()));
+            if grid.is_empty() {
+                return Err(format!("--filter {f:?} matches no registry cells"));
+            }
+        }
         if args.list {
             println!(
                 "# registry {REGISTRY_VERSION}, shard {i}/{m}: {} cells",
@@ -182,7 +202,9 @@ fn run() -> Result<ExitCode, String> {
     };
 
     let out = args.out.clone().unwrap_or_else(|| {
-        if full_shard || !args.merge.is_empty() {
+        if args.filter.is_some() {
+            "matrix-filtered.json".to_string()
+        } else if full_shard || !args.merge.is_empty() {
             "MATRIX_RESULTS.json".to_string()
         } else {
             format!("matrix-shard-{i}of{m}.json")
@@ -228,7 +250,7 @@ fn run() -> Result<ExitCode, String> {
     // the gate names the regression against the baseline.
     let fresh_failures = doc.cells.iter().filter(|c| c.verdict != "pass").count();
     if baseline.is_none() && fresh_failures > 0 {
-        if full_shard || !args.merge.is_empty() {
+        if full_shard || args.filter.is_some() || !args.merge.is_empty() {
             eprintln!("[matrix] {fresh_failures} failing cell(s) and no --check baseline given");
             return Ok(ExitCode::FAILURE);
         }

@@ -1,18 +1,21 @@
 //! `rtmatrix` — the differential simnet↔runtime conformance harness.
 //!
 //! ```text
-//! rtmatrix [--limit K] [--threads T] [--out PATH] [--list]
-//!          [--timeout-secs S] [--stall-timeout-secs S] [--reruns R]
-//!          [--tick-us U] [--no-codec]
+//! rtmatrix [--limit K] [--filter SUBSTR] [--threads T] [--out PATH]
+//!          [--list] [--timeout-secs S] [--stall-timeout-secs S]
+//!          [--reruns R] [--tick-us U] [--no-codec]
 //! ```
 //!
 //! * `--limit K` — truncate the runtime-mappable registry grid to ~K
 //!   cells (algorithm coverage is still guaranteed). `0` = full grid.
+//! * `--filter SUBSTR` — keep only the cells whose scenario name contains
+//!   `SUBSTR` (applied after `--limit`; e.g. `chaos` for the CI chaos
+//!   job, which runs the crash-window cells on real threads).
 //! * `--threads T` — concurrent differential cells (each one spawns its
 //!   own `n + 1` cluster threads; keep this small). Default 2.
 //! * `--list` — print the selected cells instead of running them.
 //! * `--out PATH` — where to write the JSON report (schema
-//!   `rcv-rtmatrix/v1`). Default `RTMATRIX_RESULTS.json`. Not a committed
+//!   `rcv-rtmatrix/v2`). Default `RTMATRIX_RESULTS.json`. Not a committed
 //!   baseline: real schedules are not bit-stable.
 //! * `--timeout-secs` / `--stall-timeout-secs` / `--reruns` / `--tick-us`
 //!   / `--no-codec` — override the `DiffOptions` defaults.
@@ -26,15 +29,16 @@ use rcv_bench::rtmatrix::{render_report, run_diff_cells, runtime_grid, DiffOptio
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: rtmatrix [--limit K] [--threads T] [--out PATH] [--list]\n\
-         \u{20}               [--timeout-secs S] [--stall-timeout-secs S] [--reruns R]\n\
-         \u{20}               [--tick-us U] [--no-codec]"
+        "usage: rtmatrix [--limit K] [--filter SUBSTR] [--threads T] [--out PATH]\n\
+         \u{20}               [--list] [--timeout-secs S] [--stall-timeout-secs S]\n\
+         \u{20}               [--reruns R] [--tick-us U] [--no-codec]"
     );
     ExitCode::from(2)
 }
 
 struct Args {
     limit: usize,
+    filter: Option<String>,
     threads: usize,
     out: String,
     list: bool,
@@ -44,6 +48,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         limit: 0,
+        filter: None,
         threads: 2,
         out: "RTMATRIX_RESULTS.json".to_string(),
         list: false,
@@ -54,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
         let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
         match arg.as_str() {
             "--limit" => args.limit = value("--limit")?.parse().map_err(|_| "bad limit")?,
+            "--filter" => args.filter = Some(value("--filter")?),
             "--threads" => {
                 args.threads = value("--threads")?
                     .parse()
@@ -91,7 +97,13 @@ fn parse_args() -> Result<Args, String> {
 
 fn run() -> Result<ExitCode, String> {
     let args = parse_args()?;
-    let grid = runtime_grid(args.limit);
+    let mut grid = runtime_grid(args.limit);
+    if let Some(f) = &args.filter {
+        grid.retain(|c| c.scenario.name.contains(f.as_str()));
+        if grid.is_empty() {
+            return Err(format!("--filter {f:?} matches no runtime-mappable cells"));
+        }
+    }
     if args.list {
         println!("# {SCHEMA}: {} differential cells", grid.len());
         for c in &grid {

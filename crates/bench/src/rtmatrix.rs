@@ -41,7 +41,7 @@ use rcv_workload::{Algo, ClusterRun, ThreadSpec};
 use crate::perf::json_str;
 
 /// Version tag of the emitted JSON layout.
-pub const SCHEMA: &str = "rcv-rtmatrix/v1";
+pub const SCHEMA: &str = "rcv-rtmatrix/v2";
 
 /// Knobs of a differential run.
 #[derive(Clone, Copy, Debug)]
@@ -106,6 +106,11 @@ pub struct DiffOutcome {
     pub rt_lost: u64,
     /// Extra copies delivered by wire-level duplication injection.
     pub rt_duplicated: u64,
+    /// Deliveries black-holed because the target was inside its crash
+    /// window (distinct from `rt_lost`: these are crash-attributed).
+    pub rt_crash_dropped: u64,
+    /// Node restarts performed (crash-window recoveries).
+    pub rt_restarts: u64,
     /// Whether the last runtime attempt hit its soft deadline.
     pub rt_timed_out: bool,
     /// Flaky-schedule reruns consumed (0 = first attempt was conclusive).
@@ -237,6 +242,17 @@ pub fn thread_spec(cell: &Cell, opts: &DiffOptions, attempt: u32) -> ThreadSpec 
             .with_duplication(dup_every)
             .with_straggler(node, factor.min(u32::MAX as u64) as u32),
         FaultSpec::Crash { .. } => unreachable!("runtime_mappable filtered crash"),
+        FaultSpec::CrashRestart { node, down, up } => {
+            WireFaults::none().with_crash_restart(node, down, up)
+        }
+        FaultSpec::Chaos {
+            crash: (node, down, up),
+            loss_every,
+            straggler: (slow, factor),
+        } => WireFaults::none()
+            .with_loss(loss_every)
+            .with_straggler(slow, factor.min(u32::MAX as u64) as u32)
+            .with_crash_restart(node, down, up),
     };
     let expect_live = spec.expect_live();
     ThreadSpec {
@@ -256,7 +272,7 @@ pub fn thread_spec(cell: &Cell, opts: &DiffOptions, attempt: u32) -> ThreadSpec 
             opts.stall_timeout
         },
         verify_codec: opts.verify_codec,
-        rcv_retransmit_ticks: None,
+        rcv_retry: spec.retry,
     }
 }
 
@@ -356,6 +372,8 @@ pub fn run_diff_cell(cell: &Cell, opts: &DiffOptions) -> DiffOutcome {
         rt_anomalies: run.anomalies,
         rt_lost: run.report.lost,
         rt_duplicated: run.report.duplicated,
+        rt_crash_dropped: run.report.crash_dropped,
+        rt_restarts: run.report.restarts,
         rt_timed_out: run.report.timed_out,
         retries,
     }
@@ -386,7 +404,8 @@ pub fn render_report(outcomes: &[DiffOutcome]) -> String {
              \"expected\": {}, \"sim_verdict\": {}, \"sim_per_cs\": \"{:.2}\", \
              \"rt_completed\": {}, \"rt_messages\": {}, \"rt_per_cs\": \"{:.2}\", \
              \"rt_violations\": {}, \"rt_anomalies\": {}, \"rt_lost\": {}, \
-             \"rt_duplicated\": {}, \"rt_timed_out\": {}, \"retries\": {}}}",
+             \"rt_duplicated\": {}, \"rt_crash_dropped\": {}, \"rt_restarts\": {}, \
+             \"rt_timed_out\": {}, \"retries\": {}}}",
             json_str(&o.scenario),
             json_str(o.algo),
             json_str(&o.verdict),
@@ -401,6 +420,8 @@ pub fn render_report(outcomes: &[DiffOutcome]) -> String {
             o.rt_anomalies,
             o.rt_lost,
             o.rt_duplicated,
+            o.rt_crash_dropped,
+            o.rt_restarts,
             o.rt_timed_out,
             o.retries,
         );
@@ -425,6 +446,8 @@ mod tests {
                 messages: 100,
                 lost: 0,
                 duplicated: 0,
+                crash_dropped: 0,
+                restarts: 0,
                 timed_out,
             },
             anomalies,
@@ -554,12 +577,15 @@ mod tests {
             rt_anomalies: 0,
             rt_lost: 0,
             rt_duplicated: 0,
+            rt_crash_dropped: 0,
+            rt_restarts: 0,
             rt_timed_out: false,
             retries: 0,
         };
         let doc = render_report(&[o]);
-        assert!(doc.contains("\"schema\": \"rcv-rtmatrix/v1\""), "{doc}");
+        assert!(doc.contains("\"schema\": \"rcv-rtmatrix/v2\""), "{doc}");
         assert!(doc.contains("\"cells_pass\": 1"), "{doc}");
         assert!(doc.contains("\"rt_messages\": 112"), "{doc}");
+        assert!(doc.contains("\"rt_crash_dropped\": 0"), "{doc}");
     }
 }

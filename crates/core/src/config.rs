@@ -8,7 +8,7 @@
 
 use rand::rngs::SmallRng;
 use rand::Rng;
-use rcv_simnet::NodeId;
+use rcv_simnet::{NodeId, RetryPolicy};
 
 use crate::si::Si;
 
@@ -65,16 +65,17 @@ impl ForwardPolicy {
 pub struct RcvConfig {
     /// RM forwarding policy.
     pub forward: ForwardPolicy,
-    /// **Extension (not in the paper):** re-issue the roaming RM if the
-    /// request is still waiting after this many ticks. The paper assumes a
-    /// reliable network where RMs cannot be lost; under the crash faults of
-    /// `rcv_simnet::FaultPlan` an RM forwarded into a dead node vanishes
-    /// and its request can starve — retransmission restores liveness at
-    /// light load (see EXPERIMENTS.md §faults for the contended-load
-    /// boundary that retransmission alone cannot fix). All duplicate
-    /// signals a re-issued RM can cause are absorbed by the stale-EM /
-    /// duplicate-IM guards.
-    pub retransmit_after: Option<u64>,
+    /// **Extension (not in the paper):** re-issue the roaming RM while the
+    /// request is still waiting, on the deadlines of a
+    /// [`RetryPolicy`] (fixed interval, exponential backoff, jitter,
+    /// optional budget). The paper assumes a reliable network where RMs
+    /// cannot be lost; under the crash faults of `rcv_simnet::FaultPlan`
+    /// an RM forwarded into a dead node vanishes and its request can
+    /// starve — retransmission restores liveness at light load (see
+    /// EXPERIMENTS.md §faults for the contended-load boundary that
+    /// retransmission alone cannot fix). All duplicate signals a re-issued
+    /// RM can cause are absorbed by the stale-EM / duplicate-IM guards.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl RcvConfig {
@@ -83,10 +84,19 @@ impl RcvConfig {
         Self::default()
     }
 
-    /// Paper configuration plus the retransmission extension.
+    /// Paper configuration plus the historical fixed-interval
+    /// retransmission extension: re-issue every `ticks`, forever, no
+    /// jitter. Exactly [`RetryPolicy::fixed`], kept as the compatibility
+    /// spelling — runs configured this way are bit-identical to the
+    /// pre-policy `retransmit_after` engine.
     pub fn with_retransmit(ticks: u64) -> Self {
+        Self::with_retry(RetryPolicy::fixed(ticks))
+    }
+
+    /// Paper configuration plus an arbitrary retransmission policy.
+    pub fn with_retry(policy: RetryPolicy) -> Self {
         RcvConfig {
-            retransmit_after: Some(ticks),
+            retry: Some(policy),
             ..Self::default()
         }
     }
@@ -130,6 +140,35 @@ mod tests {
         let ul = vec![nid(1), nid(2), nid(3)];
         assert_eq!(ForwardPolicy::MostStale.choose(&ul, &si, &mut rng), nid(2));
         assert_eq!(ForwardPolicy::Freshest.choose(&ul, &si, &mut rng), nid(1));
+    }
+
+    #[test]
+    fn with_retransmit_maps_onto_the_fixed_policy_bit_identically() {
+        // Pinned compatibility contract: the historical `with_retransmit`
+        // spelling is *exactly* `RetryPolicy::fixed` — same deadline at
+        // every attempt, no doubling, no jitter (so no RNG draw), no
+        // budget. Matrix fingerprints of retransmitting cells rest on this.
+        let cfg = RcvConfig::with_retransmit(2_000);
+        let policy = cfg.retry.expect("retransmission enabled");
+        assert_eq!(policy, RetryPolicy::fixed(2_000));
+        assert_eq!(policy.deadline, 2_000);
+        assert_eq!(policy.max_deadline, 2_000);
+        assert_eq!(policy.jitter, 0);
+        assert_eq!(policy.budget, None);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let before = rng.clone();
+        for attempt in 0..32 {
+            assert_eq!(
+                policy.backoff_delay(attempt, &mut rng),
+                Some(rcv_simnet::SimDuration::from_ticks(2_000))
+            );
+        }
+        assert_eq!(
+            rng.gen::<u64>(),
+            before.clone().gen::<u64>(),
+            "fixed policy must not consume randomness"
+        );
+        assert_eq!(cfg.forward, ForwardPolicy::Random, "paper default kept");
     }
 
     #[test]

@@ -69,6 +69,17 @@ pub enum RcvMessage {
         /// Carried system state.
         body: MsgBody,
     },
+    /// Revival Message (**extension, not in the paper**): broadcast by a
+    /// node that restarted after a crash. Carries the rebuilt SI — the
+    /// write-ahead-persisted own row version plus the interrupted request
+    /// tuple, re-listed so it never gains false completion evidence.
+    /// Receivers run the ordinary Exchange and then re-signal their NONL
+    /// head, healing an Enter Message that was dropped into the outage;
+    /// duplicates are absorbed by the stale-EM guard.
+    Rv {
+        /// Carried system state.
+        body: MsgBody,
+    },
 }
 
 impl RcvMessage {
@@ -77,7 +88,8 @@ impl RcvMessage {
         match self {
             RcvMessage::Rm { body, .. }
             | RcvMessage::Em { body, .. }
-            | RcvMessage::Im { body, .. } => body,
+            | RcvMessage::Im { body, .. }
+            | RcvMessage::Rv { body } => body,
         }
     }
 }
@@ -88,6 +100,7 @@ impl ProtocolMessage for RcvMessage {
             RcvMessage::Rm { .. } => "RM",
             RcvMessage::Em { .. } => "EM",
             RcvMessage::Im { .. } => "IM",
+            RcvMessage::Rv { .. } => "RV",
         }
     }
 
@@ -97,6 +110,7 @@ impl ProtocolMessage for RcvMessage {
             RcvMessage::Rm { ul, body, .. } => fixed + ul.len() * 4 + body.wire_size(),
             RcvMessage::Em { body, .. } => fixed + body.wire_size(),
             RcvMessage::Im { body, .. } => fixed + 12 + body.wire_size(),
+            RcvMessage::Rv { body } => fixed + body.wire_size(),
         }
     }
 }
@@ -129,6 +143,11 @@ mod tests {
         assert_eq!(rm.kind(), "RM");
         assert_eq!(em.kind(), "EM");
         assert_eq!(im.kind(), "IM");
+        let rv = RcvMessage::Rv {
+            body: MsgBody::snapshot(&Nonl::new(), &Nsit::new(2)),
+        };
+        assert_eq!(rv.kind(), "RV");
+        assert!(rv.wire_size() >= 16);
     }
 
     #[test]

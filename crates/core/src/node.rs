@@ -3,7 +3,7 @@
 //! [`MutexProtocol`] interface so it runs identically under the
 //! discrete-event simulator and the real-thread runtime.
 
-use rcv_simnet::{Ctx, MutexProtocol, NodeId};
+use rcv_simnet::{Ctx, MutexProtocol, NodeId, RestartOutcome};
 
 use crate::config::RcvConfig;
 use crate::exchange::exchange;
@@ -37,6 +37,10 @@ pub struct RcvNode {
     state: ReqState,
     config: RcvConfig,
     stats: RcvNodeStats,
+    /// Retransmissions already performed for the current request; feeds the
+    /// [`rcv_simnet::RetryPolicy`] backoff schedule. Reset at every fresh
+    /// request and at restart.
+    retry_attempt: u32,
 }
 
 impl RcvNode {
@@ -57,6 +61,7 @@ impl RcvNode {
             state: ReqState::Idle,
             config,
             stats: RcvNodeStats::default(),
+            retry_attempt: 0,
         }
     }
 
@@ -94,6 +99,11 @@ impl RcvNode {
         self.si.hash(h);
         self.state.hash(h);
         self.config.hash(h);
+        // Part of future behavior under a budgeted retry policy (decides
+        // whether another retransmission may fire), so the model checker
+        // must distinguish attempt counts or a bounded retry never bounds
+        // the state space.
+        self.retry_attempt.hash(h);
     }
 
     /// Fresh snapshot body for an outgoing message.
@@ -122,6 +132,18 @@ impl RcvNode {
         match self.state {
             ReqState::Idle => None,
             ReqState::Waiting(t) | ReqState::InCs(t) => Some(t),
+        }
+    }
+
+    /// Arms the retransmission timer for the request timestamped
+    /// `tuple_ts`, honoring the configured [`rcv_simnet::RetryPolicy`]'s
+    /// backoff and budget ([`Self::retry_attempt`] retransmissions done so
+    /// far). No-op without a policy or once the budget is spent.
+    fn arm_retry(&mut self, tuple_ts: u64, ctx: &mut Ctx<'_, RcvMessage>) {
+        if let Some(policy) = self.config.retry {
+            if let Some(delay) = policy.backoff_delay(self.retry_attempt, ctx.rng()) {
+                ctx.set_timer(delay, tuple_ts);
+            }
         }
     }
 
@@ -249,8 +271,15 @@ impl RcvNode {
         if outcome.home_ordered {
             self.signal_ordered(home, ctx);
         } else if ul.is_empty() {
-            // Lemma 3 says this is unreachable; counted, not assumed.
-            debug_assert!(false, "RM for {home:?} exhausted its UL without ordering");
+            // Lemma 3 proves this unreachable under reliable delivery, and
+            // the fault-free battery asserts it stays that way (it is part
+            // of `RcvNodeStats::anomalies`). Under crash-*recovery* faults
+            // it is genuinely reachable: a restart rebuilds the crashed
+            // node's own row without the votes other requests had
+            // registered there, so an RM already in flight can run out of
+            // unvisited nodes without its lead ever becoming unassailable.
+            // The request is not lost — its retransmission re-campaigns
+            // with a fresh UL. Counted, not assumed.
             self.stats.ul_exhausted += 1;
         } else {
             let hop = self.config.forward.choose(&ul, &self.si, ctx.rng());
@@ -289,6 +318,28 @@ impl RcvNode {
         self.stats.lemma6_violations += u64::from(x.lemma6_violation);
         self.apply_inform(pred, next, ctx);
     }
+
+    /// Revival Message from a restarted peer (recovery extension). The
+    /// carried snapshot goes through the ordinary Exchange; afterwards the
+    /// NONL head is re-signalled, because the restarted peer may have been
+    /// exactly the node that owed the head its EM (as orderer or releasing
+    /// predecessor) — an EM that, if it was ever sent, died in the outage.
+    ///
+    /// Re-signalling the head is always safe: every request globally
+    /// ordered before this node's NONL head is known completed (prefix
+    /// consistency, Lemma 6/7), and with resume-style recovery completion
+    /// evidence is never forged for an interrupted request — so the head
+    /// genuinely is next in line. A head that already entered (or already
+    /// finished) absorbs the duplicate through the stale-EM guard; the
+    /// worst case is one redundant EM per peer on a rare recovery path.
+    fn handle_rv(&mut self, mut body: MsgBody, ctx: &mut Ctx<'_, RcvMessage>) {
+        self.stats.rvs_received += 1;
+        let x = exchange(&mut self.si, &mut body, None);
+        self.stats.lemma6_violations += u64::from(x.lemma6_violation);
+        if let Some(head) = self.si.nonl.head() {
+            self.send_or_self_enter_em(head, ctx);
+        }
+    }
 }
 
 impl MutexProtocol for RcvNode {
@@ -323,9 +374,8 @@ impl MutexProtocol for RcvNode {
 
         // Paper lines 6-13: initialize the RM and send it roaming.
         self.issue_rm(tuple, ctx);
-        if let Some(after) = self.config.retransmit_after {
-            ctx.set_timer(rcv_simnet::SimDuration::from_ticks(after), tuple.ts);
-        }
+        self.retry_attempt = 0;
+        self.arm_retry(tuple.ts, ctx);
     }
 
     fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, RcvMessage>) {
@@ -339,9 +389,8 @@ impl MutexProtocol for RcvNode {
         }
         self.stats.retransmissions += 1;
         self.issue_rm(t, ctx);
-        if let Some(after) = self.config.retransmit_after {
-            ctx.set_timer(rcv_simnet::SimDuration::from_ticks(after), t.ts);
-        }
+        self.retry_attempt = self.retry_attempt.saturating_add(1);
+        self.arm_retry(t.ts, ctx);
     }
 
     fn on_message(&mut self, _from: NodeId, msg: RcvMessage, ctx: &mut Ctx<'_, RcvMessage>) {
@@ -349,6 +398,7 @@ impl MutexProtocol for RcvNode {
             RcvMessage::Rm { home, ul, body } => self.handle_rm(home, ul, body, ctx),
             RcvMessage::Em { for_req, body } => self.handle_em(for_req, body, ctx),
             RcvMessage::Im { pred, next, body } => self.handle_im(pred, next, body, ctx),
+            RcvMessage::Rv { body } => self.handle_rv(body, ctx),
         }
     }
 
@@ -365,6 +415,65 @@ impl MutexProtocol for RcvNode {
         if let Some(next) = self.si.next.take() {
             self.send_or_self_enter_em(next, ctx);
         }
+    }
+
+    /// Crash recovery (**extension, not in the paper**). Stable-storage
+    /// model: before sending its first RM a node persists its own NSIT row
+    /// version and its outstanding request tuple (a write-ahead record);
+    /// everything else — NONL, other rows, the `Next` pointer — is lost
+    /// with the process.
+    ///
+    /// The interrupted request is **resumed, never abandoned**: the tuple
+    /// is re-listed in the rebuilt own row at the persisted version, so no
+    /// peer can ever derive completion evidence for a request that did not
+    /// complete. That is load-bearing for safety: the Exchange procedure
+    /// prunes a NONL *through* any tuple with completion evidence — sound
+    /// only because genuine completion follows NONL order — and a falsely
+    /// "completed" tuple would drag live predecessors (possibly the
+    /// current CS holder) out of peers' NONLs.
+    ///
+    /// Rejoining is a broadcast Revival Message (peers re-sync and
+    /// re-signal their NONL head, healing an EM that died in the outage)
+    /// plus, when resuming, a fresh RM campaign for the interrupted
+    /// request: if it was already ordered the campaign collapses into the
+    /// usual already-ordered signalling, and every duplicate it can cause
+    /// is absorbed by the stale-EM / duplicate-IM guards — the same
+    /// argument as the retransmission extension. Losing the own row's
+    /// registered votes (other requests' registrations at this node) only
+    /// delays those requests; their retransmissions re-campaign.
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, RcvMessage>) -> RestartOutcome {
+        let resumed = self.current_req();
+        let old_ts = self.si.nsit.row(self.me).ts;
+        self.si = Si::new(self.n);
+        self.state = ReqState::Idle;
+        self.retry_attempt = 0;
+        self.stats.restarts += 1;
+        let row = self.si.nsit.row_mut(self.me);
+        row.ts = old_ts;
+        let Some(t) = resumed else {
+            for peer in NodeId::all(self.n).filter(|&x| x != self.me) {
+                let body = self.snapshot();
+                ctx.send(peer, RcvMessage::Rv { body });
+            }
+            return RestartOutcome::RejoinedIdle;
+        };
+        row.mnl.push(t);
+        self.state = ReqState::Waiting(t);
+        if self.n == 1 {
+            // Degenerate system: nobody to rejoin; the resumed request
+            // re-enters immediately, as in `on_request`.
+            let outcome = order(&mut self.si, t);
+            debug_assert!(outcome.home_ordered && outcome.highest_priority);
+            self.enter(t, ctx);
+            return RestartOutcome::ResumedRequest;
+        }
+        for peer in NodeId::all(self.n).filter(|&x| x != self.me) {
+            let body = self.snapshot();
+            ctx.send(peer, RcvMessage::Rv { body });
+        }
+        self.issue_rm(t, ctx);
+        self.arm_retry(t.ts, ctx);
+        RestartOutcome::ResumedRequest
     }
 }
 

@@ -35,6 +35,10 @@ pub struct RcvNodeStats {
     pub lemma6_violations: u64,
     /// RMs re-issued by the retransmission extension.
     pub retransmissions: u64,
+    /// Times this node restarted after a crash and rebuilt its SI.
+    pub restarts: u64,
+    /// Revival Messages received from restarted peers.
+    pub rvs_received: u64,
 }
 
 impl RcvNodeStats {

@@ -186,3 +186,87 @@ fn event_kind_is_public_api() {
         _ => unreachable!(),
     }
 }
+
+#[test]
+fn crash_recovery_transcript_pins_the_recovery_narrative() {
+    // The recovery companion to the fault-free walkthrough above: the
+    // same deterministic burst, but N0 is killed at t = 20 -- five ticks
+    // into its [15, 25) CS hold -- and revived at t = 60. The golden
+    // sequence the transcript must tell:
+    //
+    //   t=20  N0 crashes holding the CS (evicted, hold never completes);
+    //   t=40  N1/N2 retransmission timers fire (fixed 40-tick deadline)
+    //         and the re-issued RMs black-hole against the outage (t=45);
+    //   t=60  N0 restarts, recovers Si from its WAL, broadcasts RV and
+    //         resumes its interrupted tuple (same timestamp);
+    //   t=70  N0 re-enters, completes, and the EM chain drains the burst.
+    let mut cfg = SimConfig::paper(3, 0);
+    cfg.trace_capacity = 1_000;
+    cfg.faults = rcv_simnet::FaultPlan::crash_restart(
+        nid(0),
+        rcv_simnet::SimTime::from_ticks(20),
+        rcv_simnet::SimTime::from_ticks(60),
+    );
+    let (report, _nodes) = Engine::new(cfg, BurstOnce, |id, n| {
+        RcvNode::with_config(
+            id,
+            n,
+            RcvConfig {
+                forward: ForwardPolicy::Sequential,
+                retry: Some(rcv_simnet::RetryPolicy::fixed(40)),
+            },
+        )
+    })
+    .run_collecting();
+
+    assert!(report.is_safe(), "violations: {:?}", report.violations);
+    assert_eq!(report.metrics.completed(), 3, "all three rounds complete");
+
+    // Structured narrative: crash mid-hold, recovered restart, and N0
+    // enters the CS twice (the evicted hold plus the resumed one).
+    let events: Vec<&TraceEvent> = report.trace.events().collect();
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            TraceEvent::Crashed { node, held_cs: true, .. } if *node == nid(0)
+        )),
+        "N0 must die while holding the CS"
+    );
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            TraceEvent::Restarted { node, recovered: true, .. } if *node == nid(0)
+        )),
+        "N0 must report a recovered rejoin"
+    );
+    let n0_entries = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::CsEnter { node, .. } if *node == nid(0)))
+        .count();
+    assert_eq!(n0_entries, 2, "evicted hold + resumed hold");
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Send { kind: "RV", .. })),
+        "the restarted node must reannounce with RV"
+    );
+
+    // Rendered narrative: pin the human-readable lines and their order.
+    let rendered = report.trace.render();
+    let needles = [
+        "N0 CRASHES while holding the CS (evicted)",
+        "delivery to crashed N0 dropped",
+        "N0 RESTARTS and rejoins (state recovered)",
+    ];
+    let mut cursor = 0;
+    for needle in needles {
+        let here = rendered[cursor..]
+            .find(needle)
+            .unwrap_or_else(|| panic!("missing {needle:?} after byte {cursor}:\n{rendered}"));
+        cursor += here + needle.len();
+    }
+    assert!(
+        rendered[cursor..].contains("N0 ENTERS the critical section"),
+        "the resumed entry must follow the restart:\n{rendered}"
+    );
+}

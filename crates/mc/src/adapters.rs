@@ -37,6 +37,16 @@ where
     fn check_node(&self) -> Result<(), String> {
         Ok(())
     }
+
+    /// Per-node invariant under a **crash-recovery** regime: the checker
+    /// substitutes this for [`Self::check_node`] whenever crash-restart
+    /// branching is enabled. Defaults to the plain check; protocols whose
+    /// anomaly accounting assumes a crash-free run override it to relax
+    /// exactly the counters a legitimate crash can trip — and nothing
+    /// else.
+    fn check_node_recovering(&self) -> Result<(), String> {
+        self.check_node()
+    }
 }
 
 impl McProtocol for RcvNode {
@@ -56,6 +66,24 @@ impl McProtocol for RcvNode {
                 self.id(),
                 self.stats().ul_exhausted,
                 self.stats().lemma6_violations,
+            ));
+        }
+        Ok(())
+    }
+
+    /// Under crash-recovery, UL exhaustion stops being an anomaly: the
+    /// restarted node's rebuilt NSIT row has forgotten the votes peers
+    /// registered at it, so an in-flight RM can legitimately run out of
+    /// unvisited nodes without ordering (Lemma 3 assumes no vote loss) —
+    /// the retransmission extension re-campaigns. The structural lemmas
+    /// and Lemma 6 remain hard violations in every regime.
+    fn check_node_recovering(&self) -> Result<(), String> {
+        self.si().invariants_ok(self.id())?;
+        let lemma6 = self.stats().lemma6_violations;
+        if lemma6 > 0 {
+            return Err(format!(
+                "{} recorded {lemma6} Lemma 6 violations",
+                self.id()
             ));
         }
         Ok(())

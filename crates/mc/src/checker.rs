@@ -6,7 +6,9 @@ use std::collections::{HashMap, VecDeque};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use rcv_simnet::{Ctx, NodeId, ProtocolMessage, SimDuration, SimTime, Trace, TraceEvent};
+use rcv_simnet::{
+    Ctx, NodeId, ProtocolMessage, RestartOutcome, SimDuration, SimTime, Trace, TraceEvent,
+};
 
 use crate::adapters::McProtocol;
 use crate::state::{fingerprint, McEvent, SystemState};
@@ -274,6 +276,7 @@ where
     fifo: bool,
     drops: u32,
     dups: u32,
+    crashes: u32,
     max_depth: Option<u32>,
     max_states: u64,
     #[allow(clippy::type_complexity)]
@@ -297,6 +300,7 @@ where
             fifo: false,
             drops: 0,
             dups: 0,
+            crashes: 0,
             max_depth: None,
             max_states: 20_000_000,
             cross_invariant: None,
@@ -336,6 +340,21 @@ where
     /// Duplication budget, branched like the loss budget.
     pub fn dups(mut self, dups: u32) -> Self {
         self.dups = dups;
+        self
+    }
+
+    /// Crash-restart budget: along any single path the checker may crash
+    /// (and immediately restart) at most this many nodes, branched at
+    /// **every** state over **every** node — any node, any instant. A
+    /// crash drops everything in flight toward the victim plus its armed
+    /// timers, evicts it from the CS if it was the holder (a dead process
+    /// occupies nothing; the aborted hold does not count as a
+    /// completion), then runs the protocol's `on_restart` hook, with the
+    /// engine's environment semantics: a node that rejoined idle with a
+    /// request interrupted gets it re-issued, one that resumed its
+    /// request internally keeps the round open.
+    pub fn crash_restarts(mut self, crashes: u32) -> Self {
+        self.crashes = crashes;
         self
     }
 
@@ -415,22 +434,40 @@ where
             let depth = arena[id as usize].depth;
             report.max_depth_seen = report.max_depth_seen.max(depth);
             let choices = self.choices(&state);
-            if choices.is_empty() {
-                report.terminals += 1;
+            if state.pending.is_empty() {
+                // Quiescent: no further event can occur without a fresh
+                // fault. Liveness is judged HERE, even when crash budget
+                // remains — a crash the checker *could still inject* lies
+                // in the future and must not excuse a stall that has
+                // already happened.
                 if let Some(v) = self.check_goal(&state) {
                     report.violation = Some(self.counterexample(&arena, id, None, v));
                     return report;
                 }
-                continue;
+                if state.crashes_left == 0 {
+                    report.terminals += 1;
+                    continue;
+                }
             }
             if self.max_depth.is_some_and(|d| depth >= d) {
                 report.truncated += 1;
                 continue;
             }
-            for (idx, action) in choices {
+            // Pending-event decisions, then — while the budget lasts — a
+            // crash-restart of every node: any node, any instant.
+            let mut vias: Vec<(McEvent<P::Message>, Action)> = choices
+                .into_iter()
+                .map(|(idx, action)| (state.pending[idx].clone(), action))
+                .collect();
+            if state.crashes_left > 0 {
+                vias.extend(
+                    NodeId::all(self.nodes.len())
+                        .map(|node| (McEvent::CrashRestart { node }, Action::Deliver)),
+                );
+            }
+            for via in vias {
                 report.transitions += 1;
-                let via = (state.pending[idx].clone(), action);
-                let applied = self.apply(&state, idx, action, SimTime::ZERO, &mut scratch, false);
+                let applied = self.apply(&state, &via.0, via.1, SimTime::ZERO, &mut scratch, false);
                 if let Some(v) = applied
                     .violation
                     .or_else(|| self.check_state(&applied.state))
@@ -485,6 +522,7 @@ where
             completed: vec![0; n],
             drops_left: self.drops,
             dups_left: self.dups,
+            crashes_left: self.crashes,
         };
         let at = SimTime::ZERO;
         let mut violation = None;
@@ -541,17 +579,28 @@ where
         out
     }
 
-    /// Applies one decision to a copy of `s`.
+    /// Applies one decision to a copy of `s`. The event is keyed by value
+    /// (identical in-flight copies lead to the same successor, so which
+    /// copy is removed is immaterial); [`McEvent::CrashRestart`] is
+    /// synthesized, never pending, and routes to [`Self::apply_crash`].
     fn apply(
         &self,
         s: &SystemState<P>,
-        idx: usize,
+        ev: &McEvent<P::Message>,
         action: Action,
         at: SimTime,
         trace: &mut Vec<TraceEvent>,
         record: bool,
     ) -> Applied<P> {
+        if let McEvent::CrashRestart { node } = ev {
+            return self.apply_crash(s, *node, at, trace, record);
+        }
         let mut next = s.clone();
+        let idx = next
+            .pending
+            .iter()
+            .position(|p| p == ev)
+            .expect("applied event is in flight");
         // `remove` (not `swap_remove`): within-channel order is FIFO
         // order and must survive the deletion.
         let ev = next.pending.remove(idx);
@@ -669,6 +718,98 @@ where
                     violation = self.note_enter(&mut next, node, at, trace, record);
                 }
             }
+            McEvent::CrashRestart { .. } => unreachable!("routed to apply_crash above"),
+        }
+        Applied {
+            state: next,
+            violation,
+        }
+    }
+
+    /// Crashes `node` and immediately restarts it (the crash window
+    /// collapses to a point). Mirrors the engine's `handle_crash` +
+    /// `handle_restart` pair and the threaded runtime's crash window:
+    ///
+    /// * everything in flight **toward** the victim dies with its process
+    ///   (the window black-holes deliveries), as do its armed timers;
+    /// * messages the victim already sent survive — they are in the
+    ///   network, not in the process;
+    /// * a victim holding the CS is evicted without a completion (a dead
+    ///   process occupies nothing) and its pending exit is invalidated;
+    /// * after `on_restart`: a node that rejoined idle with a request
+    ///   interrupted gets it re-issued as a fresh request; one that
+    ///   resumed the request internally keeps its round open.
+    fn apply_crash(
+        &self,
+        s: &SystemState<P>,
+        node: NodeId,
+        at: SimTime,
+        trace: &mut Vec<TraceEvent>,
+        record: bool,
+    ) -> Applied<P> {
+        let mut next = s.clone();
+        debug_assert!(next.crashes_left > 0);
+        next.crashes_left -= 1;
+        next.pending.retain(|ev| match ev {
+            McEvent::Deliver { to, .. } => *to != node,
+            McEvent::Timer { node: n, .. } | McEvent::CsExit { node: n } => *n != node,
+            McEvent::CrashRestart { .. } => unreachable!("never pending"),
+        });
+        let held = next.occupant == Some(node);
+        if held {
+            next.occupant = None;
+        }
+        // One outstanding request per node: a requester with rounds left
+        // has a live request (issued at the initial burst or at its last
+        // exit) that this crash interrupts.
+        let interrupted =
+            self.requesters.contains(&node) && next.completed[node.index()] < self.rounds;
+        if record {
+            trace.push(TraceEvent::Crashed {
+                at,
+                node,
+                held_cs: held,
+            });
+        }
+        let mut outcome = RestartOutcome::KeptState;
+        let enter = dispatch(
+            &mut next.nodes,
+            &mut next.pending,
+            node,
+            at,
+            trace,
+            record,
+            |p, ctx| outcome = p.on_restart(ctx),
+        );
+        if record {
+            trace.push(TraceEvent::Restarted {
+                at,
+                node,
+                recovered: outcome.recovered(),
+            });
+        }
+        let mut violation = None;
+        if enter {
+            violation = self.note_enter(&mut next, node, at, trace, record);
+        }
+        if violation.is_none() && outcome == RestartOutcome::RejoinedIdle && interrupted {
+            // Engine parity: the environment re-issues the request the
+            // crash wiped out, so the expected completion count holds.
+            if record {
+                trace.push(TraceEvent::Arrival { at, node });
+            }
+            let enter = dispatch(
+                &mut next.nodes,
+                &mut next.pending,
+                node,
+                at,
+                trace,
+                record,
+                |p, ctx| p.on_request(ctx),
+            );
+            if enter {
+                violation = self.note_enter(&mut next, node, at, trace, record);
+            }
         }
         Applied {
             state: next,
@@ -707,9 +848,18 @@ where
     }
 
     /// Per-node and cross-node invariants over a freshly produced state.
+    /// With crash branching enabled the per-node hook is the
+    /// recovery-tolerant variant ([`McProtocol::check_node_recovering`]):
+    /// a crash legitimately trips counters whose accounting assumes no
+    /// vote loss (RCV's UL exhaustion).
     fn check_state(&self, s: &SystemState<P>) -> Option<String> {
         for node in &s.nodes {
-            if let Err(e) = node.check_node() {
+            let checked = if self.crashes > 0 {
+                node.check_node_recovering()
+            } else {
+                node.check_node()
+            };
+            if let Err(e) = checked {
                 return Some(format!("node invariant: {e}"));
             }
         }
@@ -721,12 +871,15 @@ where
         None
     }
 
-    /// Terminal-state goal: every requester finished all its rounds,
-    /// unless a message was actually lost on this path (an *attributable*
-    /// stall; duplication alone must never wedge the system).
+    /// Quiescent-state goal: every requester finished all its rounds,
+    /// unless a message was actually lost or a node actually crashed on
+    /// this path (an *attributable* stall — a crash wipes the votes peers
+    /// registered at the victim, and with the retry budget spendable
+    /// before the crash even happens, some interleavings legitimately
+    /// strand a request; duplication alone must never wedge the system).
     fn check_goal(&self, s: &SystemState<P>) -> Option<String> {
         debug_assert!(s.occupant.is_none(), "terminal state with a CS occupant");
-        if s.drops_left < self.drops {
+        if s.drops_left < self.drops || s.crashes_left < self.crashes {
             return None;
         }
         for &r in &self.requesters {
@@ -769,12 +922,7 @@ where
                 break;
             }
             let at = SimTime::from_ticks(step_no as u64 + 1);
-            let idx = s
-                .pending
-                .iter()
-                .position(|p| p == ev)
-                .expect("replay: recorded event is in flight");
-            let applied = self.apply(&s, idx, *action, at, &mut events, true);
+            let applied = self.apply(&s, ev, *action, at, &mut events, true);
             violation = applied.violation;
             s = applied.state;
         }

@@ -2,7 +2,7 @@
 
 use rcv_baselines::{Lamport, RicartAgrawala};
 use rcv_core::{check_nonl_consistency, ForwardPolicy, RcvConfig, RcvNode};
-use rcv_simnet::NodeId;
+use rcv_simnet::{NodeId, RetryPolicy};
 
 use crate::checker::ModelChecker;
 
@@ -36,6 +36,51 @@ pub fn rcv_checker(n: usize, policy: ForwardPolicy) -> ModelChecker<RcvNode> {
         })
         .collect();
     ModelChecker::new(nodes).cross_invariant(|nodes: &[RcvNode]| check_nonl_consistency(nodes))
+}
+
+/// A crash-recovery checker: [`rcv_checker`] plus one crash-restart
+/// branched at every state over every node (any node, any instant — see
+/// [`ModelChecker::crash_restarts`]), optionally with the retransmission
+/// extension armed so interrupted campaigns re-issue.
+///
+/// The retry policy, when given, must be jitter-free (the checker's
+/// determinism contract) and **bounded**: an unbounded policy re-arms
+/// its timer after every retransmission and the state space never
+/// closes.
+pub fn rcv_recovery_checker(
+    n: usize,
+    policy: ForwardPolicy,
+    retry: Option<RetryPolicy>,
+) -> ModelChecker<RcvNode> {
+    assert!(
+        !matches!(policy, ForwardPolicy::Random),
+        "model checking requires a deterministic forwarding policy"
+    );
+    if let Some(r) = retry {
+        assert_eq!(
+            r.jitter, 0,
+            "model checking requires a jitter-free retry policy"
+        );
+        assert!(
+            r.is_bounded(),
+            "model checking requires a bounded retry budget"
+        );
+    }
+    let nodes = (0..n)
+        .map(|i| {
+            RcvNode::with_config(
+                NodeId::new(i as u32),
+                n,
+                RcvConfig {
+                    forward: policy,
+                    retry,
+                },
+            )
+        })
+        .collect();
+    ModelChecker::new(nodes)
+        .cross_invariant(|nodes: &[RcvNode]| check_nonl_consistency(nodes))
+        .crash_restarts(1)
 }
 
 /// A checker over `n` Ricart–Agrawala nodes. RA tolerates arbitrary

@@ -5,8 +5,11 @@
 //! multiset of in-flight events, CS occupancy, fault budgets); from each
 //! state the [`ModelChecker`] branches on every eligible pending event —
 //! and, when the fault budgets allow, on losing or duplicating each
-//! in-flight message — deduplicating revisited states by a canonical
-//! 128-bit fingerprint. In every reachable state it checks:
+//! in-flight message and on crash-restarting each node (any node, any
+//! instant: the victim's in-flight inbox and timers die with it, then
+//! its `on_restart` recovery hook runs) — deduplicating revisited states
+//! by a canonical 128-bit fingerprint. In every reachable state it
+//! checks:
 //!
 //! * **mutual exclusion** — an `enter_cs` intent while another node holds
 //!   the CS (or a double entry by the holder) is a violation;
@@ -16,10 +19,11 @@
 //! * **cross-node invariants** — an optional whole-system predicate (for
 //!   RCV: Lemma 6/7 NONL prefix consistency);
 //!
-//! and in every *terminal* state (nothing in flight) it checks the goal:
+//! and in every *quiescent* state (nothing in flight) it checks the goal:
 //! every requester completed all its rounds — **unless** a message was
-//! actually lost on that path (no-deadlock-without-attributable-fault;
-//! duplication alone must never cause a stall).
+//! actually lost or a node actually crashed on that path
+//! (no-deadlock-without-attributable-fault; duplication alone must never
+//! cause a stall).
 //!
 //! On any violation the checker rebuilds the offending path from its
 //! parent-pointer arena and replays it through the [`rcv_simnet::Trace`]
@@ -50,5 +54,5 @@ pub use adapters::McProtocol;
 pub use checker::{
     Action, Bfs, Counterexample, Dfs, Frontier, McReport, McSummary, ModelChecker, StateId,
 };
-pub use harness::{lamport_checker, rcv_checker, ricart_checker};
+pub use harness::{lamport_checker, rcv_checker, rcv_recovery_checker, ricart_checker};
 pub use state::{McEvent, SystemState};

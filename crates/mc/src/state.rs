@@ -32,6 +32,17 @@ pub enum McEvent<M> {
         /// The tag the protocol attached when arming it.
         tag: u64,
     },
+    /// `node` crashes and immediately restarts (the crash window
+    /// collapses to a point: everything in flight *toward* the node and
+    /// its armed timers die with the process, then
+    /// [`rcv_simnet::MutexProtocol::on_restart`] runs). Unlike the other
+    /// variants this is never *pending* — the checker synthesizes it at
+    /// every state while the crash budget lasts; it appears only in
+    /// counterexample step lists.
+    CrashRestart {
+        /// The node that crashes and restarts.
+        node: NodeId,
+    },
 }
 
 impl<M> McEvent<M> {
@@ -43,6 +54,7 @@ impl<M> McEvent<M> {
             McEvent::Deliver { from, to, .. } => (0, from.raw(), to.raw(), 0),
             McEvent::CsExit { node } => (1, node.raw(), 0, 0),
             McEvent::Timer { node, tag } => (2, node.raw(), 0, tag),
+            McEvent::CrashRestart { node } => (3, node.raw(), 0, 0),
         }
     }
 
@@ -79,6 +91,8 @@ where
     pub drops_left: u32,
     /// Messages the checker may still choose to duplicate on this path.
     pub dups_left: u32,
+    /// Crash-restarts the checker may still inject on this path.
+    pub crashes_left: u32,
 }
 
 impl<P: McProtocol> Clone for SystemState<P>
@@ -93,6 +107,7 @@ where
             completed: self.completed.clone(),
             drops_left: self.drops_left,
             dups_left: self.dups_left,
+            crashes_left: self.crashes_left,
         }
     }
 }
@@ -174,5 +189,6 @@ where
     s.completed.hash(&mut h);
     s.drops_left.hash(&mut h);
     s.dups_left.hash(&mut h);
+    s.crashes_left.hash(&mut h);
     h.finish128()
 }

@@ -47,6 +47,17 @@ impl CsChecker {
         }
     }
 
+    /// Removes `node` from the CS *without* counting an exit or a
+    /// violation: the process crashed while holding the CS, and a dead
+    /// process is not inside the critical section. No-op if `node` was not
+    /// the occupant (it may have been evicted by an earlier overlap).
+    pub fn evict(&self, node: NodeId) {
+        let mut occ = self.occupant.lock();
+        if *occ == Some(node) {
+            *occ = None;
+        }
+    }
+
     /// Total entries recorded.
     pub fn entries(&self) -> u64 {
         self.entries.load(Ordering::Relaxed)

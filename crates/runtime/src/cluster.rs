@@ -80,8 +80,10 @@ impl NetDelay {
 }
 
 /// Wire-level fault injection, applied by the network thread — the
-/// real-concurrency mirror of `rcv_simnet::FaultPlan` (minus crash-stop,
-/// which has no faithful analogue while every node thread must join).
+/// real-concurrency mirror of `rcv_simnet::FaultPlan` (minus *permanent*
+/// crash-stop, which has no faithful analogue while every node thread
+/// must join; bounded crash **windows** do map — see
+/// [`WireFaults::with_crash_restart`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WireFaults {
     /// Every `k`-th message crossing the network thread is dropped.
@@ -93,6 +95,14 @@ pub struct WireFaults {
     /// `factor ×` the sampled delay — a slow node, FIFO-breaking even
     /// under otherwise constant delays.
     pub straggler: Option<(u32, u32)>,
+    /// `(node index, down_ticks, up_ticks)`: a bounded outage measured
+    /// from cluster start on the [`ClusterSpec::tick`] scale. During the
+    /// window the network black-holes every delivery to the node (counted
+    /// in [`ClusterReport::crash_dropped`], separately from loss), the
+    /// node thread freezes — aborting a held CS, which evicts it from the
+    /// checker — and at the window's end the thread re-runs the protocol's
+    /// [`rcv_simnet::MutexProtocol::on_restart`] hook and rejoins.
+    pub crash_restart: Option<(u32, u64, u64)>,
 }
 
 impl WireFaults {
@@ -119,6 +129,17 @@ impl WireFaults {
     pub fn with_straggler(mut self, node: u32, factor: u32) -> Self {
         assert!(factor >= 1, "straggler factor must be >= 1");
         self.straggler = Some((node, factor));
+        self
+    }
+
+    /// Crashes `node` at `down_ticks` from cluster start and restarts it
+    /// at `up_ticks` (both on the spec's tick scale; `down < up`).
+    pub fn with_crash_restart(mut self, node: u32, down_ticks: u64, up_ticks: u64) -> Self {
+        assert!(
+            down_ticks < up_ticks,
+            "crash window must end after it starts"
+        );
+        self.crash_restart = Some((node, down_ticks, up_ticks));
         self
     }
 
@@ -197,6 +218,13 @@ pub struct ClusterReport {
     pub lost: u64,
     /// Extra copies delivered by wire-level duplication injection.
     pub duplicated: u64,
+    /// Deliveries black-holed because the receiver was inside its crash
+    /// window (counted separately from `lost`: loss is a network fault,
+    /// this is a dead process).
+    pub crash_dropped: u64,
+    /// Node restarts performed (0 or 1 per run with the current
+    /// single-window [`WireFaults::crash_restart`]).
+    pub restarts: u64,
     /// True if the run hit the timeout before all rounds completed.
     pub timed_out: bool,
 }
@@ -279,6 +307,8 @@ where
     let completed = Arc::new(AtomicU64::new(0));
     let lost = Arc::new(AtomicU64::new(0));
     let duplicated = Arc::new(AtomicU64::new(0));
+    let crash_dropped = Arc::new(AtomicU64::new(0));
+    let restarts = Arc::new(AtomicU64::new(0));
 
     // Inboxes.
     let mut inbox_tx = Vec::with_capacity(n);
@@ -289,15 +319,26 @@ where
         inbox_rx.push(rx);
     }
 
+    // The crash window in wall-clock terms. `start` anchors the node
+    // threads' tick clocks AND the window, so tick-denominated protocol
+    // timers and the outage share one time base.
+    let start = Instant::now();
+    let tickify = |ticks: u64| spec.tick.saturating_mul(ticks.min(u32::MAX as u64) as u32);
+    let crash_win = spec
+        .faults
+        .crash_restart
+        .map(|(node, down, up)| (node as usize, start + tickify(down), start + tickify(up)));
+
     // Network thread.
     let (net_tx, net_rx) = unbounded::<Submitted<P::Message>>();
     let net_out: Vec<Sender<Packet<P::Message>>> = inbox_tx.clone();
     let hook = spec.wire_hook.clone();
     let faults = spec.faults;
     let net_counters = (Arc::clone(&lost), Arc::clone(&duplicated));
+    let net_crash = (crash_win, Arc::clone(&crash_dropped));
     let net_handle = std::thread::Builder::new()
         .name("rcv-net".into())
-        .spawn(move || network_thread(net_rx, net_out, hook, faults, net_counters))
+        .spawn(move || network_thread(net_rx, net_out, hook, faults, net_counters, net_crash))
         .expect("spawn network thread");
 
     // Done notifications.
@@ -305,7 +346,6 @@ where
 
     // Node threads.
     let mut seeder = SmallRng::seed_from_u64(spec.seed);
-    let start = Instant::now();
     let mut handles = Vec::with_capacity(n);
     for (idx, rx) in inbox_rx.into_iter().enumerate() {
         let me = NodeId::new(idx as u32);
@@ -328,6 +368,12 @@ where
             tick: spec.tick,
             start,
             timers: Vec::new(),
+            crash: crash_win
+                .filter(|&(node, _, _)| node == idx)
+                .map(|(_, down, up)| (down, up)),
+            crash_done: false,
+            crash_dropped: Arc::clone(&crash_dropped),
+            restarts: Arc::clone(&restarts),
             status: StatusCell::register(format!("rcv-node-{idx}")),
         };
         handles.push(
@@ -384,6 +430,8 @@ where
         messages: messages.load(Ordering::Relaxed),
         lost: lost.load(Ordering::Relaxed),
         duplicated: duplicated.load(Ordering::Relaxed),
+        crash_dropped: crash_dropped.load(Ordering::Relaxed),
+        restarts: restarts.load(Ordering::Relaxed),
         timed_out,
     };
     (report, nodes)
@@ -395,6 +443,7 @@ fn network_thread<M: Clone>(
     hook: Option<WireHook<M>>,
     faults: WireFaults,
     (lost, duplicated): (Arc<AtomicU64>, Arc<AtomicU64>),
+    (crash_win, crash_dropped): (Option<(usize, Instant, Instant)>, Arc<AtomicU64>),
 ) {
     let status = StatusCell::register("rcv-net");
     let mut heap: BinaryHeap<Reverse<Pending<M>>> = BinaryHeap::new();
@@ -406,6 +455,14 @@ fn network_thread<M: Clone>(
         let now = Instant::now();
         while heap.peek().is_some_and(|Reverse(p)| p.due <= now) {
             let Reverse(p) = heap.pop().expect("peeked");
+            // A delivery due while its receiver is inside the crash window
+            // reaches a dead process: black-holed, counted apart from loss.
+            if let Some((node, down, up)) = crash_win {
+                if p.env.to.index() == node && p.due >= down && p.due < up {
+                    crash_dropped.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
             let msg = match &hook {
                 Some(h) => h(p.env.msg),
                 None => p.env.msg,
@@ -495,6 +552,17 @@ struct NodeThread<P: MutexProtocol> {
     start: Instant,
     /// Armed one-shot timers: `(due, tag)`.
     timers: Vec<(Instant, u64)>,
+    /// This node's crash window `(down, up)` in wall-clock terms (`None`
+    /// for every node but the one named in `WireFaults::crash_restart`).
+    crash: Option<(Instant, Instant)>,
+    /// Whether the window has already been served.
+    crash_done: bool,
+    /// Cluster-wide counter of deliveries swallowed by the outage (the
+    /// network thread black-holes in-window deliveries; the node-side
+    /// inbox drain at the crash instant adds the already-delivered ones).
+    crash_dropped: Arc<AtomicU64>,
+    /// Cluster-wide restart counter.
+    restarts: Arc<AtomicU64>,
     /// Watchdog slot: state transitions are recorded here so a hung run
     /// can be diagnosed from [`crate::watchdog::thread_dump`].
     status: StatusCell,
@@ -506,8 +574,15 @@ impl<P: MutexProtocol> NodeThread<P> {
         SimTime::from_ticks(self.start.elapsed().as_micros() as u64 / tick_us)
     }
 
+    /// Whether the crash instant has arrived but not yet been served.
+    fn crash_pending(&self, now: Instant) -> bool {
+        !self.crash_done && self.crash.is_some_and(|(down, _)| now >= down)
+    }
+
     /// Dispatches one protocol handler and materializes its intents.
-    /// Returns whether the node entered (and finished) a CS execution.
+    /// Returns whether the node entered (and **completed**) a CS
+    /// execution — a CS aborted by the crash window returns `false`, so
+    /// the caller keeps the round open for the post-restart resume.
     fn dispatch(&mut self, f: impl FnOnce(&mut P, &mut Ctx<'_, P::Message>)) -> bool {
         let mut outbox: Vec<(NodeId, P::Message)> = Vec::new();
         let mut enter = false;
@@ -546,23 +621,120 @@ impl<P: MutexProtocol> NodeThread<P> {
             }
         }
         if enter {
-            self.execute_cs();
-            true
+            self.execute_cs()
         } else {
             false
         }
     }
 
     /// Holds the CS for `cs_duration`, then releases through the protocol.
-    fn execute_cs(&mut self) {
+    /// Returns whether the execution *completed*: if the crash instant
+    /// falls inside the hold, the node dies mid-CS — it is evicted from
+    /// the checker (a dead process is not inside the critical section),
+    /// the release handler is NOT run, and the execution does not count.
+    fn execute_cs(&mut self) -> bool {
         self.status.set("in CS");
         self.checker.enter(self.me);
-        std::thread::sleep(self.cs_duration);
+        let end = Instant::now() + self.cs_duration;
+        loop {
+            let now = Instant::now();
+            if self.crash_pending(now) {
+                self.checker.evict(self.me);
+                self.status.set("crashed holding the CS");
+                return false;
+            }
+            if now >= end {
+                break;
+            }
+            let mut nap = end - now;
+            if let Some((down, _)) = self.crash.filter(|_| !self.crash_done) {
+                if down > now {
+                    nap = nap.min(down - now);
+                }
+            }
+            std::thread::sleep(nap);
+        }
         self.checker.exit(self.me);
         self.completed.fetch_add(1, Ordering::Relaxed);
         // The release handler may send messages but never re-enters.
         let entered_again = self.dispatch(|p, ctx| p.on_cs_released(ctx));
         debug_assert!(!entered_again, "release must not re-enter the CS");
+        true
+    }
+
+    /// Serves the crash window once its instant has passed: discards the
+    /// dead process's inbox and timers, freezes until the window ends,
+    /// then re-runs the protocol's restart hook and reconciles the round
+    /// bookkeeping with its [`RestartOutcome`]. Returns `true` if a
+    /// shutdown arrived while down (the run loop must exit).
+    fn serve_crash_window(
+        &mut self,
+        waiting_grant: &mut bool,
+        remaining: &mut u32,
+        next_request: &mut Option<Instant>,
+    ) -> bool {
+        let (_, up) = self.crash.expect("only called with a window");
+        self.crash_done = true;
+        self.timers.clear();
+        self.status.set("crashed (down)");
+        // Already-delivered but unprocessed packets died with the process.
+        loop {
+            match self.rx.try_recv() {
+                Ok(Packet::Msg { .. }) => {
+                    self.crash_dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(Packet::Shutdown) => return true,
+                Err(_) => break,
+            }
+        }
+        // Down: swallow anything that trickles in until the window ends.
+        loop {
+            let now = Instant::now();
+            if now >= up {
+                break;
+            }
+            match self.rx.recv_timeout(up - now) {
+                Ok(Packet::Msg { .. }) => {
+                    self.crash_dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(Packet::Shutdown) => return true,
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    std::thread::sleep(up.saturating_duration_since(Instant::now()));
+                    break;
+                }
+            }
+        }
+        // Restart. The hook may enter the CS synchronously (single-node
+        // resume), in which case the round completes right here.
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+        self.status.set("restarting");
+        let mut outcome = rcv_simnet::RestartOutcome::KeptState;
+        let entered = self.dispatch(|p, ctx| outcome = p.on_restart(ctx));
+        match outcome {
+            // No recovery story: the protocol kept its pre-crash state and
+            // simply resumes processing (its in-window messages are gone).
+            rcv_simnet::RestartOutcome::KeptState => {}
+            // The protocol came back empty-handed: if a request was
+            // interrupted, this harness re-issues it as a fresh round so
+            // the expected completion count still holds.
+            rcv_simnet::RestartOutcome::RejoinedIdle => {
+                if *waiting_grant {
+                    *waiting_grant = false;
+                    *remaining += 1;
+                    *next_request = Some(Instant::now());
+                }
+            }
+            // The protocol re-adopted the interrupted request internally —
+            // the open round stays open and completes when the resumed
+            // campaign is granted (unless it already entered just now).
+            rcv_simnet::RestartOutcome::ResumedRequest => {
+                if entered {
+                    *waiting_grant = false;
+                }
+            }
+        }
+        false
     }
 
     fn run(mut self) -> P {
@@ -575,6 +747,13 @@ impl<P: MutexProtocol> NodeThread<P> {
         }
 
         loop {
+            // Serve the crash window first: a dead process issues nothing.
+            if self.crash_pending(Instant::now())
+                && self.serve_crash_window(&mut waiting_grant, &mut remaining, &mut next_request)
+            {
+                return self.proto;
+            }
+
             // Issue the next request when due and not already outstanding.
             if let Some(at) = next_request {
                 if !waiting_grant && Instant::now() >= at {
@@ -613,7 +792,11 @@ impl<P: MutexProtocol> NodeThread<P> {
             }
 
             let next_timer = self.timers.iter().map(|&(at, _)| at).min();
-            let timeout = [next_request, next_timer]
+            let next_crash = self
+                .crash
+                .filter(|_| !self.crash_done)
+                .map(|(down, _)| down);
+            let timeout = [next_request, next_timer, next_crash]
                 .into_iter()
                 .flatten()
                 .min()

@@ -207,6 +207,10 @@ pub fn encode(msg: &RcvMessage) -> Bytes {
             put_tuple(&mut buf, next);
             put_body(&mut buf, body);
         }
+        RcvMessage::Rv { body } => {
+            buf.put_u8(3);
+            put_body(&mut buf, body);
+        }
     }
     buf.freeze()
 }
@@ -242,6 +246,10 @@ pub fn decode(mut buf: Bytes) -> Result<RcvMessage, WireError> {
             let next = get_tuple(&mut buf)?;
             let body = get_body(&mut buf)?;
             RcvMessage::Im { pred, next, body }
+        }
+        3 => {
+            let body = get_body(&mut buf)?;
+            RcvMessage::Rv { body }
         }
         t => return Err(WireError::BadTag(t)),
     };
@@ -305,6 +313,14 @@ mod tests {
         let msg = RcvMessage::Im {
             pred: t(0, 2),
             next: t(1, 3),
+            body: sample_body(),
+        };
+        assert_eq!(decode(encode(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn rv_roundtrip() {
+        let msg = RcvMessage::Rv {
             body: sample_body(),
         };
         assert_eq!(decode(encode(&msg)).unwrap(), msg);

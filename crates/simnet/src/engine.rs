@@ -16,7 +16,7 @@ use crate::faults::FaultPlan;
 use crate::ids::NodeId;
 use crate::metrics::SimMetrics;
 use crate::monitor::{SafetyMonitor, Violation};
-use crate::protocol::{Ctx, MutexProtocol, ProtocolMessage};
+use crate::protocol::{Ctx, MutexProtocol, ProtocolMessage, RestartOutcome};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceEvent};
 use crate::workload::{ArrivalSink, Workload};
@@ -121,6 +121,19 @@ pub struct Engine<P: MutexProtocol, W: Workload> {
     workload: W,
     sink: ArrivalSink,
     in_cs: Vec<bool>,
+    /// Per-node CS generation, bumped at every grant and at crash
+    /// eviction; lets stale `CsExit` events (from a hold the crash killed)
+    /// be recognized and dropped.
+    cs_epoch: Vec<u64>,
+    /// Per-node crash schedule, precomputed from the fault plan at
+    /// construction: sorted `(down, up)` intervals (`up = u64::MAX` ticks
+    /// encodes crash-stop). Fault-free and single-crash runs pay an O(1)
+    /// emptiness/first-interval check on the hot paths instead of the
+    /// fault plan's linear scan per event.
+    crash_sched: Vec<Vec<(SimTime, SimTime)>>,
+    /// Per-node flag: a request was outstanding when the node crashed and
+    /// was abandoned; re-issued at restart if the protocol recovers.
+    crash_aborted: Vec<bool>,
     events: u64,
     trace: Trace,
     /// Reusable dispatch scratch: a handler's outgoing messages. Drained
@@ -147,12 +160,44 @@ impl<P: MutexProtocol, W: Workload> Engine<P, W> {
         // and far-future arrivals overflow to the heap, which is correct,
         // just not O(1).
         let horizon = cfg.delay.max_ticks().max(cfg.cs_duration.ticks());
+        // Precompute the per-node crash schedule so the per-event down
+        // check is O(intervals of that node) — O(1) for the typical zero-
+        // or one-crash plans — instead of a scan over the whole fault list.
+        let forever = SimTime::from_ticks(u64::MAX);
+        let mut crash_sched: Vec<Vec<(SimTime, SimTime)>> = vec![Vec::new(); cfg.n];
+        for &(node, at) in &cfg.faults.crashes {
+            assert!(node.index() < cfg.n, "crash plan names unknown {node:?}");
+            crash_sched[node.index()].push((at, forever));
+        }
+        for w in &cfg.faults.restarts {
+            assert!(
+                w.node.index() < cfg.n,
+                "crash window names unknown {:?}",
+                w.node
+            );
+            crash_sched[w.node.index()].push((w.down_at, w.up_at));
+        }
+        for sched in &mut crash_sched {
+            sched.sort_unstable();
+        }
+        let mut queue = EventQueue::with_horizon(SimDuration::from_ticks(horizon));
+        // Crash windows are driven by explicit events (eviction, restart
+        // hook, request re-issue). Permanent crash-stops stay purely
+        // passive — exactly the pre-window engine behavior, so legacy
+        // fault plans keep bit-identical event counts and RNG streams.
+        for w in &cfg.faults.restarts {
+            queue.schedule(w.down_at, EventKind::Crash { node: w.node });
+            queue.schedule(w.up_at, EventKind::Restart { node: w.node });
+        }
         Engine {
             trace: Trace::with_capacity(cfg.trace_capacity),
             in_cs: vec![false; cfg.n],
+            cs_epoch: vec![0; cfg.n],
+            crash_sched,
+            crash_aborted: vec![false; cfg.n],
             nodes,
             node_rngs,
-            queue: EventQueue::with_horizon(SimDuration::from_ticks(horizon)),
+            queue,
             net_rng,
             wl_rng,
             monitor: SafetyMonitor::new(),
@@ -164,6 +209,15 @@ impl<P: MutexProtocol, W: Workload> Engine<P, W> {
             outbox: Vec::new(),
             timers: Vec::new(),
         }
+    }
+
+    /// Whether `node` is inside a crash interval at `now` (precomputed
+    /// schedule; O(1) for fault-free and single-crash plans).
+    #[inline]
+    fn node_down(&self, node: NodeId, now: SimTime) -> bool {
+        self.crash_sched[node.index()]
+            .iter()
+            .any(|&(down, up)| now >= down && now < up)
     }
 
     /// Runs the simulation to completion and returns the report.
@@ -189,8 +243,10 @@ impl<P: MutexProtocol, W: Workload> Engine<P, W> {
             match ev.kind {
                 EventKind::Arrival { node } => self.handle_arrival(node, now),
                 EventKind::Deliver { from, to, msg } => self.handle_deliver(from, to, msg, now),
-                EventKind::CsExit { node } => self.handle_cs_exit(node, now),
+                EventKind::CsExit { node, epoch } => self.handle_cs_exit(node, epoch, now),
                 EventKind::Timer { node, tag } => self.handle_timer(node, tag, now),
+                EventKind::Crash { node } => self.handle_crash(node, now),
+                EventKind::Restart { node } => self.handle_restart(node, now),
             }
         }
 
@@ -223,7 +279,7 @@ impl<P: MutexProtocol, W: Workload> Engine<P, W> {
     }
 
     fn handle_arrival(&mut self, node: NodeId, now: SimTime) {
-        if self.cfg.faults.is_crashed(node, now) {
+        if self.node_down(node, now) {
             return; // a crashed node issues nothing
         }
         if self.trace.enabled() {
@@ -238,7 +294,7 @@ impl<P: MutexProtocol, W: Workload> Engine<P, W> {
     }
 
     fn handle_deliver(&mut self, from: NodeId, to: NodeId, msg: P::Message, now: SimTime) {
-        if self.cfg.faults.is_crashed(to, now) {
+        if self.node_down(to, now) {
             self.metrics.message_dropped();
             if self.trace.enabled() {
                 self.trace.record(TraceEvent::Dropped { at: now, to });
@@ -256,11 +312,18 @@ impl<P: MutexProtocol, W: Workload> Engine<P, W> {
         self.dispatch(to, now, |p, ctx| p.on_message(from, msg, ctx));
     }
 
-    fn handle_cs_exit(&mut self, node: NodeId, now: SimTime) {
-        if self.cfg.faults.is_crashed(node, now) {
-            // Crashed while holding the CS: the node never releases; the
-            // monitor keeps it as occupant and successors starve — the
-            // honest consequence, surfaced via `deadlocked`.
+    fn handle_cs_exit(&mut self, node: NodeId, epoch: u64, now: SimTime) {
+        if self.node_down(node, now) {
+            // Crashed while holding the CS (crash-stop): the node never
+            // releases; the monitor keeps it as occupant and successors
+            // starve — the honest consequence, surfaced via `deadlocked`.
+            // (Crash *windows* instead evict the holder at `down_at`.)
+            return;
+        }
+        if epoch != self.cs_epoch[node.index()] {
+            // The hold this exit belonged to was killed by a crash
+            // eviction; the node may even be back inside the CS for a
+            // fresh request by now. Either way this exit is stale.
             return;
         }
         debug_assert!(self.in_cs[node.index()], "CsExit for a node not in the CS");
@@ -277,13 +340,69 @@ impl<P: MutexProtocol, W: Workload> Engine<P, W> {
     }
 
     fn handle_timer(&mut self, node: NodeId, tag: u64, now: SimTime) {
-        if self.cfg.faults.is_crashed(node, now) {
+        if self.node_down(node, now) {
             return;
         }
         if self.trace.enabled() {
             self.trace.record(TraceEvent::Timer { at: now, node, tag });
         }
         self.dispatch(node, now, |p, ctx| p.on_timer(tag, ctx));
+    }
+
+    /// Start of a crash window: the node dies *now*. If it held the CS it
+    /// is evicted (a dead process occupies nothing) and its pending exit is
+    /// invalidated; an outstanding request is abandoned and remembered for
+    /// re-issue at restart.
+    fn handle_crash(&mut self, node: NodeId, now: SimTime) {
+        self.metrics.node_crashed();
+        let held = self.in_cs[node.index()];
+        if held {
+            self.in_cs[node.index()] = false;
+            self.cs_epoch[node.index()] += 1;
+            self.monitor.evict(node);
+        }
+        self.crash_aborted[node.index()] = self.metrics.request_aborted(node);
+        if self.trace.enabled() {
+            self.trace.record(TraceEvent::Crashed {
+                at: now,
+                node,
+                held_cs: held,
+            });
+        }
+    }
+
+    /// End of a crash window: run the protocol's restart hook and act on
+    /// its outcome — re-issue the interrupted request for a node that
+    /// rejoined idle, or just re-open the request bookkeeping for one that
+    /// resumed the request internally (write-ahead recovery).
+    fn handle_restart(&mut self, node: NodeId, now: SimTime) {
+        self.metrics.node_restarted();
+        let mut outcome = RestartOutcome::KeptState;
+        self.dispatch(node, now, |p, ctx| outcome = p.on_restart(ctx));
+        if self.trace.enabled() {
+            self.trace.record(TraceEvent::Restarted {
+                at: now,
+                node,
+                recovered: outcome.recovered(),
+            });
+        }
+        let interrupted = std::mem::take(&mut self.crash_aborted[node.index()]);
+        match outcome {
+            RestartOutcome::KeptState => {}
+            RestartOutcome::RejoinedIdle => {
+                if interrupted {
+                    self.queue.schedule(now, EventKind::Arrival { node });
+                }
+            }
+            RestartOutcome::ResumedRequest => {
+                // The protocol re-adopted its interrupted request; track it
+                // as a fresh lifecycle starting now (down time is recovery,
+                // not protocol wait, so it must not pollute response times).
+                if interrupted {
+                    self.metrics.request_resumed(node, now);
+                }
+            }
+        }
     }
 
     /// Runs one protocol handler and materializes its intents.
@@ -400,7 +519,10 @@ impl<P: MutexProtocol, W: Workload> Engine<P, W> {
         self.in_cs[node.index()] = true;
         self.metrics.cs_entered(node, now);
         let exit_at = now + self.cfg.cs_duration;
-        self.queue.schedule(exit_at, EventKind::CsExit { node });
+        self.cs_epoch[node.index()] += 1;
+        let epoch = self.cs_epoch[node.index()];
+        self.queue
+            .schedule(exit_at, EventKind::CsExit { node, epoch });
         self.dispatch(node, now, |p, ctx| p.on_cs_granted(ctx));
     }
 
@@ -667,6 +789,57 @@ mod tests {
         let r = Engine::new(cfg, BurstOnce, |id, _| Central::new(id)).run();
         assert!(r.is_safe());
         assert!(!r.truncated, "stacked faults must still drain the queue");
+    }
+
+    #[test]
+    fn crash_window_after_the_run_changes_nothing_but_the_clock() {
+        // A window entirely beyond the workload's natural end: the run's
+        // protocol behavior (messages, completions) must be bit-identical
+        // to the fault-free run; only the clock runs on to the restart
+        // event and the two window events are counted.
+        let plain = run_burst(8, 42, DelayModel::paper_jittered());
+        let mut cfg = SimConfig::paper(8, 42);
+        cfg.delay = DelayModel::paper_jittered();
+        cfg.faults = FaultPlan::crash_restart(
+            NodeId::new(3),
+            SimTime::from_ticks(1_000_000),
+            SimTime::from_ticks(1_000_100),
+        );
+        let windowed = Engine::new(cfg, BurstOnce, |id, _| Central::new(id)).run();
+        assert_eq!(windowed.metrics.completed(), plain.metrics.completed());
+        assert_eq!(
+            windowed.metrics.messages_sent(),
+            plain.metrics.messages_sent()
+        );
+        assert_eq!(windowed.events, plain.events + 2);
+        assert_eq!(windowed.metrics.crashes(), 1);
+        assert_eq!(windowed.metrics.restarts(), 1);
+        assert!(windowed.is_safe());
+    }
+
+    #[test]
+    fn crashed_holder_in_window_is_evicted_not_an_occupant() {
+        // Crash the coordinator inside its own CS hold. Central has no
+        // recovery (`on_restart` default), so the system wedges — but the
+        // monitor must not keep a dead process as occupant, the hold's
+        // pending CsExit must not fire after the restart, and the crashed
+        // node's own request must be retired as aborted.
+        let mut cfg = SimConfig::paper(4, 5);
+        cfg.trace_capacity = 256;
+        // Coordinator (node 0) enters at t=0, exits at Tc=10: crash at 4.
+        cfg.faults = FaultPlan::crash_restart(
+            NodeId::new(0),
+            SimTime::from_ticks(4),
+            SimTime::from_ticks(40),
+        );
+        let r = Engine::new(cfg, BurstOnce, |id, _| Central::new(id)).run();
+        assert!(r.is_safe());
+        assert!(r.deadlocked, "no recovery: the stall is reported honestly");
+        assert_eq!(r.metrics.requests_aborted(), 1);
+        assert_eq!(r.metrics.completed(), 0);
+        let text = r.trace.render();
+        assert!(text.contains("N0 CRASHES while holding the CS"), "{text}");
+        assert!(text.contains("N0 RESTARTS with pre-crash state"), "{text}");
     }
 
     #[test]

@@ -37,6 +37,10 @@ pub enum EventKind<M> {
     CsExit {
         /// The node leaving the CS.
         node: NodeId,
+        /// The engine's per-node CS generation at grant time. A crash
+        /// eviction bumps the generation, so the dead hold's pending exit
+        /// can never terminate a CS the node re-entered after recovery.
+        epoch: u64,
     },
     /// A timer set by `node` via [`crate::Ctx::set_timer`] fires.
     Timer {
@@ -44,6 +48,17 @@ pub enum EventKind<M> {
         node: NodeId,
         /// The tag the protocol attached when arming the timer.
         tag: u64,
+    },
+    /// Start of a crash window: `node` goes down.
+    Crash {
+        /// The node that dies.
+        node: NodeId,
+    },
+    /// End of a crash window: `node` comes back and its
+    /// [`crate::MutexProtocol::on_restart`] hook runs.
+    Restart {
+        /// The node that restarts.
+        node: NodeId,
     },
 }
 
@@ -349,6 +364,7 @@ mod tests {
             t(4),
             EventKind::CsExit {
                 node: NodeId::new(0),
+                epoch: 0,
             },
         );
         assert_eq!(q.now(), SimTime::ZERO);
@@ -367,6 +383,7 @@ mod tests {
             t(10),
             EventKind::CsExit {
                 node: NodeId::new(0),
+                epoch: 0,
             },
         );
         q.pop();
@@ -374,6 +391,7 @@ mod tests {
             t(3),
             EventKind::CsExit {
                 node: NodeId::new(0),
+                epoch: 0,
             },
         );
     }

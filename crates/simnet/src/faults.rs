@@ -15,6 +15,17 @@
 //!   arrivals, even its own CS exit) from a given instant. Messages to it
 //!   vanish. This deliberately includes the harsh case of crashing while
 //!   holding the CS.
+//! * **crash windows (crash + restart)** — a node is down for a bounded
+//!   interval `[down_at, up_at)` and then *restarts*: deliveries during the
+//!   window vanish (counted separately from network loss), and at `up_at`
+//!   the engine invokes the protocol's
+//!   [`crate::MutexProtocol::on_restart`] hook so it can rejoin (RCV
+//!   re-initializes its volatile SI from a stable-storage timestamp and
+//!   re-announces; protocols without a recovery story keep their pre-crash
+//!   state and are documented non-recoverable). A crashed *holder* is
+//!   evicted from the safety monitor at `down_at` — the process is dead, so
+//!   it cannot be "inside" the CS — and a recovered node re-issues the
+//!   request it abandoned mid-crash.
 //! * **loss** — every k-th message vanishes in the network (never
 //!   delivered). The paper assumes reliable channels, so lossy cells only
 //!   demand *safety*; liveness under loss needs the retransmission
@@ -32,6 +43,19 @@
 use crate::ids::NodeId;
 use crate::time::SimTime;
 
+/// A bounded outage: the node is down during `[down_at, up_at)` and
+/// restarts at `up_at`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// The node that goes down.
+    pub node: NodeId,
+    /// First instant (inclusive) at which the node stops processing.
+    pub down_at: SimTime,
+    /// The instant the node comes back and its
+    /// [`crate::MutexProtocol::on_restart`] hook runs.
+    pub up_at: SimTime,
+}
+
 /// Failure injection plan for one run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FaultPlan {
@@ -42,6 +66,8 @@ pub struct FaultPlan {
     /// Crash-stop faults: `(node, at)` — the node processes nothing from
     /// `at` (inclusive) onwards.
     pub crashes: Vec<(NodeId, SimTime)>,
+    /// Bounded outages after which the node restarts (crash windows).
+    pub restarts: Vec<CrashWindow>,
     /// Straggler nodes: `(node, factor)` — every message to or from the
     /// node takes `factor ×` the sampled delay. A factor of 1 is inert.
     pub stragglers: Vec<(NodeId, u64)>,
@@ -115,9 +141,34 @@ impl FaultPlan {
         self
     }
 
+    /// Plan with a single crash window: down at `down_at`, restarted at
+    /// `up_at`.
+    pub fn crash_restart(node: NodeId, down_at: SimTime, up_at: SimTime) -> Self {
+        FaultPlan::none().with_crash_restart(node, down_at, up_at)
+    }
+
+    /// Adds a bounded outage (builder-style): the node is down during
+    /// `[down_at, up_at)` and restarts at `up_at`.
+    pub fn with_crash_restart(mut self, node: NodeId, down_at: SimTime, up_at: SimTime) -> Self {
+        assert!(down_at < up_at, "crash window must end after it starts");
+        self.restarts.push(CrashWindow {
+            node,
+            down_at,
+            up_at,
+        });
+        self
+    }
+
     /// Whether `node` is crashed at time `now`.
+    ///
+    /// Linear in the fault list; the engine precomputes a per-node schedule
+    /// at construction so its hot path never calls this.
     pub fn is_crashed(&self, node: NodeId, now: SimTime) -> bool {
         self.crashes.iter().any(|&(n, at)| n == node && now >= at)
+            || self
+                .restarts
+                .iter()
+                .any(|w| w.node == node && now >= w.down_at && now < w.up_at)
     }
 
     /// Whether the `seq`-th message (1-based) should be duplicated.
@@ -160,9 +211,12 @@ impl FaultPlan {
     }
 
     /// Whether this plan can prevent requests from completing: lost
-    /// messages and crashed nodes break the reliable-channel assumption
-    /// every algorithm's liveness argument rests on. Duplication and
-    /// stragglers only stress, never starve.
+    /// messages and permanently crashed nodes break the reliable-channel
+    /// assumption every algorithm's liveness argument rests on. Duplication
+    /// and stragglers only stress, never starve. Crash *windows* are
+    /// deliberately excluded: whether a restarting node threatens liveness
+    /// depends on the protocol having a recovery story, which the scenario
+    /// layer decides per algorithm.
     pub fn threatens_liveness(&self) -> bool {
         self.drop_every.is_some() || !self.crashes.is_empty()
     }
@@ -246,6 +300,37 @@ mod tests {
         assert_eq!(f.delay_factor(NodeId::new(0), NodeId::new(1)), 4);
         assert!(f.is_crashed(NodeId::new(5), SimTime::from_ticks(90)));
         assert!(f.threatens_liveness());
+    }
+
+    #[test]
+    fn crash_window_is_bounded() {
+        let f = FaultPlan::crash_restart(
+            NodeId::new(1),
+            SimTime::from_ticks(10),
+            SimTime::from_ticks(20),
+        );
+        assert!(!f.is_crashed(NodeId::new(1), SimTime::from_ticks(9)));
+        assert!(f.is_crashed(NodeId::new(1), SimTime::from_ticks(10)));
+        assert!(f.is_crashed(NodeId::new(1), SimTime::from_ticks(19)));
+        assert!(
+            !f.is_crashed(NodeId::new(1), SimTime::from_ticks(20)),
+            "the node is back at up_at"
+        );
+        assert!(!f.is_crashed(NodeId::new(0), SimTime::from_ticks(15)));
+        assert!(
+            !f.threatens_liveness(),
+            "a window alone does not decide liveness; the scenario layer does"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "window must end after it starts")]
+    fn empty_crash_window_rejected() {
+        FaultPlan::crash_restart(
+            NodeId::new(0),
+            SimTime::from_ticks(5),
+            SimTime::from_ticks(5),
+        );
     }
 
     #[test]

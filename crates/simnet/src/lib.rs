@@ -57,6 +57,7 @@ mod ids;
 mod metrics;
 mod monitor;
 mod protocol;
+mod retry;
 mod stats;
 mod time;
 mod trace;
@@ -65,11 +66,12 @@ mod workload;
 pub use delay::DelayModel;
 pub use engine::{Engine, SimConfig, SimReport};
 pub use event::{Event, EventKind, EventQueue};
-pub use faults::FaultPlan;
+pub use faults::{CrashWindow, FaultPlan};
 pub use ids::NodeId;
 pub use metrics::{RequestRecord, SimMetrics};
 pub use monitor::{MonitorParts, SafetyMonitor, Violation};
-pub use protocol::{Ctx, MutexProtocol, ProtocolMessage};
+pub use protocol::{Ctx, MutexProtocol, ProtocolMessage, RestartOutcome};
+pub use retry::RetryPolicy;
 pub use stats::Summary;
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent};

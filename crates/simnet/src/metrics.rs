@@ -65,6 +65,15 @@ pub struct SimMetrics {
     messages_dropped: u64,
     /// Messages lost in the network by fault injection (never delivered).
     messages_lost: u64,
+    /// Nodes that went down (crash-stop instants and crash-window starts).
+    crashes: u64,
+    /// Nodes that came back at the end of a crash window.
+    restarts: u64,
+    /// Requests abandoned because their node crashed while they were
+    /// outstanding.
+    requests_aborted: u64,
+    /// Interrupted requests re-adopted by their node after a restart.
+    requests_resumed: u64,
 }
 
 impl SimMetrics {
@@ -140,6 +149,56 @@ impl SimMetrics {
     /// Messages lost in the network by fault injection.
     pub fn messages_lost(&self) -> u64 {
         self.messages_lost
+    }
+
+    /// A node went down.
+    pub fn node_crashed(&mut self) {
+        self.crashes += 1;
+    }
+
+    /// A node restarted at the end of its crash window.
+    pub fn node_restarted(&mut self) {
+        self.restarts += 1;
+    }
+
+    /// Nodes that went down.
+    pub fn crashes(&self) -> u64 {
+        self.crashes
+    }
+
+    /// Nodes that restarted.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// `node` crashed with a request outstanding: the request is abandoned.
+    /// Its record stays (for post-mortem inspection) but no longer counts
+    /// as outstanding, so a run where every *live* request completed is not
+    /// reported as deadlocked. Returns whether a request was actually open.
+    pub fn request_aborted(&mut self, node: NodeId) -> bool {
+        let aborted = self.open.remove(&node).is_some();
+        self.requests_aborted += u64::from(aborted);
+        aborted
+    }
+
+    /// Requests abandoned by crashes.
+    pub fn requests_aborted(&self) -> u64 {
+        self.requests_aborted
+    }
+
+    /// A restarted node re-adopted the request its crash had interrupted
+    /// (write-ahead recovery): a fresh lifecycle opens at `now`, so its
+    /// eventual completion is counted and its response time is measured
+    /// from the resume instant — the outage is recovery latency, not
+    /// protocol wait. The abort recorded at the crash stays counted.
+    pub fn request_resumed(&mut self, node: NodeId, now: SimTime) {
+        self.requests_resumed += 1;
+        self.request_issued(node, now);
+    }
+
+    /// Interrupted requests re-adopted by their node after a restart.
+    pub fn requests_resumed(&self) -> u64 {
+        self.requests_resumed
     }
 
     /// Whether `node` currently has an outstanding request.
@@ -267,6 +326,41 @@ mod tests {
         m.request_issued(NodeId::new(0), t(0));
         m.cs_entered(NodeId::new(0), t(1));
         m.cs_entered(NodeId::new(0), t(2));
+    }
+
+    #[test]
+    fn aborted_request_leaves_no_outstanding_trace() {
+        let mut m = SimMetrics::new();
+        m.request_issued(NodeId::new(0), t(0));
+        m.node_crashed();
+        assert!(m.request_aborted(NodeId::new(0)));
+        assert_eq!(m.outstanding(), 0, "abandoned request is retired");
+        assert_eq!(m.completed(), 0, "but it never completed");
+        assert_eq!(m.requests_aborted(), 1);
+        assert_eq!(m.crashes(), 1);
+        // The node can issue again after its restart.
+        m.node_restarted();
+        m.request_issued(NodeId::new(0), t(50));
+        assert_eq!(m.restarts(), 1);
+        assert!(!m.request_aborted(NodeId::new(1)), "nothing open for N1");
+    }
+
+    #[test]
+    fn resumed_request_opens_a_fresh_lifecycle() {
+        let mut m = SimMetrics::new();
+        m.request_issued(NodeId::new(0), t(0));
+        m.node_crashed();
+        assert!(m.request_aborted(NodeId::new(0)));
+        m.node_restarted();
+        m.request_resumed(NodeId::new(0), t(40));
+        assert_eq!(m.requests_resumed(), 1);
+        assert!(m.has_outstanding(NodeId::new(0)));
+        m.cs_entered(NodeId::new(0), t(45));
+        m.cs_exited(NodeId::new(0), t(55));
+        assert_eq!(m.completed(), 1);
+        // Response time runs from the resume, not the original arrival.
+        assert_eq!(m.response_time().mean, 5.0);
+        assert_eq!(m.requests_aborted(), 1, "the interruption stays counted");
     }
 
     #[test]

@@ -89,6 +89,20 @@ impl SafetyMonitor {
         self.exits += 1;
     }
 
+    /// Removes `node` as occupant without recording a CS exit: its process
+    /// died (crash fault) — a dead process cannot be "inside" the CS. No
+    /// sync-gap sample is started, since the gap to the next entry would
+    /// measure crash recovery, not a protocol handoff. Returns whether the
+    /// node actually held the CS. Exit/entry counters are untouched.
+    pub fn evict(&mut self, node: NodeId) -> bool {
+        if self.occupant == Some(node) {
+            self.occupant = None;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Current occupant, if any.
     pub fn occupant(&self) -> Option<NodeId> {
         self.occupant
@@ -202,6 +216,22 @@ mod tests {
         assert_eq!(p.sync_gaps, vec![SimDuration::from_ticks(5)]);
         assert_eq!(p.entries, 2);
         assert_eq!(p.exits, 1);
+    }
+
+    #[test]
+    fn evict_clears_occupancy_without_sync_gap() {
+        let mut m = SafetyMonitor::new();
+        m.enter(NodeId::new(0), t(0));
+        assert!(m.evict(NodeId::new(0)));
+        assert_eq!(m.occupant(), None);
+        assert_eq!(m.exits(), 0, "an eviction is not a protocol exit");
+        m.enter(NodeId::new(1), t(50));
+        assert!(
+            m.sync_gaps().is_empty(),
+            "recovery latency must not pollute the handoff metric"
+        );
+        assert!(m.is_safe());
+        assert!(!m.evict(NodeId::new(0)), "no-op when not the occupant");
     }
 
     #[test]

@@ -111,6 +111,31 @@ impl<'a, M> Ctx<'a, M> {
     }
 }
 
+/// What a protocol did with itself in [`MutexProtocol::on_restart`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RestartOutcome {
+    /// No recovery story: the pre-crash state was kept verbatim and the
+    /// node resumes as if merely frozen. Honest for protocols where a
+    /// crashed token holder stays the token holder — such runs only
+    /// demand safety, never liveness.
+    KeptState,
+    /// The node rejoined in an idle state; whatever request was
+    /// outstanding at the crash is gone, and the environment should
+    /// re-issue it as a fresh request.
+    RejoinedIdle,
+    /// The node rejoined *and* internally re-adopted the request that was
+    /// interrupted by the crash (write-ahead recovery). The environment
+    /// must not re-issue anything — the request is live again.
+    ResumedRequest,
+}
+
+impl RestartOutcome {
+    /// Whether the node actually rejoined (anything but [`Self::KeptState`]).
+    pub fn recovered(&self) -> bool {
+        !matches!(self, RestartOutcome::KeptState)
+    }
+}
+
 /// A distributed mutual exclusion protocol, one instance per node.
 pub trait MutexProtocol {
     /// The single message type exchanged between nodes.
@@ -139,6 +164,24 @@ pub trait MutexProtocol {
     /// A timer armed with [`Ctx::set_timer`] fired. Default: ignore.
     fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Self::Message>) {
         let _ = (tag, ctx);
+    }
+
+    /// The node's process restarted after a bounded crash
+    /// ([`crate::FaultPlan::with_crash_restart`]). Everything delivered
+    /// during the outage was dropped; any request outstanding at the crash
+    /// was retired by the environment at the crash instant.
+    ///
+    /// The returned [`RestartOutcome`] tells the environment what happened:
+    /// [`RestartOutcome::RejoinedIdle`] makes it re-issue the interrupted
+    /// request as a fresh one; [`RestartOutcome::ResumedRequest`] means the
+    /// protocol re-adopted the interrupted request itself (the environment
+    /// re-opens its bookkeeping but issues nothing). The default keeps the
+    /// pre-crash state verbatim and reports
+    /// [`RestartOutcome::KeptState`] — honest for protocols without a
+    /// recovery story.
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, Self::Message>) -> RestartOutcome {
+        let _ = ctx;
+        RestartOutcome::KeptState
     }
 }
 

@@ -74,6 +74,26 @@ pub enum TraceEvent {
         /// The crashed receiver.
         to: NodeId,
     },
+    /// A node went down (crash-stop or the start of a crash window).
+    Crashed {
+        /// When.
+        at: SimTime,
+        /// Who.
+        node: NodeId,
+        /// Whether the node held the CS at the moment it died (it is
+        /// evicted from the safety monitor).
+        held_cs: bool,
+    },
+    /// A node came back at the end of a crash window and ran its
+    /// `on_restart` hook.
+    Restarted {
+        /// When.
+        at: SimTime,
+        /// Who.
+        node: NodeId,
+        /// Whether the protocol reported a recovered (rejoined) state.
+        recovered: bool,
+    },
     /// A message was lost in the network (fault injection).
     Lost {
         /// When it was sent.
@@ -96,6 +116,8 @@ impl TraceEvent {
             | TraceEvent::CsExit { at, .. }
             | TraceEvent::Timer { at, .. }
             | TraceEvent::Dropped { at, .. }
+            | TraceEvent::Crashed { at, .. }
+            | TraceEvent::Restarted { at, .. }
             | TraceEvent::Lost { at, .. } => at,
         }
     }
@@ -128,6 +150,24 @@ impl TraceEvent {
             }
             TraceEvent::Dropped { at, to } => {
                 format!("t={at:<6} delivery to crashed {to} dropped")
+            }
+            TraceEvent::Crashed { at, node, held_cs } => {
+                if *held_cs {
+                    format!("t={at:<6} {node} CRASHES while holding the CS (evicted)")
+                } else {
+                    format!("t={at:<6} {node} CRASHES")
+                }
+            }
+            TraceEvent::Restarted {
+                at,
+                node,
+                recovered,
+            } => {
+                if *recovered {
+                    format!("t={at:<6} {node} RESTARTS and rejoins (state recovered)")
+                } else {
+                    format!("t={at:<6} {node} RESTARTS with pre-crash state (no recovery)")
+                }
             }
             TraceEvent::Lost { at, from, to } => {
                 format!("t={at:<6} {from} -> {to} lost in the network")
@@ -269,6 +309,8 @@ impl Trace {
                 | TraceEvent::CsEnter { node: n, .. }
                 | TraceEvent::CsExit { node: n, .. }
                 | TraceEvent::Timer { node: n, .. }
+                | TraceEvent::Crashed { node: n, .. }
+                | TraceEvent::Restarted { node: n, .. }
                 | TraceEvent::Dropped { to: n, .. } => *n == node,
                 TraceEvent::Send { from, to, .. }
                 | TraceEvent::Deliver { from, to, .. }

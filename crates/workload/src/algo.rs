@@ -10,7 +10,7 @@ use rcv_baselines::{
 use rcv_core::{ForwardPolicy, RcvConfig, RcvNode};
 use rcv_runtime::wire::WireCodec;
 use rcv_runtime::{run_cluster_collecting, ClusterReport, ClusterSpec, NetDelay, WireFaults};
-use rcv_simnet::{Engine, MutexProtocol, NodeId, SimConfig, SimReport, Workload};
+use rcv_simnet::{Engine, MutexProtocol, NodeId, RetryPolicy, SimConfig, SimReport, Workload};
 
 /// Every algorithm the harness can run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -132,7 +132,7 @@ impl Algo {
             Algo::Rcv(policy) => {
                 let config = RcvConfig {
                     forward: policy,
-                    retransmit_after: spec.rcv_retransmit_ticks,
+                    retry: spec.rcv_retry,
                 };
                 let (report, anomalies) =
                     rcv_runtime::run_rcv_cluster_collecting(spec.cluster_spec(), config);
@@ -192,6 +192,31 @@ impl Algo {
             _ => return None,
         };
         Some(summary)
+    }
+
+    /// Runs one simulation of this algorithm with an explicit RCV
+    /// retransmission policy. The baselines have no retransmission knob
+    /// and ignore it; `retry == None` is exactly [`Algo::run`].
+    pub fn run_retry<W: Workload>(
+        &self,
+        cfg: SimConfig,
+        workload: W,
+        retry: Option<RetryPolicy>,
+    ) -> SimReport {
+        match *self {
+            Algo::Rcv(policy) => Engine::new(cfg, workload, move |id, n| {
+                RcvNode::with_config(
+                    id,
+                    n,
+                    RcvConfig {
+                        forward: policy,
+                        retry,
+                    },
+                )
+            })
+            .run(),
+            _ => self.run(cfg, workload),
+        }
     }
 
     /// Runs one simulation of this algorithm.
@@ -262,9 +287,11 @@ pub struct ThreadSpec {
     pub timeout: Duration,
     /// Round-trip every message through its binary wire codec.
     pub verify_codec: bool,
-    /// RCV retransmission period in ticks (`None` = the paper's
+    /// RCV retransmission policy (`None` = the paper's
     /// retransmission-free configuration). Baselines ignore it.
-    pub rcv_retransmit_ticks: Option<u64>,
+    /// [`RetryPolicy::fixed`] reproduces the historical fixed-period
+    /// retransmission exactly.
+    pub rcv_retry: Option<RetryPolicy>,
 }
 
 impl ThreadSpec {
@@ -285,7 +312,7 @@ impl ThreadSpec {
             seed,
             timeout: Duration::from_secs(30),
             verify_codec: true,
-            rcv_retransmit_ticks: None,
+            rcv_retry: None,
         }
     }
 

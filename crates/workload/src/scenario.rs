@@ -31,7 +31,9 @@
 //!   duplication regimes run only on algorithms with idempotent delivery
 //!   guards (RCV — the fault battery proves them).
 
-use rcv_simnet::{DelayModel, FaultPlan, NodeId, SimConfig, SimDuration, SimReport, SimTime};
+use rcv_simnet::{
+    DelayModel, FaultPlan, NodeId, RetryPolicy, SimConfig, SimDuration, SimReport, SimTime,
+};
 
 use crate::algo::Algo;
 use crate::arrival::{HotSpotWorkload, PoissonWorkload, SaturationWorkload};
@@ -40,7 +42,7 @@ use crate::sweep::parmap;
 
 /// Version tag of the registry contents. Bump when scenarios are added,
 /// removed or re-parameterized, so a baseline mismatch is attributable.
-pub const REGISTRY_VERSION: &str = "rcv-scenario-registry/v1";
+pub const REGISTRY_VERSION: &str = "rcv-scenario-registry/v2";
 
 /// Workload shape of a scenario.
 #[derive(Clone, Debug, PartialEq)]
@@ -221,6 +223,31 @@ pub enum FaultSpec {
         /// Crash instant in ticks.
         at: u64,
     },
+    /// A bounded outage with recovery: the node is down during `[down,
+    /// up)` ticks, deliveries into the window vanish, and at `up` the
+    /// engine invokes the protocol's restart hook
+    /// ([`rcv_simnet::MutexProtocol::on_restart`]). Only algorithms with a
+    /// recovery story run these cells ([`ScenarioSpec::algorithms`]
+    /// filters to RCV; the baselines keep pre-crash state and are
+    /// documented non-recoverable).
+    CrashRestart {
+        /// The node that goes down and comes back.
+        node: u32,
+        /// First down tick (inclusive).
+        down: u64,
+        /// Restart tick.
+        up: u64,
+    },
+    /// The chaos regime: a crash window stacked with message loss and a
+    /// straggler — the registry's harshest liveness demand.
+    Chaos {
+        /// Crash window `(node, down, up)`.
+        crash: (u32, u64, u64),
+        /// Loss period.
+        loss_every: u64,
+        /// Straggler `(node, factor)`.
+        straggler: (u32, u64),
+    },
     /// A slow node: messages to/from it take `factor ×` the sampled delay.
     Straggler {
         /// The slow node.
@@ -249,6 +276,22 @@ impl FaultSpec {
             FaultSpec::Crash { node, at } => {
                 FaultPlan::crash(NodeId::new(node), SimTime::from_ticks(at))
             }
+            FaultSpec::CrashRestart { node, down, up } => FaultPlan::crash_restart(
+                NodeId::new(node),
+                SimTime::from_ticks(down),
+                SimTime::from_ticks(up),
+            ),
+            FaultSpec::Chaos {
+                crash: (node, down, up),
+                loss_every,
+                straggler: (slow, factor),
+            } => FaultPlan::losing(loss_every)
+                .with_straggler(NodeId::new(slow), factor)
+                .with_crash_restart(
+                    NodeId::new(node),
+                    SimTime::from_ticks(down),
+                    SimTime::from_ticks(up),
+                ),
             FaultSpec::Straggler { node, factor } => {
                 FaultPlan::straggler(NodeId::new(node), factor)
             }
@@ -268,6 +311,15 @@ impl FaultSpec {
         matches!(
             self,
             FaultSpec::Duplication { .. } | FaultSpec::Stacked { .. }
+        )
+    }
+
+    /// Whether a node restarts mid-run — such cells only run algorithms
+    /// with a crash-recovery story (RCV's restart/rejoin protocol).
+    pub fn restarts(&self) -> bool {
+        matches!(
+            self,
+            FaultSpec::CrashRestart { .. } | FaultSpec::Chaos { .. }
         )
     }
 }
@@ -315,6 +367,11 @@ pub struct ScenarioSpec {
     pub n: usize,
     /// Independent seeded runs per cell.
     pub seeds: u32,
+    /// RCV retransmission policy for this scenario (`None` = the paper's
+    /// retransmission-free configuration, which every pre-chaos cell uses
+    /// — their fingerprints must stay byte-identical). Baselines have no
+    /// retransmission knob and ignore it.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl ScenarioSpec {
@@ -325,12 +382,28 @@ impl ScenarioSpec {
             .into_iter()
             .filter(|a| self.delay.is_fifo() || !a.requires_fifo())
             .filter(|a| !self.faults.duplicates() || matches!(a, Algo::Rcv(_)))
+            .filter(|a| !self.faults.restarts() || matches!(a, Algo::Rcv(_)))
             .collect()
     }
 
     /// Whether every request in this scenario must complete.
+    ///
+    /// Permanent crash-stops void liveness unconditionally — the dead
+    /// node's request dies with it. Message loss and bounded outage
+    /// windows starve requests *unless* the scenario carries a
+    /// retransmission policy: retry restores the reliable-delivery
+    /// assumption, and restart cells additionally run only on algorithms
+    /// with a recovery story ([`ScenarioSpec::algorithms`]), so liveness
+    /// is demanded again — the chaos cells exist to prove exactly that.
     pub fn expect_live(&self) -> bool {
-        !self.faults.plan().threatens_liveness()
+        let plan = self.faults.plan();
+        if !plan.crashes.is_empty() {
+            return false;
+        }
+        if plan.drop_every.is_some() || !plan.restarts.is_empty() {
+            return self.retry.is_some();
+        }
+        true
     }
 
     /// Whether the real-thread runtime can express this scenario
@@ -338,8 +411,11 @@ impl ScenarioSpec {
     /// think times) map onto per-node rounds, and every fault regime
     /// except crash-stop has a wire-level mirror
     /// (`rcv_runtime::WireFaults`). Hot-spot and ramp shapes are per-node
-    /// heterogeneous / time-varying and stay simulator-only; crash cells
-    /// need a node to vanish, which a joinable thread cannot.
+    /// heterogeneous / time-varying and stay simulator-only; *permanent*
+    /// crash-stop cells need a node to vanish forever, which a joinable
+    /// thread cannot. Bounded crash *windows* DO map: the runtime's
+    /// network thread black-holes the node's traffic for the window and
+    /// the node thread re-runs its protocol's restart hook at the end.
     pub fn runtime_mappable(&self) -> bool {
         let shape_ok = matches!(
             self.shape,
@@ -451,7 +527,9 @@ pub fn run_cell(cell: &Cell) -> CellResult {
         cfg.faults = spec.faults.plan();
         // A violation must become a failed verdict, not a panic.
         cfg.panic_on_violation = false;
-        let report: SimReport = cell.algo.run(cfg, spec.shape.workload(spec.n));
+        let report: SimReport = cell
+            .algo
+            .run_retry(cfg, spec.shape.workload(spec.n), spec.retry);
 
         out.completed += report.metrics.completed() as u64;
         out.messages += report.metrics.messages_sent();
@@ -518,6 +596,7 @@ pub fn registry() -> Vec<ScenarioSpec> {
                 delay,
                 n,
                 seeds: 2,
+                retry: None,
             });
         };
 
@@ -723,6 +802,78 @@ pub fn registry() -> Vec<ScenarioSpec> {
         10,
     );
 
+    // Chaos regime: crash **windows** — the node comes back and must
+    // rejoin via its protocol's restart hook. RCV-only (the baselines have
+    // no recovery story) and, because every cell carries a retransmission
+    // policy, liveness is DEMANDED despite the outage: a crashed holder is
+    // evicted and its resumed request must re-enter; waiters starved by
+    // messages swallowed in the window must be healed by the restart
+    // broadcast plus backoff-driven re-campaigns. Window timing at the
+    // paper's Tn=5/Tc=10 scale: t=25 lands inside the first CS execution
+    // (holder crash), t=12 lands mid-campaign (waiter crash); the Poisson
+    // cell parks the outage in a light arrival stream where the node is
+    // typically idle (bystander crash).
+    let chaos_retry = Some(RetryPolicy::backoff(400, 3_200));
+    let mut chaos =
+        |name: &str, shape: ShapeSpec, faults: FaultSpec, delay: DelaySpec, n: usize| {
+            specs.push(ScenarioSpec {
+                name: name.into(),
+                shape,
+                faults,
+                delay,
+                n,
+                seeds: 2,
+                retry: chaos_retry,
+            });
+        };
+    chaos(
+        "chaos-restart-holder-burst-n8",
+        ShapeSpec::Burst,
+        FaultSpec::CrashRestart {
+            node: 0,
+            down: 25,
+            up: 120,
+        },
+        DelaySpec::Constant,
+        8,
+    );
+    chaos(
+        "chaos-restart-waiter-burst-n8",
+        ShapeSpec::Burst,
+        FaultSpec::CrashRestart {
+            node: 2,
+            down: 12,
+            up: 100,
+        },
+        DelaySpec::Constant,
+        8,
+    );
+    chaos(
+        "chaos-restart-bystander-poisson-n8",
+        ShapeSpec::Poisson {
+            mean: 150.0,
+            horizon: 6_000,
+        },
+        FaultSpec::CrashRestart {
+            node: 3,
+            down: 2_000,
+            up: 2_600,
+        },
+        DelaySpec::Constant,
+        8,
+    );
+    chaos(
+        "chaos-stacked-burst-n8",
+        ShapeSpec::Burst,
+        FaultSpec::Chaos {
+            crash: (1, 30, 150),
+            loss_every: 31,
+            straggler: (2, 3),
+        },
+        DelaySpec::Jitter,
+        8,
+    );
+
     specs
 }
 
@@ -863,6 +1014,7 @@ mod tests {
             delay: DelaySpec::Constant,
             n: 8,
             seeds: 2,
+            retry: None,
         };
         let r = run_cell(&Cell {
             scenario: spec,
@@ -884,6 +1036,7 @@ mod tests {
             delay: DelaySpec::Constant,
             n: 12,
             seeds: 2,
+            retry: None,
         };
         assert!(!spec.expect_live());
         let r = run_cell(&Cell {
@@ -909,6 +1062,7 @@ mod tests {
             delay: DelaySpec::Jitter,
             n: 16,
             seeds: 2,
+            retry: None,
         };
         let a = run_cell(&Cell {
             scenario: spec.clone(),

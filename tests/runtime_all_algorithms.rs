@@ -123,7 +123,7 @@ fn rcv_with_retransmission_beats_loss_and_duplication_at_once() {
         .with_duplication(5)
         .with_straggler(1, 4);
     spec.timeout = Duration::from_secs(60);
-    spec.rcv_retransmit_ticks = Some(2_000);
+    spec.rcv_retry = Some(rcv::simnet::RetryPolicy::fixed(2_000));
     let r = run(Algo::Rcv(rcv::core::ForwardPolicy::Random), spec);
     assert!(r.is_clean(spec.expected()), "{:?}", r.report);
     assert!(r.report.lost > 0, "loss regime must fire: {:?}", r.report);

@@ -1,5 +1,5 @@
 //! Table-driven pin of the scenario registry's **exclusion rules**: the
-//! 167-cell grid shape is a contract, not an accident of iteration order.
+//! 171-cell grid shape is a contract, not an accident of iteration order.
 //!
 //! Rules under test (see `rcv_workload::scenario`):
 //!
@@ -8,6 +8,8 @@
 //!   heavy-tail) — 8 algorithms under constant delay, 4 otherwise;
 //! * duplication regimes run **only** RCV (the one algorithm with proven
 //!   idempotent-delivery guards) — 1 algorithm, whatever the delay;
+//! * crash-**restart** regimes (the chaos cells) run only algorithms with
+//!   a recovery story — RCV again, 1 algorithm;
 //! * no other rule exists: nothing else may shrink or grow a scenario's
 //!   algorithm list.
 
@@ -57,10 +59,15 @@ const EXPECTED: &[(&str, usize)] = &[
     ("crash-holder-burst-n10", 8),
     // Stacked (includes duplication => RCV-only; also jittered).
     ("stacked-burst-n10", 1),
+    // Chaos: crash windows with restart => recovery-capable (RCV) only.
+    ("chaos-restart-holder-burst-n8", 1),
+    ("chaos-restart-waiter-burst-n8", 1),
+    ("chaos-restart-bystander-poisson-n8", 1),
+    ("chaos-stacked-burst-n8", 1),
 ];
 
 #[test]
-fn exclusion_rules_pin_every_scenario_and_the_167_cell_total() {
+fn exclusion_rules_pin_every_scenario_and_the_171_cell_total() {
     let specs = registry();
 
     // The table and the registry must name exactly the same scenarios.
@@ -94,25 +101,33 @@ fn exclusion_rules_pin_every_scenario_and_the_167_cell_total() {
                 "{name}: non-RCV algorithm under duplication"
             );
         }
-        // No third rule: whatever the two rules allow must be present.
+        // Rule 3: restart cells run only recovery-capable algorithms.
+        if spec.faults.restarts() {
+            assert!(
+                algos.iter().all(|a| matches!(a, Algo::Rcv(_))),
+                "{name}: non-recoverable algorithm under crash-restart"
+            );
+        }
+        // No fourth rule: whatever the three rules allow must be present.
         let allowed = Algo::all()
             .into_iter()
             .filter(|a| spec.delay.is_fifo() || !a.requires_fifo())
             .filter(|a| !spec.faults.duplicates() || matches!(a, Algo::Rcv(_)))
+            .filter(|a| !spec.faults.restarts() || matches!(a, Algo::Rcv(_)))
             .count();
         assert_eq!(
             algos.len(),
             allowed,
-            "{name}: algorithm list does not match the two exclusion rules"
+            "{name}: algorithm list does not match the three exclusion rules"
         );
     }
 
-    // The grid total is the sum of the table — pinned at 167 cells.
+    // The grid total is the sum of the table — pinned at 171 cells.
     let table_total: usize = EXPECTED.iter().map(|(_, c)| c).sum();
-    assert_eq!(table_total, 167, "shape table no longer sums to 167");
+    assert_eq!(table_total, 171, "shape table no longer sums to 171");
     assert_eq!(
         cells(&specs).len(),
-        167,
+        171,
         "cell expansion disagrees with the pinned grid size"
     );
 }
