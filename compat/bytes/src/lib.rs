@@ -20,6 +20,11 @@ pub trait Buf {
     /// Reads the next byte. Panics if empty.
     fn get_u8(&mut self) -> u8;
 
+    /// Reads a big-endian `u16`. Panics if under 2 bytes remain.
+    fn get_u16(&mut self) -> u16 {
+        ((self.get_u8() as u16) << 8) | self.get_u8() as u16
+    }
+
     /// Reads a big-endian `u32`. Panics if under 4 bytes remain.
     fn get_u32(&mut self) -> u32;
 
@@ -40,6 +45,11 @@ pub trait BufMut {
     /// Appends one byte.
     fn put_u8(&mut self, v: u8) {
         self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
     }
 
     /// Appends a big-endian `u32`.
@@ -83,6 +93,15 @@ impl Bytes {
     /// The visible bytes as a slice.
     pub fn as_slice(&self) -> &[u8] {
         &self.data[self.start..self.end]
+    }
+
+    /// Splits off and returns the first `at` visible bytes; `self` keeps
+    /// the rest. O(1) — both views share the allocation.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = self.slice(..at);
+        self.start += at;
+        head
     }
 
     /// O(1) sub-view of the visible bytes.
@@ -216,6 +235,28 @@ impl BytesMut {
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.buf)
     }
+
+    /// Discards the first `cnt` bytes.
+    pub fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.buf.len(), "advance past end");
+        self.buf.drain(..cnt);
+    }
+
+    /// Splits off and returns the first `at` bytes; `self` keeps the rest.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.buf.len(), "split_to out of bounds");
+        BytesMut {
+            buf: self.buf.drain(..at).collect(),
+        }
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
 }
 
 impl BufMut for BytesMut {
@@ -266,5 +307,23 @@ mod tests {
     fn advance_past_end_panics() {
         let mut b = Bytes::from(vec![1u8]);
         b.advance(2);
+    }
+
+    #[test]
+    fn u16_roundtrip_and_split() {
+        let mut b = BytesMut::new();
+        b.put_u16(0xBEEF);
+        b.put_slice(&[1, 2, 3]);
+        assert_eq!(b[0], 0xBE);
+        let head = b.split_to(2);
+        assert_eq!(head.freeze().as_slice(), &[0xBE, 0xEF]);
+        b.advance(1);
+        assert_eq!(&b[..], &[2, 3]);
+        let mut frozen = Bytes::from(vec![0xBE, 0xEF, 9]);
+        assert_eq!(frozen.get_u16(), 0xBEEF);
+        let mut rest = Bytes::from(vec![1, 2, 3, 4]);
+        let head = rest.split_to(3);
+        assert_eq!(head.as_slice(), &[1, 2, 3]);
+        assert_eq!(rest.as_slice(), &[4]);
     }
 }

@@ -13,16 +13,15 @@ use rcv_runtime::{run_rcv_cluster, with_codec_verification, ClusterSpec, NetDela
 use rcv_workload::{Algo, ThreadSpec};
 
 fn spec(n: usize, rounds: u32, seed: u64) -> ClusterSpec<rcv_core::RcvMessage> {
-    let mut s = ClusterSpec::quick(n, seed);
-    s.rounds = rounds;
-    s.think = Duration::from_micros(50);
-    s.cs_duration = Duration::from_micros(200);
-    s.delay = NetDelay::Uniform {
-        min: Duration::from_micros(20),
-        max: Duration::from_micros(200),
-    };
-    s.timeout = Duration::from_secs(30);
-    s
+    ClusterSpec::quick(n, seed)
+        .rounds(rounds)
+        .think(Duration::from_micros(50))
+        .cs_duration(Duration::from_micros(200))
+        .delay(NetDelay::Uniform {
+            min: Duration::from_micros(20),
+            max: Duration::from_micros(200),
+        })
+        .timeout(Duration::from_secs(30))
 }
 
 fn threaded(c: &mut Criterion) {
@@ -66,14 +65,14 @@ fn threaded_baselines(c: &mut Criterion) {
             let mut seed = 0;
             b.iter(|| {
                 seed += 1;
-                let mut spec = ThreadSpec::quick(n, seed);
-                spec.rounds = 2;
-                spec.think = Duration::from_micros(50);
-                spec.cs_duration = Duration::from_micros(200);
-                spec.delay = NetDelay::Uniform {
-                    min: Duration::from_micros(20),
-                    max: Duration::from_micros(200),
-                };
+                let spec = ThreadSpec::quick(n, seed)
+                    .rounds(2)
+                    .think(Duration::from_micros(50))
+                    .cs_duration(Duration::from_micros(200))
+                    .delay(NetDelay::Uniform {
+                        min: Duration::from_micros(20),
+                        max: Duration::from_micros(200),
+                    });
                 let r = algo.run_threaded(&spec);
                 assert!(r.is_clean(spec.expected()), "{:?}", r.report);
                 black_box(r.report.messages)

@@ -1,0 +1,271 @@
+//! `cluster-orchestrator` — run mutual-exclusion algorithms as **real
+//! multi-process clusters**: one worker process per node on localhost
+//! (Unix-domain sockets by default, TCP loopback on request), the hub in
+//! this process routing every message and checking mutual exclusion
+//! through the shared append-only CS log.
+//!
+//! The binary re-execs **itself** as the workers (argv sentinel
+//! `__rcv_worker`), so one executable is the whole cluster.
+//!
+//! ```text
+//! cluster-orchestrator [--algo TAG | --all] [-n N] [--rounds R]
+//!                      [--net uds|tcp] [--seed S] [--timeout-secs S]
+//!                      [--kill NODE,MS] [--json PATH] [--list]
+//! ```
+//!
+//! * `--algo TAG` — one algorithm by wire tag (`rcv`, `ricart`,
+//!   `maekawa`, ... — `--list` prints them all). Default `rcv`.
+//! * `--all` — smoke every implemented algorithm in sequence (the CI
+//!   process-conformance pass).
+//! * `-n N` / `--rounds R` — cluster size and CS requests per node.
+//! * `--net uds|tcp` — socket family (default `uds`).
+//! * `--kill NODE,MS` — fault drill: kill worker `NODE`'s process `MS`
+//!   milliseconds after start; the run then *must* report that node as
+//!   crashed (proves the hub returns crash verdicts instead of hanging).
+//! * `--json PATH` — also write per-run rows as a JSON report.
+//!
+//! Exit codes: 0 every run clean (or the armed kill drill verdicted as
+//! expected), 1 a run failed, 2 usage/setup error.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use rcv_bench::perf::json_str;
+use rcv_runtime::SocketNet;
+use rcv_workload::{maybe_worker, Algo, ProcessBackend, ThreadSpec};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cluster-orchestrator [--algo TAG | --all] [-n N] [--rounds R]\n\
+         \u{20}                           [--net uds|tcp] [--seed S] [--timeout-secs S]\n\
+         \u{20}                           [--kill NODE,MS] [--json PATH] [--list]"
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    algos: Vec<Algo>,
+    n: usize,
+    rounds: u32,
+    net: SocketNet,
+    seed: u64,
+    timeout: Duration,
+    kill: Option<(u32, Duration)>,
+    json: Option<String>,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        algos: vec![Algo::from_tag("rcv").expect("default tag")],
+        n: 4,
+        rounds: 2,
+        net: SocketNet::Uds,
+        seed: 1,
+        timeout: Duration::from_secs(60),
+        kill: None,
+        json: None,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--algo" => {
+                let tag = value("--algo")?;
+                args.algos = vec![
+                    Algo::from_tag(&tag).ok_or(format!("unknown algorithm tag {tag:?}"))?
+                ];
+            }
+            "--all" => args.algos = Algo::all().to_vec(),
+            "-n" => args.n = value("-n")?.parse().map_err(|_| "bad n")?,
+            "--rounds" => args.rounds = value("--rounds")?.parse().map_err(|_| "bad rounds")?,
+            "--net" => {
+                args.net = match value("--net")?.as_str() {
+                    "uds" => SocketNet::Uds,
+                    "tcp" => SocketNet::Tcp,
+                    other => return Err(format!("bad net {other:?} (want uds|tcp)")),
+                }
+            }
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|_| "bad seed")?,
+            "--timeout-secs" => {
+                args.timeout = Duration::from_secs(
+                    value("--timeout-secs")?
+                        .parse()
+                        .map_err(|_| "bad timeout")?,
+                )
+            }
+            "--kill" => {
+                let v = value("--kill")?;
+                let (node, ms) = v.split_once(',').ok_or("bad --kill (want NODE,MS)")?;
+                args.kill = Some((
+                    node.parse().map_err(|_| "bad --kill node")?,
+                    Duration::from_millis(ms.parse().map_err(|_| "bad --kill ms")?),
+                ));
+            }
+            "--json" => args.json = Some(value("--json")?),
+            "--list" => args.list = true,
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if args.n == 0 {
+        return Err("n must be >= 1".into());
+    }
+    Ok(args)
+}
+
+struct Row {
+    algo: &'static str,
+    tag: &'static str,
+    verdict: String,
+    completed: u64,
+    expected: u64,
+    messages: u64,
+    violations: u64,
+    anomalies: u64,
+    crashed: Vec<u32>,
+    wire_faults: usize,
+    millis: u128,
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    if args.list {
+        for algo in Algo::all() {
+            println!("{:<12} {}", algo.tag(), algo.name());
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    let mut backend = ProcessBackend::current_exe()
+        .map_err(|e| format!("current_exe: {e}"))?
+        .net(args.net);
+    if let Some((node, after)) = args.kill {
+        if node as usize >= args.n {
+            return Err(format!("--kill node {node} out of range (n = {})", args.n));
+        }
+        backend = backend.kill_worker(node, after);
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut all_ok = true;
+    for algo in &args.algos {
+        let spec = ThreadSpec::quick(args.n, args.seed)
+            .rounds(args.rounds)
+            .timeout(args.timeout);
+        let expected = spec.expected();
+        let started = Instant::now();
+        let report = algo.run_process(&spec, &backend)?;
+        let millis = started.elapsed().as_millis();
+
+        // With the kill drill armed, the *correct* outcome is a crash
+        // verdict naming the victim (and still zero CS overlap); without
+        // it, the run must be clean outright.
+        let verdict = if let Some((victim, _)) = args.kill {
+            if report.report.violations > 0 {
+                format!("fail:unsafe({} violations)", report.report.violations)
+            } else if report.crashed.contains(&victim) {
+                "pass:crash-verdict".to_string()
+            } else {
+                format!("fail:no-crash-verdict(crashed={:?})", report.crashed)
+            }
+        } else if report.is_clean(expected) {
+            "pass".to_string()
+        } else {
+            format!(
+                "fail:unclean(completed {}/{}, violations {}, anomalies {}, crashed {:?}, \
+                 wire faults {})",
+                report.report.completed,
+                expected,
+                report.report.violations,
+                report.anomalies,
+                report.crashed,
+                report.faults.len()
+            )
+        };
+        all_ok &= verdict.starts_with("pass");
+        eprintln!(
+            "[orchestrator] {:<12} n={} rounds={} net={} -> {verdict} \
+             ({} CS, {} msgs, {millis} ms)",
+            algo.tag(),
+            args.n,
+            args.rounds,
+            args.net.name(),
+            report.report.completed,
+            report.report.messages,
+        );
+        for (node, detail) in &report.faults {
+            eprintln!("[orchestrator]   wire fault @ node {node}: {detail}");
+        }
+        rows.push(Row {
+            algo: algo.name(),
+            tag: algo.tag(),
+            verdict,
+            completed: report.report.completed,
+            expected,
+            messages: report.report.messages,
+            violations: report.report.violations,
+            anomalies: report.anomalies,
+            crashed: report.crashed,
+            wire_faults: report.faults.len(),
+            millis,
+        });
+    }
+
+    if let Some(path) = &args.json {
+        let mut s = String::new();
+        s.push_str("{\n  \"schema\": \"rcv-cluster-orchestrator/v1\",\n");
+        let _ = writeln!(s, "  \"net\": {},", json_str(args.net.name()));
+        let _ = writeln!(s, "  \"n\": {},", args.n);
+        let _ = writeln!(s, "  \"rounds\": {},", args.rounds);
+        s.push_str("  \"runs\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            let crashed = r
+                .crashed
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = write!(
+                s,
+                "    {{\"algo\": {}, \"tag\": {}, \"verdict\": {}, \"completed\": {}, \
+                 \"expected\": {}, \"messages\": {}, \"violations\": {}, \"anomalies\": {}, \
+                 \"crashed\": [{}], \"wire_faults\": {}, \"millis\": {}}}",
+                json_str(r.algo),
+                json_str(r.tag),
+                json_str(&r.verdict),
+                r.completed,
+                r.expected,
+                r.messages,
+                r.violations,
+                r.anomalies,
+                crashed,
+                r.wire_faults,
+                r.millis,
+            );
+            s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ]\n}\n");
+        std::fs::write(path, s).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("[orchestrator] wrote {path}");
+    }
+
+    Ok(if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    // Re-exec guard: worker invocations (argv `__rcv_worker ...`) run one
+    // cluster node and exit inside this call.
+    maybe_worker();
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("cluster-orchestrator: {e}");
+            usage()
+        }
+    }
+}

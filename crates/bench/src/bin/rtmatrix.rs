@@ -1,11 +1,16 @@
 //! `rtmatrix` — the differential simnet↔runtime conformance harness.
 //!
 //! ```text
-//! rtmatrix [--limit K] [--filter SUBSTR] [--threads T] [--out PATH]
-//!          [--list] [--timeout-secs S] [--stall-timeout-secs S]
-//!          [--reruns R] [--tick-us U] [--no-codec]
+//! rtmatrix [--backend thread|process|both] [--limit K] [--filter SUBSTR]
+//!          [--threads T] [--out PATH] [--list] [--timeout-secs S]
+//!          [--stall-timeout-secs S] [--reruns R] [--tick-us U] [--no-codec]
 //! ```
 //!
+//! * `--backend` — which runtime fabric(s) to differentiate against the
+//!   simulator: `thread` (default; one OS thread per node), `process`
+//!   (one OS **process** per node over UDS sockets, this binary
+//!   re-exec'ing itself as the workers), or `both` (the full three-tier
+//!   conformance pass: every selected cell on each fabric).
 //! * `--limit K` — truncate the runtime-mappable registry grid to ~K
 //!   cells (algorithm coverage is still guaranteed). `0` = full grid.
 //! * `--filter SUBSTR` — keep only the cells whose scenario name contains
@@ -15,8 +20,9 @@
 //!   own `n + 1` cluster threads; keep this small). Default 2.
 //! * `--list` — print the selected cells instead of running them.
 //! * `--out PATH` — where to write the JSON report (schema
-//!   `rcv-rtmatrix/v2`). Default `RTMATRIX_RESULTS.json`. Not a committed
-//!   baseline: real schedules are not bit-stable.
+//!   `rcv-rtmatrix/v3`; each row carries its `backend`). Default
+//!   `RTMATRIX_RESULTS.json`. Not a committed baseline: real schedules
+//!   are not bit-stable.
 //! * `--timeout-secs` / `--stall-timeout-secs` / `--reruns` / `--tick-us`
 //!   / `--no-codec` — override the `DiffOptions` defaults.
 //!
@@ -25,18 +31,20 @@
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use rcv_bench::rtmatrix::{render_report, run_diff_cells, runtime_grid, DiffOptions, SCHEMA};
+use rcv_bench::rtmatrix::{render_report, run_diff_cells_on, runtime_grid, DiffOptions, SCHEMA};
+use rcv_workload::{ClusterBackend, ProcessBackend};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: rtmatrix [--limit K] [--filter SUBSTR] [--threads T] [--out PATH]\n\
-         \u{20}               [--list] [--timeout-secs S] [--stall-timeout-secs S]\n\
-         \u{20}               [--reruns R] [--tick-us U] [--no-codec]"
+        "usage: rtmatrix [--backend thread|process|both] [--limit K] [--filter SUBSTR]\n\
+         \u{20}               [--threads T] [--out PATH] [--list] [--timeout-secs S]\n\
+         \u{20}               [--stall-timeout-secs S] [--reruns R] [--tick-us U] [--no-codec]"
     );
     ExitCode::from(2)
 }
 
 struct Args {
+    backend: String,
     limit: usize,
     filter: Option<String>,
     threads: usize,
@@ -47,6 +55,7 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
+        backend: "thread".to_string(),
         limit: 0,
         filter: None,
         threads: 2,
@@ -58,6 +67,13 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
         match arg.as_str() {
+            "--backend" => {
+                let b = value("--backend")?;
+                if !matches!(b.as_str(), "thread" | "process" | "both") {
+                    return Err(format!("bad backend {b:?} (want thread|process|both)"));
+                }
+                args.backend = b;
+            }
             "--limit" => args.limit = value("--limit")?.parse().map_err(|_| "bad limit")?,
             "--filter" => args.filter = Some(value("--filter")?),
             "--threads" => {
@@ -95,8 +111,22 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+fn backends(choice: &str) -> Result<Vec<ClusterBackend>, String> {
+    let process = || -> Result<ClusterBackend, String> {
+        let pb = ProcessBackend::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+        Ok(ClusterBackend::Process(pb))
+    };
+    Ok(match choice {
+        "thread" => vec![ClusterBackend::Threads],
+        "process" => vec![process()?],
+        "both" => vec![ClusterBackend::Threads, process()?],
+        other => return Err(format!("bad backend {other:?}")),
+    })
+}
+
 fn run() -> Result<ExitCode, String> {
     let args = parse_args()?;
+    let backends = backends(&args.backend)?;
     let mut grid = runtime_grid(args.limit);
     if let Some(f) = &args.filter {
         grid.retain(|c| c.scenario.name.contains(f.as_str()));
@@ -113,19 +143,29 @@ fn run() -> Result<ExitCode, String> {
     }
 
     eprintln!(
-        "[rtmatrix] running {} cells on both backends ({} at a time, tick {:?}, codec {})",
+        "[rtmatrix] running {} cells x {} backend(s) [{}] ({} at a time, tick {:?}, codec {})",
         grid.len(),
+        backends.len(),
+        args.backend,
         args.threads,
         args.opts.tick,
         if args.opts.verify_codec { "on" } else { "off" },
     );
     let started = Instant::now();
-    let outcomes = run_diff_cells(grid, args.threads, &args.opts);
+    let mut outcomes = Vec::new();
+    for backend in &backends {
+        outcomes.extend(run_diff_cells_on(
+            grid.clone(),
+            args.threads,
+            &args.opts,
+            backend,
+        ));
+    }
     let failed: Vec<_> = outcomes.iter().filter(|o| !o.passed()).collect();
     for f in &failed {
         eprintln!(
-            "[rtmatrix] FAILED {} / {}: {}",
-            f.scenario, f.algo, f.verdict
+            "[rtmatrix] FAILED {} / {} [{}]: {}",
+            f.scenario, f.algo, f.backend, f.verdict
         );
     }
     let retried = outcomes.iter().filter(|o| o.retries > 0).count();
@@ -149,6 +189,9 @@ fn run() -> Result<ExitCode, String> {
 }
 
 fn main() -> ExitCode {
+    // Re-exec guard: with `--backend process` this binary spawns copies of
+    // itself as cluster workers; a worker invocation never returns here.
+    rcv_workload::maybe_worker();
     match run() {
         Ok(code) => code,
         Err(e) => {

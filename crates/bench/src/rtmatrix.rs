@@ -31,17 +31,21 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
-use rcv_runtime::{run_with_watchdog, NetDelay, WireFaults};
+use rcv_runtime::{run_with_watchdog, ClusterReport, NetDelay, WireFaults};
 use rcv_workload::scenario::{
     cell_seed, cells, registry, run_cell, Cell, DelaySpec, FaultSpec, ShapeSpec,
 };
 use rcv_workload::sweep::parmap;
-use rcv_workload::{Algo, ClusterRun, ThreadSpec};
+use rcv_workload::{Algo, ClusterBackend, ClusterRun, ThreadSpec};
 
 use crate::perf::json_str;
 
-/// Version tag of the emitted JSON layout.
-pub const SCHEMA: &str = "rcv-rtmatrix/v2";
+/// Version tag of the emitted JSON layout. v3 adds the `backend` axis:
+/// each row names the runtime fabric it ran on (`"thread"` one OS thread
+/// per node, `"process"` one OS process per node over real sockets), so
+/// one report can hold all three conformance tiers (sim × thread ×
+/// process).
+pub const SCHEMA: &str = "rcv-rtmatrix/v3";
 
 /// Knobs of a differential run.
 #[derive(Clone, Copy, Debug)]
@@ -82,6 +86,8 @@ pub struct DiffOutcome {
     pub scenario: String,
     /// Algorithm display name.
     pub algo: &'static str,
+    /// Runtime fabric the cell ran on (`"thread"` / `"process"`).
+    pub backend: &'static str,
     /// `"pass"` or `"fail:<reason>"` for the cross-check.
     pub verdict: String,
     /// Whether the cell demanded liveness.
@@ -226,34 +232,11 @@ pub fn thread_spec(cell: &Cell, opts: &DiffOptions, attempt: u32) -> ThreadSpec 
             cap: t(40),
         },
     };
-    let faults = match spec.faults {
-        FaultSpec::None => WireFaults::none(),
-        FaultSpec::Duplication { every } => WireFaults::none().with_duplication(every),
-        FaultSpec::Loss { every } => WireFaults::none().with_loss(every),
-        FaultSpec::Straggler { node, factor } => {
-            WireFaults::none().with_straggler(node, factor.min(u32::MAX as u64) as u32)
-        }
-        FaultSpec::Stacked {
-            loss_every,
-            dup_every,
-            straggler: (node, factor),
-        } => WireFaults::none()
-            .with_loss(loss_every)
-            .with_duplication(dup_every)
-            .with_straggler(node, factor.min(u32::MAX as u64) as u32),
-        FaultSpec::Crash { .. } => unreachable!("runtime_mappable filtered crash"),
-        FaultSpec::CrashRestart { node, down, up } => {
-            WireFaults::none().with_crash_restart(node, down, up)
-        }
-        FaultSpec::Chaos {
-            crash: (node, down, up),
-            loss_every,
-            straggler: (slow, factor),
-        } => WireFaults::none()
-            .with_loss(loss_every)
-            .with_straggler(slow, factor.min(u32::MAX as u64) as u32)
-            .with_crash_restart(node, down, up),
-    };
+    // The one shared rendering of the registry's fault language at the
+    // wire level; `runtime_mappable` filtered the only unmappable regime
+    // (permanent crash-stop), so this cannot fail.
+    let faults = WireFaults::try_from(&spec.faults)
+        .unwrap_or_else(|e| unreachable!("runtime_mappable violated: {e}"));
     let expect_live = spec.expect_live();
     ThreadSpec {
         n: spec.n,
@@ -295,26 +278,60 @@ pub fn rerun_eligible(
     expect_live && stalled_but_safe && retries < max_reruns
 }
 
-/// Runs one cell on both backends and cross-checks them.
+/// Runs one cell on the **thread** runtime tier and cross-checks it
+/// against the simulator ([`run_diff_cell_on`] with
+/// [`ClusterBackend::Threads`]).
 pub fn run_diff_cell(cell: &Cell, opts: &DiffOptions) -> DiffOutcome {
+    run_diff_cell_on(cell, opts, &ClusterBackend::Threads)
+}
+
+/// Runs one cell on the chosen runtime fabric (threads or worker
+/// processes) and cross-checks it against the simulator.
+pub fn run_diff_cell_on(cell: &Cell, opts: &DiffOptions, backend: &ClusterBackend) -> DiffOutcome {
     let sim = run_cell(cell);
     let spec = &cell.scenario;
     let expect_live = spec.expect_live();
     let algo = cell.algo;
 
     let mut retries = 0u32;
-    let (run, expected): (ClusterRun, u64) = loop {
+    let (result, expected): (Result<ClusterRun, String>, u64) = loop {
         let ts = thread_spec(cell, opts, retries);
         let expected = ts.expected();
-        let label = format!("{}/{}", spec.name, algo.name());
-        // Hard deadline: soft timeout + a wide margin for teardown. If the
+        let label = format!("{}/{}/{}", spec.name, algo.name(), backend.name());
+        // Hard deadline: soft timeout + a wide margin for teardown (the
+        // process tier also covers worker spawn + handshake here). If the
         // cluster machinery itself wedges, this panics with a thread dump.
         let hard = ts.timeout + Duration::from_secs(30);
-        let run = run_with_watchdog(&label, hard, move || algo.run_threaded(&ts));
-        if !rerun_eligible(expect_live, &run, expected, retries, opts.reruns) {
-            break (run, expected);
+        let b = backend.clone();
+        let result = run_with_watchdog(&label, hard, move || algo.run_on(&ts, &b));
+        match &result {
+            Ok(run) if rerun_eligible(expect_live, run, expected, retries, opts.reruns) => {
+                retries += 1; // flaky wall-clock schedule: fresh seed, try again
+            }
+            _ => break (result, expected),
         }
-        retries += 1; // flaky wall-clock schedule: fresh seed, try again
+    };
+    // A backend error (spawn/handshake failure) is a verdict, not a panic:
+    // the grid must finish and report it.
+    let (run, backend_err) = match result {
+        Ok(run) => (run, None),
+        Err(e) => (
+            ClusterRun {
+                report: ClusterReport {
+                    completed: 0,
+                    cs_entries: 0,
+                    violations: 0,
+                    messages: 0,
+                    lost: 0,
+                    duplicated: 0,
+                    crash_dropped: 0,
+                    restarts: 0,
+                    timed_out: false,
+                },
+                anomalies: 0,
+            },
+            Some(e),
+        ),
     };
 
     let sim_per_cs = if sim.completed > 0 {
@@ -328,7 +345,9 @@ pub fn run_diff_cell(cell: &Cell, opts: &DiffOptions) -> DiffOutcome {
         0.0
     };
 
-    let fail: Option<String> = if !sim.passed() {
+    let fail: Option<String> = if let Some(e) = backend_err {
+        Some(format!("backend({e})"))
+    } else if !sim.passed() {
         Some(format!("sim:{}", sim.verdict))
     } else if run.report.violations > 0 {
         Some(format!("rt-unsafe({} violations)", run.report.violations))
@@ -360,6 +379,7 @@ pub fn run_diff_cell(cell: &Cell, opts: &DiffOptions) -> DiffOutcome {
     DiffOutcome {
         scenario: spec.name.clone(),
         algo: algo.name(),
+        backend: backend.name(),
         verdict: fail.map_or_else(|| "pass".into(), |f| format!("fail:{f}")),
         expect_live,
         expected,
@@ -379,11 +399,24 @@ pub fn run_diff_cell(cell: &Cell, opts: &DiffOptions) -> DiffOutcome {
     }
 }
 
-/// Runs a slice of cells (order-preserving, limited parallelism — each
-/// cell already spawns `n + 1` threads of its own).
+/// Runs a slice of cells on the thread tier (order-preserving, limited
+/// parallelism — each cell already spawns `n + 1` threads of its own).
 pub fn run_diff_cells(grid: Vec<Cell>, threads: usize, opts: &DiffOptions) -> Vec<DiffOutcome> {
+    run_diff_cells_on(grid, threads, opts, &ClusterBackend::Threads)
+}
+
+/// Runs a slice of cells on the chosen fabric (order-preserving, limited
+/// parallelism — a process-tier cell spawns `n` worker processes of its
+/// own, a thread-tier cell `n + 1` threads).
+pub fn run_diff_cells_on(
+    grid: Vec<Cell>,
+    threads: usize,
+    opts: &DiffOptions,
+    backend: &ClusterBackend,
+) -> Vec<DiffOutcome> {
     let opts = *opts;
-    parmap(grid, threads, move |c| run_diff_cell(&c, &opts))
+    let backend = backend.clone();
+    parmap(grid, threads, move |c| run_diff_cell_on(&c, &opts, &backend))
 }
 
 /// Renders the differential report as JSON (schema [`SCHEMA`]). Unlike
@@ -400,7 +433,8 @@ pub fn render_report(outcomes: &[DiffOutcome]) -> String {
     for (i, o) in outcomes.iter().enumerate() {
         let _ = write!(
             s,
-            "    {{\"scenario\": {}, \"algo\": {}, \"verdict\": {}, \"expect_live\": {}, \
+            "    {{\"scenario\": {}, \"algo\": {}, \"backend\": {}, \"verdict\": {}, \
+             \"expect_live\": {}, \
              \"expected\": {}, \"sim_verdict\": {}, \"sim_per_cs\": \"{:.2}\", \
              \"rt_completed\": {}, \"rt_messages\": {}, \"rt_per_cs\": \"{:.2}\", \
              \"rt_violations\": {}, \"rt_anomalies\": {}, \"rt_lost\": {}, \
@@ -408,6 +442,7 @@ pub fn render_report(outcomes: &[DiffOutcome]) -> String {
              \"rt_timed_out\": {}, \"retries\": {}}}",
             json_str(&o.scenario),
             json_str(o.algo),
+            json_str(o.backend),
             json_str(&o.verdict),
             o.expect_live,
             o.expected,
@@ -434,7 +469,6 @@ pub fn render_report(outcomes: &[DiffOutcome]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rcv_runtime::ClusterReport;
 
     /// A run outcome with everything healthy except what the caller breaks.
     fn run(completed: u64, violations: u64, anomalies: u64, timed_out: bool) -> ClusterRun {
@@ -565,6 +599,7 @@ mod tests {
         let o = DiffOutcome {
             scenario: "burst-n8".into(),
             algo: "Ricart",
+            backend: "thread",
             verdict: "pass".into(),
             expect_live: true,
             expected: 8,
@@ -583,7 +618,8 @@ mod tests {
             retries: 0,
         };
         let doc = render_report(&[o]);
-        assert!(doc.contains("\"schema\": \"rcv-rtmatrix/v2\""), "{doc}");
+        assert!(doc.contains("\"schema\": \"rcv-rtmatrix/v3\""), "{doc}");
+        assert!(doc.contains("\"backend\": \"thread\""), "{doc}");
         assert!(doc.contains("\"cells_pass\": 1"), "{doc}");
         assert!(doc.contains("\"rt_messages\": 112"), "{doc}");
         assert!(doc.contains("\"rt_crash_dropped\": 0"), "{doc}");

@@ -5,9 +5,40 @@
 //! recorded (never masked). `parking_lot::Mutex` keeps the checker itself
 //! cheap and fair.
 
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use parking_lot::Mutex;
 use rcv_simnet::NodeId;
-use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Observer of critical-section entry/exit/eviction events.
+///
+/// The node driver reports its CS lifecycle through this trait so the same
+/// protocol-driving code serves both cluster backends: the in-process
+/// [`CsChecker`] (threads share one checker) and the append-only CS log
+/// file written by worker *processes* and replayed by the orchestrator
+/// (see [`CsLogProbe`] / [`replay_cs_log`]).
+pub trait CsProbe: Send + Sync {
+    /// The node entered the CS.
+    fn enter(&self, node: NodeId);
+    /// The node left the CS normally.
+    fn exit(&self, node: NodeId);
+    /// The node died while holding the CS (no exit will follow).
+    fn evict(&self, node: NodeId);
+}
+
+impl<T: CsProbe + ?Sized> CsProbe for std::sync::Arc<T> {
+    fn enter(&self, node: NodeId) {
+        (**self).enter(node)
+    }
+    fn exit(&self, node: NodeId) {
+        (**self).exit(node)
+    }
+    fn evict(&self, node: NodeId) {
+        (**self).evict(node)
+    }
+}
 
 /// Shared safety checker; clone the `Arc` into every node thread.
 #[derive(Debug, Default)]
@@ -72,6 +103,90 @@ impl CsChecker {
     pub fn is_safe(&self) -> bool {
         self.violations() == 0
     }
+}
+
+impl CsProbe for CsChecker {
+    fn enter(&self, node: NodeId) {
+        let _ = CsChecker::enter(self, node);
+    }
+    fn exit(&self, node: NodeId) {
+        CsChecker::exit(self, node)
+    }
+    fn evict(&self, node: NodeId) {
+        CsChecker::evict(self, node)
+    }
+}
+
+/// A [`CsProbe`] that appends one record per event to a shared log file.
+///
+/// Worker processes have no shared memory, so cross-process mutual
+/// exclusion is checked through the kernel instead: the file is opened
+/// `O_APPEND` and each record is a single small `write(2)`, which POSIX
+/// serializes atomically. Records are written *from inside the CS*
+/// (enter after the protocol grants, exit before it releases), so the
+/// append order observed in the file is a linearization in which each
+/// recorded interval is a **subset** of the real CS hold — any overlap in
+/// the log is a real overlap, never a false positive.
+pub struct CsLogProbe {
+    file: std::fs::File,
+}
+
+impl CsLogProbe {
+    /// Opens (creating if needed) the shared log in append mode.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(CsLogProbe { file })
+    }
+
+    fn append(&self, kind: u8, node: NodeId) {
+        let rec = format!("{} {}\n", kind as char, node.index());
+        // A failed append must not crash the CS hold; the orchestrator
+        // detects the shortfall as entries != completed.
+        let _ = (&self.file).write_all(rec.as_bytes());
+    }
+}
+
+impl CsProbe for CsLogProbe {
+    fn enter(&self, node: NodeId) {
+        self.append(b'E', node);
+    }
+    fn exit(&self, node: NodeId) {
+        self.append(b'X', node);
+    }
+    fn evict(&self, node: NodeId) {
+        self.append(b'V', node);
+    }
+}
+
+/// Replays a [`CsLogProbe`] file through a fresh [`CsChecker`], returning
+/// `(entries, violations)`. Malformed lines count as violations — a
+/// corrupt safety log must never read as "safe".
+pub fn replay_cs_log(path: &Path) -> std::io::Result<(u64, u64)> {
+    let text = std::fs::read_to_string(path)?;
+    let checker = CsChecker::new();
+    let mut malformed = 0u64;
+    for line in text.lines() {
+        let mut parts = line.split(' ');
+        let (kind, node) = match (parts.next(), parts.next().and_then(|s| s.parse::<u32>().ok())) {
+            (Some(k), Some(n)) if k.len() == 1 => (k, NodeId::new(n)),
+            _ => {
+                malformed += 1;
+                continue;
+            }
+        };
+        match kind {
+            "E" => {
+                let _ = checker.enter(node);
+            }
+            "X" => checker.exit(node),
+            "V" => checker.evict(node),
+            _ => malformed += 1,
+        }
+    }
+    Ok((checker.entries(), checker.violations() + malformed))
 }
 
 #[cfg(test)]
@@ -175,7 +290,9 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for _ in 0..200 {
                     let _g = gate.lock();
-                    assert!(c.enter(NodeId::new(i)));
+                    // Explicit deref: through `Arc` the `CsProbe` blanket
+                    // impl would shadow the bool-returning inherent method.
+                    assert!((*c).enter(NodeId::new(i)));
                     c.exit(NodeId::new(i));
                 }
             }));

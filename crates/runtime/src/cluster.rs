@@ -23,22 +23,22 @@
 //! so a deadlocked run can be post-mortemed with
 //! [`crate::watchdog::thread_dump`].
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use rcv_simnet::{Ctx, MutexProtocol, NodeId, SimDuration, SimTime};
+use rcv_simnet::{MutexProtocol, NodeId};
 
 use crate::checker::CsChecker;
+use crate::node::{NodeDriver, NodeOutcome, NodeParams};
+use crate::transport::chan::{ChanTransport, Packet, Submitted};
+use crate::transport::netq::FaultQueue;
 use crate::watchdog::StatusCell;
 
 /// Per-message network impairment.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum NetDelay {
     /// Deliver as fast as the channels go (still asynchronous).
     None,
@@ -61,7 +61,7 @@ pub enum NetDelay {
 }
 
 impl NetDelay {
-    fn sample(&self, rng: &mut SmallRng) -> Duration {
+    pub(crate) fn sample(&self, rng: &mut SmallRng) -> Duration {
         match *self {
             NetDelay::None => Duration::ZERO,
             NetDelay::Uniform { min, max } => {
@@ -155,6 +155,12 @@ impl WireFaults {
 pub type WireHook<M> = Arc<dyn Fn(M) -> M + Send + Sync>;
 
 /// Cluster parameters.
+///
+/// Construct with [`ClusterSpec::quick`] and refine through the fluent
+/// builders (`.rounds(..)`, `.faults(..)`, `.tick(..)`, ...). The fields
+/// stay `pub` so generic glue can *read* them, but mutating them
+/// directly is a deprecated idiom — new call sites should chain the
+/// builders.
 #[derive(Clone)]
 pub struct ClusterSpec<M> {
     /// Number of nodes (threads).
@@ -184,6 +190,16 @@ pub struct ClusterSpec<M> {
 
 impl<M> ClusterSpec<M> {
     /// A small default: `n` nodes, one request each, jittered delivery.
+    /// Customize with the fluent builder methods:
+    ///
+    /// ```
+    /// # use rcv_runtime::{ClusterSpec, WireFaults};
+    /// # use std::time::Duration;
+    /// let spec: ClusterSpec<rcv_core::RcvMessage> = ClusterSpec::quick(4, 7)
+    ///     .rounds(3)
+    ///     .faults(WireFaults::none().with_duplication(2))
+    ///     .tick(Duration::from_micros(200));
+    /// ```
     pub fn quick(n: usize, seed: u64) -> Self {
         ClusterSpec {
             n,
@@ -200,6 +216,64 @@ impl<M> ClusterSpec<M> {
             timeout: Duration::from_secs(30),
             wire_hook: None,
         }
+    }
+
+    // Fluent builders — prefer these over direct field pokes (the fields
+    // stay `pub` for struct-literal construction and reads, but mutation
+    // idiom in specs and tests is `ClusterSpec::quick(n, s).faults(...)`).
+
+    /// Sets the number of CS requests per node.
+    pub fn rounds(mut self, rounds: u32) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Sets the pause between a node's CS completion and its next request.
+    pub fn think(mut self, think: Duration) -> Self {
+        self.think = think;
+        self
+    }
+
+    /// Sets how long each CS is held.
+    pub fn cs_duration(mut self, cs: Duration) -> Self {
+        self.cs_duration = cs;
+        self
+    }
+
+    /// Sets the per-message delay model.
+    pub fn delay(mut self, delay: NetDelay) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Sets wire-level fault injection.
+    pub fn faults(mut self, faults: WireFaults) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the wall-clock length of one simulator tick.
+    pub fn tick(mut self, tick: Duration) -> Self {
+        self.tick = tick;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the soft run timeout (the run reports `timed_out` past it).
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Installs an on-wire message hook (codec verification, tampering).
+    pub fn wire_hook(mut self, hook: WireHook<M>) -> Self {
+        self.wire_hook = Some(hook);
+        self
     }
 }
 
@@ -236,48 +310,6 @@ impl ClusterReport {
     }
 }
 
-struct Envelope<M> {
-    from: NodeId,
-    to: NodeId,
-    msg: M,
-}
-
-/// What a node thread hands the network thread: the sampled base delay is
-/// applied (and possibly stretched, dropped or doubled) network-side.
-struct Submitted<M> {
-    env: Envelope<M>,
-    delay: Duration,
-}
-
-enum Packet<M> {
-    Msg { from: NodeId, msg: M },
-    Shutdown,
-}
-
-/// Heap entry ordered by due time then sequence.
-struct Pending<M> {
-    due: Instant,
-    seq: u64,
-    env: Envelope<M>,
-}
-
-impl<M> PartialEq for Pending<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.due == other.due && self.seq == other.seq
-    }
-}
-impl<M> Eq for Pending<M> {}
-impl<M> PartialOrd for Pending<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Pending<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.due, self.seq).cmp(&(other.due, other.seq))
-    }
-}
-
 /// Runs a cluster of `spec.n` protocol nodes to completion.
 pub fn run_cluster<P>(
     spec: ClusterSpec<P::Message>,
@@ -303,12 +335,6 @@ where
     assert!(spec.n >= 1);
     let n = spec.n;
     let checker = Arc::new(CsChecker::new());
-    let messages = Arc::new(AtomicU64::new(0));
-    let completed = Arc::new(AtomicU64::new(0));
-    let lost = Arc::new(AtomicU64::new(0));
-    let duplicated = Arc::new(AtomicU64::new(0));
-    let crash_dropped = Arc::new(AtomicU64::new(0));
-    let restarts = Arc::new(AtomicU64::new(0));
 
     // Inboxes.
     let mut inbox_tx = Vec::with_capacity(n);
@@ -334,52 +360,50 @@ where
     let net_out: Vec<Sender<Packet<P::Message>>> = inbox_tx.clone();
     let hook = spec.wire_hook.clone();
     let faults = spec.faults;
-    let net_counters = (Arc::clone(&lost), Arc::clone(&duplicated));
-    let net_crash = (crash_win, Arc::clone(&crash_dropped));
     let net_handle = std::thread::Builder::new()
         .name("rcv-net".into())
-        .spawn(move || network_thread(net_rx, net_out, hook, faults, net_counters, net_crash))
+        .spawn(move || network_thread(net_rx, net_out, hook, faults, crash_win))
         .expect("spawn network thread");
 
     // Done notifications.
     let (done_tx, done_rx) = unbounded::<NodeId>();
 
-    // Node threads.
+    // Node threads: each runs the transport-generic driver over the
+    // channel fabric.
     let mut seeder = SmallRng::seed_from_u64(spec.seed);
     let mut handles = Vec::with_capacity(n);
     for (idx, rx) in inbox_rx.into_iter().enumerate() {
         let me = NodeId::new(idx as u32);
         let proto = make_node(me, n);
         let rng = SmallRng::seed_from_u64(seeder.gen());
-        let ctxt = NodeThread {
-            me,
-            proto,
-            rx,
-            net_tx: net_tx.clone(),
-            checker: Arc::clone(&checker),
-            messages: Arc::clone(&messages),
-            completed: Arc::clone(&completed),
-            done_tx: done_tx.clone(),
-            rng,
+        let transport = ChanTransport::new(me, net_tx.clone(), rx, done_tx.clone());
+        let params = NodeParams {
             rounds: spec.rounds,
             think: spec.think,
             cs_duration: spec.cs_duration,
             delay: spec.delay,
             tick: spec.tick,
             start,
-            timers: Vec::new(),
             crash: crash_win
                 .filter(|&(node, _, _)| node == idx)
                 .map(|(_, down, up)| (down, up)),
-            crash_done: false,
-            crash_dropped: Arc::clone(&crash_dropped),
-            restarts: Arc::clone(&restarts),
-            status: StatusCell::register(format!("rcv-node-{idx}")),
         };
+        let driver = NodeDriver::new(
+            me,
+            proto,
+            transport,
+            Arc::clone(&checker),
+            rng,
+            params,
+            StatusCell::register(format!("rcv-node-{idx}")),
+        );
         handles.push(
             std::thread::Builder::new()
                 .name(format!("rcv-node-{idx}"))
-                .spawn(move || ctxt.run())
+                .spawn(move || {
+                    let (proto, _transport, outcome) = driver.run();
+                    (proto, outcome)
+                })
                 .expect("spawn node thread"),
         );
     }
@@ -413,406 +437,93 @@ where
         let _ = tx.send(Packet::Shutdown);
     }
     let mut nodes = Vec::with_capacity(n);
+    let mut totals = NodeOutcome::default();
     for h in handles {
         match h.join() {
-            Ok(proto) => nodes.push(proto),
+            Ok((proto, out)) => {
+                nodes.push(proto);
+                totals.completed += out.completed;
+                totals.messages += out.messages;
+                totals.crash_dropped += out.crash_dropped;
+                totals.restarts += out.restarts;
+            }
             Err(panic) => std::panic::resume_unwind(panic),
         }
     }
-    if let Err(panic) = net_handle.join() {
-        std::panic::resume_unwind(panic);
-    }
+    let (lost, duplicated, net_crash_dropped) = match net_handle.join() {
+        Ok(counters) => counters,
+        Err(panic) => std::panic::resume_unwind(panic),
+    };
 
     let report = ClusterReport {
-        completed: completed.load(Ordering::Relaxed),
+        completed: totals.completed,
         cs_entries: checker.entries(),
         violations: checker.violations(),
-        messages: messages.load(Ordering::Relaxed),
-        lost: lost.load(Ordering::Relaxed),
-        duplicated: duplicated.load(Ordering::Relaxed),
-        crash_dropped: crash_dropped.load(Ordering::Relaxed),
-        restarts: restarts.load(Ordering::Relaxed),
+        messages: totals.messages,
+        lost,
+        duplicated,
+        // The network black-holes in-window deliveries; the node-side
+        // inbox drain at the crash instant adds the already-delivered ones.
+        crash_dropped: net_crash_dropped + totals.crash_dropped,
+        restarts: totals.restarts,
         timed_out,
     };
     (report, nodes)
 }
 
+/// Routes node-submitted messages through the shared [`FaultQueue`]
+/// (delays, loss, duplication, stragglers, crash-window black-holing) and
+/// delivers what survives. Returns `(lost, duplicated, crash_dropped)`.
 fn network_thread<M: Clone>(
     rx: Receiver<Submitted<M>>,
     out: Vec<Sender<Packet<M>>>,
     hook: Option<WireHook<M>>,
     faults: WireFaults,
-    (lost, duplicated): (Arc<AtomicU64>, Arc<AtomicU64>),
-    (crash_win, crash_dropped): (Option<(usize, Instant, Instant)>, Arc<AtomicU64>),
-) {
+    crash_win: Option<(usize, Instant, Instant)>,
+) -> (u64, u64, u64) {
     let status = StatusCell::register("rcv-net");
-    let mut heap: BinaryHeap<Reverse<Pending<M>>> = BinaryHeap::new();
-    let mut seen = 0u64; // messages received from node threads
-    let mut seq = 0u64; // heap insertion order
+    let mut q: FaultQueue<M> = FaultQueue::new(faults, crash_win);
     let mut disconnected = false;
     loop {
         // Deliver everything due.
         let now = Instant::now();
-        while heap.peek().is_some_and(|Reverse(p)| p.due <= now) {
-            let Reverse(p) = heap.pop().expect("peeked");
-            // A delivery due while its receiver is inside the crash window
-            // reaches a dead process: black-holed, counted apart from loss.
-            if let Some((node, down, up)) = crash_win {
-                if p.env.to.index() == node && p.due >= down && p.due < up {
-                    crash_dropped.fetch_add(1, Ordering::Relaxed);
-                    continue;
-                }
-            }
+        while let Some((from, to, msg)) = q.pop_due(now) {
             let msg = match &hook {
-                Some(h) => h(p.env.msg),
-                None => p.env.msg,
+                Some(h) => h(msg),
+                None => msg,
             };
             status.bump();
             // A closed inbox just means that node already shut down.
-            let _ = out[p.env.to.index()].send(Packet::Msg {
-                from: p.env.from,
+            let _ = out[to].send(Packet::Msg {
+                from: NodeId::new(from as u32),
                 msg,
             });
         }
-        if disconnected && heap.is_empty() {
-            return;
+        if disconnected && q.is_empty() {
+            return (q.lost, q.duplicated, q.crash_dropped);
         }
-        let wait = heap
-            .peek()
-            .map(|Reverse(p)| p.due.saturating_duration_since(Instant::now()))
+        let wait = q
+            .next_due()
+            .map(|due| due.saturating_duration_since(Instant::now()))
             .unwrap_or(Duration::from_millis(50));
         if disconnected {
             std::thread::sleep(wait);
             continue;
         }
         match rx.recv_timeout(wait.max(Duration::from_micros(100))) {
-            Ok(Submitted { env, mut delay }) => {
-                seen += 1;
-                if let Some((node, factor)) = faults.straggler {
-                    let node = node as usize;
-                    if env.from.index() == node || env.to.index() == node {
-                        delay *= factor;
-                    }
-                }
+            Ok(Submitted { env, delay }) => {
                 status.bump();
-                if faults.loss_every.is_some_and(|k| seen.is_multiple_of(k)) {
-                    lost.fetch_add(1, Ordering::Relaxed);
-                    continue;
-                }
-                let now = Instant::now();
-                if faults.dup_every.is_some_and(|k| seen.is_multiple_of(k)) {
-                    duplicated.fetch_add(1, Ordering::Relaxed);
-                    seq += 1;
-                    heap.push(Reverse(Pending {
-                        due: now + delay + delay,
-                        seq,
-                        env: Envelope {
-                            from: env.from,
-                            to: env.to,
-                            msg: env.msg.clone(),
-                        },
-                    }));
-                }
-                seq += 1;
-                heap.push(Reverse(Pending {
-                    due: now + delay,
-                    seq,
-                    env,
-                }));
+                q.submit(env.from.index(), env.to.index(), delay, env.msg);
                 // Periodic status only: formatting per message would put
                 // an allocation in the cluster's single serialization
                 // point (StatusCell's own contract: transitions, not
                 // events — progress is visible through bump()).
-                if seen % 1024 == 1 {
-                    status.set(format!("in-flight {} (seen {seen})", heap.len()));
+                if q.seen() % 1024 == 1 {
+                    status.set(format!("in-flight {} (seen {})", q.in_flight(), q.seen()));
                 }
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => disconnected = true,
-        }
-    }
-}
-
-struct NodeThread<P: MutexProtocol> {
-    me: NodeId,
-    proto: P,
-    rx: Receiver<Packet<P::Message>>,
-    net_tx: Sender<Submitted<P::Message>>,
-    checker: Arc<CsChecker>,
-    messages: Arc<AtomicU64>,
-    completed: Arc<AtomicU64>,
-    done_tx: Sender<NodeId>,
-    rng: SmallRng,
-    rounds: u32,
-    think: Duration,
-    cs_duration: Duration,
-    delay: NetDelay,
-    /// Wall-clock length of one simulator tick (timer/clock scale).
-    tick: Duration,
-    start: Instant,
-    /// Armed one-shot timers: `(due, tag)`.
-    timers: Vec<(Instant, u64)>,
-    /// This node's crash window `(down, up)` in wall-clock terms (`None`
-    /// for every node but the one named in `WireFaults::crash_restart`).
-    crash: Option<(Instant, Instant)>,
-    /// Whether the window has already been served.
-    crash_done: bool,
-    /// Cluster-wide counter of deliveries swallowed by the outage (the
-    /// network thread black-holes in-window deliveries; the node-side
-    /// inbox drain at the crash instant adds the already-delivered ones).
-    crash_dropped: Arc<AtomicU64>,
-    /// Cluster-wide restart counter.
-    restarts: Arc<AtomicU64>,
-    /// Watchdog slot: state transitions are recorded here so a hung run
-    /// can be diagnosed from [`crate::watchdog::thread_dump`].
-    status: StatusCell,
-}
-
-impl<P: MutexProtocol> NodeThread<P> {
-    fn now(&self) -> SimTime {
-        let tick_us = self.tick.as_micros().max(1) as u64;
-        SimTime::from_ticks(self.start.elapsed().as_micros() as u64 / tick_us)
-    }
-
-    /// Whether the crash instant has arrived but not yet been served.
-    fn crash_pending(&self, now: Instant) -> bool {
-        !self.crash_done && self.crash.is_some_and(|(down, _)| now >= down)
-    }
-
-    /// Dispatches one protocol handler and materializes its intents.
-    /// Returns whether the node entered (and **completed**) a CS
-    /// execution — a CS aborted by the crash window returns `false`, so
-    /// the caller keeps the round open for the post-restart resume.
-    fn dispatch(&mut self, f: impl FnOnce(&mut P, &mut Ctx<'_, P::Message>)) -> bool {
-        let mut outbox: Vec<(NodeId, P::Message)> = Vec::new();
-        let mut enter = false;
-        let mut armed: Vec<(SimDuration, u64)> = Vec::new();
-        {
-            let now = self.now();
-            let mut ctx = Ctx::new(
-                self.me,
-                now,
-                &mut self.rng,
-                &mut outbox,
-                &mut enter,
-                &mut armed,
-            );
-            f(&mut self.proto, &mut ctx);
-        }
-        for (delay, tag) in armed {
-            let ticks = delay.ticks().min(u32::MAX as u64) as u32;
-            self.timers
-                .push((Instant::now() + self.tick.saturating_mul(ticks), tag));
-        }
-        for (to, msg) in outbox {
-            let delay = self.delay.sample(&mut self.rng);
-            self.messages.fetch_add(1, Ordering::Relaxed);
-            self.status.bump();
-            let p = Submitted {
-                env: Envelope {
-                    from: self.me,
-                    to,
-                    msg,
-                },
-                delay,
-            };
-            if self.net_tx.send(p).is_err() {
-                return false; // network gone: shutting down
-            }
-        }
-        if enter {
-            self.execute_cs()
-        } else {
-            false
-        }
-    }
-
-    /// Holds the CS for `cs_duration`, then releases through the protocol.
-    /// Returns whether the execution *completed*: if the crash instant
-    /// falls inside the hold, the node dies mid-CS — it is evicted from
-    /// the checker (a dead process is not inside the critical section),
-    /// the release handler is NOT run, and the execution does not count.
-    fn execute_cs(&mut self) -> bool {
-        self.status.set("in CS");
-        self.checker.enter(self.me);
-        let end = Instant::now() + self.cs_duration;
-        loop {
-            let now = Instant::now();
-            if self.crash_pending(now) {
-                self.checker.evict(self.me);
-                self.status.set("crashed holding the CS");
-                return false;
-            }
-            if now >= end {
-                break;
-            }
-            let mut nap = end - now;
-            if let Some((down, _)) = self.crash.filter(|_| !self.crash_done) {
-                if down > now {
-                    nap = nap.min(down - now);
-                }
-            }
-            std::thread::sleep(nap);
-        }
-        self.checker.exit(self.me);
-        self.completed.fetch_add(1, Ordering::Relaxed);
-        // The release handler may send messages but never re-enters.
-        let entered_again = self.dispatch(|p, ctx| p.on_cs_released(ctx));
-        debug_assert!(!entered_again, "release must not re-enter the CS");
-        true
-    }
-
-    /// Serves the crash window once its instant has passed: discards the
-    /// dead process's inbox and timers, freezes until the window ends,
-    /// then re-runs the protocol's restart hook and reconciles the round
-    /// bookkeeping with its [`RestartOutcome`]. Returns `true` if a
-    /// shutdown arrived while down (the run loop must exit).
-    fn serve_crash_window(
-        &mut self,
-        waiting_grant: &mut bool,
-        remaining: &mut u32,
-        next_request: &mut Option<Instant>,
-    ) -> bool {
-        let (_, up) = self.crash.expect("only called with a window");
-        self.crash_done = true;
-        self.timers.clear();
-        self.status.set("crashed (down)");
-        // Already-delivered but unprocessed packets died with the process.
-        loop {
-            match self.rx.try_recv() {
-                Ok(Packet::Msg { .. }) => {
-                    self.crash_dropped.fetch_add(1, Ordering::Relaxed);
-                }
-                Ok(Packet::Shutdown) => return true,
-                Err(_) => break,
-            }
-        }
-        // Down: swallow anything that trickles in until the window ends.
-        loop {
-            let now = Instant::now();
-            if now >= up {
-                break;
-            }
-            match self.rx.recv_timeout(up - now) {
-                Ok(Packet::Msg { .. }) => {
-                    self.crash_dropped.fetch_add(1, Ordering::Relaxed);
-                }
-                Ok(Packet::Shutdown) => return true,
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => {
-                    std::thread::sleep(up.saturating_duration_since(Instant::now()));
-                    break;
-                }
-            }
-        }
-        // Restart. The hook may enter the CS synchronously (single-node
-        // resume), in which case the round completes right here.
-        self.restarts.fetch_add(1, Ordering::Relaxed);
-        self.status.set("restarting");
-        let mut outcome = rcv_simnet::RestartOutcome::KeptState;
-        let entered = self.dispatch(|p, ctx| outcome = p.on_restart(ctx));
-        match outcome {
-            // No recovery story: the protocol kept its pre-crash state and
-            // simply resumes processing (its in-window messages are gone).
-            rcv_simnet::RestartOutcome::KeptState => {}
-            // The protocol came back empty-handed: if a request was
-            // interrupted, this harness re-issues it as a fresh round so
-            // the expected completion count still holds.
-            rcv_simnet::RestartOutcome::RejoinedIdle => {
-                if *waiting_grant {
-                    *waiting_grant = false;
-                    *remaining += 1;
-                    *next_request = Some(Instant::now());
-                }
-            }
-            // The protocol re-adopted the interrupted request internally —
-            // the open round stays open and completes when the resumed
-            // campaign is granted (unless it already entered just now).
-            rcv_simnet::RestartOutcome::ResumedRequest => {
-                if entered {
-                    *waiting_grant = false;
-                }
-            }
-        }
-        false
-    }
-
-    fn run(mut self) -> P {
-        let mut remaining = self.rounds;
-        let mut waiting_grant = false;
-        let mut next_request: Option<Instant> = (remaining > 0).then(Instant::now);
-        let mut announced_done = remaining == 0;
-        if announced_done {
-            let _ = self.done_tx.send(self.me);
-        }
-
-        loop {
-            // Serve the crash window first: a dead process issues nothing.
-            if self.crash_pending(Instant::now())
-                && self.serve_crash_window(&mut waiting_grant, &mut remaining, &mut next_request)
-            {
-                return self.proto;
-            }
-
-            // Issue the next request when due and not already outstanding.
-            if let Some(at) = next_request {
-                if !waiting_grant && Instant::now() >= at {
-                    next_request = None;
-                    remaining -= 1;
-                    waiting_grant = true;
-                    self.status
-                        .set(format!("requesting (rounds left {remaining})"));
-                    if self.dispatch(|p, ctx| p.on_request(ctx)) {
-                        waiting_grant = false; // entered synchronously
-                    }
-                }
-            }
-            if !waiting_grant && next_request.is_none() {
-                if remaining > 0 {
-                    next_request = Some(Instant::now() + self.think);
-                } else if !announced_done {
-                    announced_done = true;
-                    self.status.set("done (serving peers)");
-                    let _ = self.done_tx.send(self.me);
-                }
-            }
-
-            // Fire due timers before blocking.
-            let now = Instant::now();
-            let due: Vec<u64> = {
-                let (fire, keep): (Vec<_>, Vec<_>) =
-                    self.timers.drain(..).partition(|&(at, _)| at <= now);
-                self.timers = keep;
-                fire.into_iter().map(|(_, tag)| tag).collect()
-            };
-            for tag in due {
-                if self.dispatch(|p, ctx| p.on_timer(tag, ctx)) {
-                    waiting_grant = false;
-                }
-            }
-
-            let next_timer = self.timers.iter().map(|&(at, _)| at).min();
-            let next_crash = self
-                .crash
-                .filter(|_| !self.crash_done)
-                .map(|(down, _)| down);
-            let timeout = [next_request, next_timer, next_crash]
-                .into_iter()
-                .flatten()
-                .min()
-                .map(|at| at.saturating_duration_since(Instant::now()))
-                .unwrap_or(Duration::from_millis(20))
-                .max(Duration::from_micros(50));
-            match self.rx.recv_timeout(timeout) {
-                Ok(Packet::Msg { from, msg }) => {
-                    if self.dispatch(|p, ctx| p.on_message(from, msg, ctx)) {
-                        waiting_grant = false; // CS executed to completion
-                    }
-                }
-                Ok(Packet::Shutdown) => return self.proto,
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => return self.proto,
-            }
         }
     }
 }

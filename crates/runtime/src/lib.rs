@@ -33,13 +33,17 @@
 
 mod checker;
 mod cluster;
+mod node;
+pub mod orchestrator;
 mod rcv_cluster;
+pub mod transport;
 pub mod watchdog;
 pub mod wire;
 
-pub use checker::CsChecker;
+pub use checker::{replay_cs_log, CsChecker, CsLogProbe, CsProbe};
 pub use cluster::{
     run_cluster, run_cluster_collecting, ClusterReport, ClusterSpec, NetDelay, WireFaults, WireHook,
 };
 pub use rcv_cluster::{run_rcv_cluster, run_rcv_cluster_collecting, with_codec_verification};
+pub use transport::{RecvOutcome, SocketNet, Transport, TransportClosed};
 pub use watchdog::run_with_watchdog;

@@ -72,9 +72,9 @@ mod tests {
 
     #[test]
     fn rcv_threads_multi_round_contention() {
-        let mut spec = ClusterSpec::quick(5, 2);
-        spec.rounds = 3;
-        spec.think = Duration::from_micros(200);
+        let spec = ClusterSpec::quick(5, 2)
+            .rounds(3)
+            .think(Duration::from_micros(200));
         let r = run_rcv_cluster(spec, RcvConfig::paper());
         assert!(r.is_clean(15), "{r:?}");
     }
@@ -89,16 +89,14 @@ mod tests {
 
     #[test]
     fn rcv_threads_without_injected_delay() {
-        let mut spec = ClusterSpec::quick(6, 4);
-        spec.delay = NetDelay::None;
+        let spec = ClusterSpec::quick(6, 4).delay(NetDelay::None);
         let r = run_rcv_cluster(spec, RcvConfig::paper());
         assert!(r.is_clean(6), "{r:?}");
     }
 
     #[test]
     fn single_node_cluster() {
-        let mut spec = ClusterSpec::quick(1, 5);
-        spec.rounds = 3;
+        let spec = ClusterSpec::quick(1, 5).rounds(3);
         let r = run_rcv_cluster(spec, RcvConfig::paper());
         assert!(r.is_clean(3), "{r:?}");
         assert_eq!(r.messages, 0, "one node never needs the network");
@@ -106,8 +104,7 @@ mod tests {
 
     #[test]
     fn rcv_threads_report_zero_anomalies() {
-        let mut spec = with_codec_verification(ClusterSpec::quick(5, 6));
-        spec.rounds = 2;
+        let spec = with_codec_verification(ClusterSpec::quick(5, 6).rounds(2));
         let (r, anomalies) = run_rcv_cluster_collecting(spec, RcvConfig::paper());
         assert!(r.is_clean(10), "{r:?}");
         assert_eq!(anomalies, 0, "RCV internal anomaly counters fired");
@@ -117,9 +114,11 @@ mod tests {
     fn rcv_threads_survive_duplication() {
         // Every message delivered twice: RCV's stale-EM / duplicate-IM
         // guards must absorb it — safe AND live.
-        let mut spec = with_codec_verification(ClusterSpec::quick(5, 7));
-        spec.rounds = 2;
-        spec.faults = WireFaults::none().with_duplication(1);
+        let spec = with_codec_verification(
+            ClusterSpec::quick(5, 7)
+                .rounds(2)
+                .faults(WireFaults::none().with_duplication(1)),
+        );
         let (r, anomalies) = run_rcv_cluster_collecting(spec, RcvConfig::paper());
         assert!(r.is_clean(10), "{r:?}");
         assert_eq!(anomalies, 0);
@@ -133,10 +132,10 @@ mod tests {
         // The aborted hold is an eviction, not a violation or a completion;
         // `on_restart` resumes the interrupted request (write-ahead
         // recovery), so the round still completes — on the second entry.
-        let mut spec = ClusterSpec::quick(1, 9);
-        spec.tick = Duration::from_millis(1);
-        spec.cs_duration = Duration::from_millis(20);
-        spec.faults = WireFaults::none().with_crash_restart(0, 10, 30);
+        let spec = ClusterSpec::quick(1, 9)
+            .tick(Duration::from_millis(1))
+            .cs_duration(Duration::from_millis(20))
+            .faults(WireFaults::none().with_crash_restart(0, 10, 30));
         let (r, anomalies) = run_rcv_cluster_collecting(spec, RcvConfig::paper());
         assert!(r.is_clean(1), "{r:?}");
         assert_eq!(anomalies, 0);
@@ -153,16 +152,16 @@ mod tests {
         // inside the opening burst (window 25..120 ticks at a 200µs tick),
         // its inbox is black-holed while down, and backoff-driven
         // retransmission must restore full liveness after the restart.
-        let mut spec = ClusterSpec::quick(8, 10);
-        spec.tick = Duration::from_micros(200);
-        spec.cs_duration = Duration::from_millis(2);
-        spec.think = Duration::ZERO;
-        spec.delay = NetDelay::Uniform {
-            min: Duration::from_millis(1),
-            max: Duration::from_millis(1),
-        };
-        spec.faults = WireFaults::none().with_crash_restart(0, 25, 120);
-        spec.timeout = Duration::from_secs(60);
+        let spec = ClusterSpec::quick(8, 10)
+            .tick(Duration::from_micros(200))
+            .cs_duration(Duration::from_millis(2))
+            .think(Duration::ZERO)
+            .delay(NetDelay::Uniform {
+                min: Duration::from_millis(1),
+                max: Duration::from_millis(1),
+            })
+            .faults(WireFaults::none().with_crash_restart(0, 25, 120))
+            .timeout(Duration::from_secs(60));
         let config = RcvConfig {
             retry: Some(rcv_simnet::RetryPolicy::backoff(400, 3_200)),
             ..RcvConfig::paper()
@@ -181,10 +180,10 @@ mod tests {
     fn rcv_threads_recover_from_loss_with_retransmission() {
         // Message loss voids retransmission-free liveness; with the
         // retransmit extension armed, RCV must still complete every CS.
-        let mut spec = ClusterSpec::quick(4, 8);
-        spec.rounds = 2;
-        spec.faults = WireFaults::none().with_loss(9);
-        spec.timeout = Duration::from_secs(60);
+        let spec = ClusterSpec::quick(4, 8)
+            .rounds(2)
+            .faults(WireFaults::none().with_loss(9))
+            .timeout(Duration::from_secs(60));
         let (r, anomalies) = run_rcv_cluster_collecting(spec, RcvConfig::with_retransmit(2_000));
         assert!(r.is_clean(8), "{r:?}");
         assert_eq!(anomalies, 0);

@@ -1,0 +1,84 @@
+//! The in-process channel fabric: each node holds a crossbeam inbox and a
+//! sender into the shared network thread. This is the original threaded
+//! cluster's plumbing, now behind the [`Transport`] trait.
+
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use rcv_simnet::NodeId;
+
+use super::{RecvOutcome, Transport, TransportClosed};
+
+/// A routed protocol message.
+pub(crate) struct Envelope<M> {
+    pub(crate) from: NodeId,
+    pub(crate) to: NodeId,
+    pub(crate) msg: M,
+}
+
+/// What a node hands the network thread: the sampled base delay is
+/// applied (and possibly stretched, dropped or doubled) network-side.
+pub(crate) struct Submitted<M> {
+    pub(crate) env: Envelope<M>,
+    pub(crate) delay: Duration,
+}
+
+/// What the network thread (or the coordinator) puts in a node's inbox.
+pub(crate) enum Packet<M> {
+    Msg { from: NodeId, msg: M },
+    Shutdown,
+}
+
+/// The channel-backed [`Transport`]: node ⇄ network-thread plumbing of
+/// the in-process cluster.
+pub struct ChanTransport<M> {
+    me: NodeId,
+    net_tx: Sender<Submitted<M>>,
+    rx: Receiver<Packet<M>>,
+    done_tx: Sender<NodeId>,
+}
+
+impl<M> ChanTransport<M> {
+    pub(crate) fn new(
+        me: NodeId,
+        net_tx: Sender<Submitted<M>>,
+        rx: Receiver<Packet<M>>,
+        done_tx: Sender<NodeId>,
+    ) -> Self {
+        ChanTransport {
+            me,
+            net_tx,
+            rx,
+            done_tx,
+        }
+    }
+}
+
+impl<M: Send> Transport<M> for ChanTransport<M> {
+    fn send(&mut self, to: NodeId, msg: M, delay: Duration) -> Result<(), TransportClosed> {
+        self.net_tx
+            .send(Submitted {
+                env: Envelope {
+                    from: self.me,
+                    to,
+                    msg,
+                },
+                delay,
+            })
+            .map_err(|_| TransportClosed)
+    }
+
+    fn recv(&mut self, timeout: Duration) -> RecvOutcome<M> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(Packet::Msg { from, msg }) => RecvOutcome::Msg { from, msg },
+            Ok(Packet::Shutdown) => RecvOutcome::Shutdown,
+            Err(RecvTimeoutError::Timeout) => RecvOutcome::Timeout,
+            // All senders gone means the cluster is tearing down.
+            Err(RecvTimeoutError::Disconnected) => RecvOutcome::Shutdown,
+        }
+    }
+
+    fn notify_done(&mut self) {
+        let _ = self.done_tx.send(self.me);
+    }
+}

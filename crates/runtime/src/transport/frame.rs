@@ -1,0 +1,711 @@
+//! The orchestrator ⇄ worker control-plane protocol: length-prefixed
+//! frames over a Unix-domain or TCP stream.
+//!
+//! ```text
+//! frame    := len:u32 body          (len = body length, bounded)
+//! body     := kind:u8 payload
+//! Hello    := magic:u32 version:u16 node:u32 protocol:str
+//! Reject   := reason:str
+//! Start    := WorkerConfig
+//! Send     := to:u32 delay_us:u64 wire-bytes   (worker → hub)
+//! Deliver  := from:u32 wire-bytes              (hub → worker)
+//! Done     := node:u32
+//! Report   := node:u32 completed:u64 messages:u64 crash_dropped:u64
+//!             restarts:u64 anomalies:u64
+//! Fault    := node:u32 detail:str
+//! Shutdown := ε
+//! str      := len:u16 utf8
+//! ```
+//!
+//! The `wire-bytes` inside `Send`/`Deliver` are a protocol message in its
+//! [`WireCodec`](crate::wire::WireCodec) encoding — the hub routes them
+//! without knowing the protocol's message type. Decoders here are strict
+//! and total like every other codec in [`crate::wire`], and failures are
+//! [`WireError::Framed`] with the `"hub-ctl"` protocol tag so a corrupt
+//! control frame names itself.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rcv_simnet::RetryPolicy;
+
+use crate::cluster::NetDelay;
+use crate::wire::WireError;
+
+/// Protocol tag used in [`WireError::Framed`] contexts for this codec.
+pub const CTRL_PROTOCOL: &str = "hub-ctl";
+
+/// Handshake magic: "RCVW".
+pub const HELLO_MAGIC: u32 = 0x5243_5657;
+
+/// Control-plane schema version; a worker built against a different
+/// schema is rejected at handshake, before any protocol traffic.
+pub const SCHEMA_VERSION: u16 = 3;
+
+/// Upper bound on a frame body: one protocol message (codec sanity limit
+/// 1 MiB) plus control headers. Anything larger is an attack or a bug.
+pub const MAX_FRAME: usize = (1 << 20) + 1024;
+
+/// Everything a worker process needs to run its node, delivered in the
+/// `Start` frame (argv stays minimal: address, node index, algorithm).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkerConfig {
+    /// Stable algorithm tag (e.g. `"rcv"`, `"maekawa"`), interpreted by
+    /// the workload layer's dispatch.
+    pub algo: String,
+    /// This node's index.
+    pub node: u32,
+    /// Cluster size.
+    pub n: u32,
+    /// CS requests this node performs.
+    pub rounds: u32,
+    /// Pause between CS completion and next request, in µs.
+    pub think_us: u64,
+    /// CS hold time, in µs.
+    pub cs_us: u64,
+    /// Wall-clock length of one simulator tick, in µs.
+    pub tick_us: u64,
+    /// This node's (pre-derived) RNG seed.
+    pub seed: u64,
+    /// Per-message delay model (the node samples, the hub applies).
+    pub delay: NetDelay,
+    /// This node's crash window `(down_ticks, up_ticks)`, if it is the
+    /// one named in the cluster's `WireFaults::crash_restart`.
+    pub crash: Option<(u64, u64)>,
+    /// Retransmission policy (RCV only).
+    pub retry: Option<RetryPolicy>,
+    /// Whether the cluster's fault plan includes a crash-restart window
+    /// (anomaly accounting excuses UL-exhaustion in restartable runs —
+    /// cluster-wide knowledge a single worker cannot infer from its own
+    /// `crash` field).
+    pub restartable: bool,
+    /// Path of the shared append-only CS log.
+    pub cs_log: String,
+}
+
+/// Per-node counters reported by a worker after shutdown — the process
+/// backend's share of a [`crate::ClusterReport`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Reporting node.
+    pub node: u32,
+    /// CS executions completed.
+    pub completed: u64,
+    /// Messages this node submitted to the fabric.
+    pub messages: u64,
+    /// Deliveries the node discarded while inside its crash window.
+    pub crash_dropped: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Protocol-internal anomaly count (RCV Lemma-6 / UL-exhaustion).
+    pub anomalies: u64,
+}
+
+/// One control-plane frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CtrlFrame {
+    /// Worker → hub: identify and version-check before anything else.
+    Hello {
+        /// Must be [`HELLO_MAGIC`].
+        magic: u32,
+        /// Must be [`SCHEMA_VERSION`].
+        version: u16,
+        /// The worker's claimed node index.
+        node: u32,
+        /// The worker's algorithm tag (must match the cluster's).
+        protocol: String,
+    },
+    /// Hub → worker: handshake refused; the connection closes.
+    Reject {
+        /// Human-readable refusal reason.
+        reason: String,
+    },
+    /// Hub → worker: handshake accepted, here is your configuration.
+    Start(Box<WorkerConfig>),
+    /// Worker → hub: route these wire bytes to `to` after `delay_us`.
+    Send {
+        /// Destination node.
+        to: u32,
+        /// Node-sampled base delay in µs.
+        delay_us: u64,
+        /// The protocol message, wire-encoded.
+        payload: Bytes,
+    },
+    /// Hub → worker: wire bytes from `from`.
+    Deliver {
+        /// Originating node.
+        from: u32,
+        /// The protocol message, wire-encoded.
+        payload: Bytes,
+    },
+    /// Worker → hub: all rounds completed (still serving peers).
+    Done {
+        /// Announcing node.
+        node: u32,
+    },
+    /// Worker → hub: final counters; the worker exits after sending.
+    Report(WorkerReport),
+    /// Worker → hub: a fatal error (e.g. a wire decode failure, already
+    /// protocol/variant-framed) — the run cannot be trusted.
+    Fault {
+        /// Reporting node.
+        node: u32,
+        /// Rendered error, e.g. `"RCV/Rm: truncated message"`.
+        detail: String,
+    },
+    /// Hub → worker: stop serving and send your `Report`.
+    Shutdown,
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize);
+    buf.put_u16(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, WireError> {
+    if buf.remaining() < 2 {
+        return Err(WireError::Truncated);
+    }
+    let len = buf.get_u16() as usize;
+    if buf.remaining() < len {
+        return Err(WireError::Truncated);
+    }
+    let raw = buf.split_to(len);
+    String::from_utf8(raw.as_slice().to_vec()).map_err(|_| WireError::Malformed("non-UTF-8 string"))
+}
+
+fn get_u32(buf: &mut Bytes) -> Result<u32, WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_u32())
+}
+
+fn get_u64(buf: &mut Bytes) -> Result<u64, WireError> {
+    if buf.remaining() < 8 {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_u64())
+}
+
+fn put_delay(buf: &mut BytesMut, delay: &NetDelay) {
+    match *delay {
+        NetDelay::None => {
+            buf.put_u8(0);
+            buf.put_u64(0);
+            buf.put_u64(0);
+        }
+        NetDelay::Uniform { min, max } => {
+            buf.put_u8(1);
+            buf.put_u64(min.as_micros() as u64);
+            buf.put_u64(max.as_micros() as u64);
+        }
+        NetDelay::Exponential { mean, cap } => {
+            buf.put_u8(2);
+            buf.put_u64(mean.as_micros() as u64);
+            buf.put_u64(cap.as_micros() as u64);
+        }
+    }
+}
+
+fn get_delay(buf: &mut Bytes) -> Result<NetDelay, WireError> {
+    if buf.remaining() < 17 {
+        return Err(WireError::Truncated);
+    }
+    let tag = buf.get_u8();
+    let a = std::time::Duration::from_micros(buf.get_u64());
+    let b = std::time::Duration::from_micros(buf.get_u64());
+    match tag {
+        0 => Ok(NetDelay::None),
+        1 => Ok(NetDelay::Uniform { min: a, max: b }),
+        2 => Ok(NetDelay::Exponential { mean: a, cap: b }),
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+fn put_config(buf: &mut BytesMut, cfg: &WorkerConfig) {
+    put_str(buf, &cfg.algo);
+    buf.put_u32(cfg.node);
+    buf.put_u32(cfg.n);
+    buf.put_u32(cfg.rounds);
+    buf.put_u64(cfg.think_us);
+    buf.put_u64(cfg.cs_us);
+    buf.put_u64(cfg.tick_us);
+    buf.put_u64(cfg.seed);
+    put_delay(buf, &cfg.delay);
+    match cfg.crash {
+        Some((down, up)) => {
+            buf.put_u8(1);
+            buf.put_u64(down);
+            buf.put_u64(up);
+        }
+        None => buf.put_u8(0),
+    }
+    match cfg.retry {
+        Some(r) => {
+            buf.put_u8(1);
+            buf.put_u64(r.deadline);
+            buf.put_u64(r.max_deadline);
+            buf.put_u64(r.jitter);
+            match r.budget {
+                Some(b) => {
+                    buf.put_u8(1);
+                    buf.put_u32(b);
+                }
+                None => buf.put_u8(0),
+            }
+        }
+        None => buf.put_u8(0),
+    }
+    buf.put_u8(cfg.restartable as u8);
+    put_str(buf, &cfg.cs_log);
+}
+
+fn get_flag(buf: &mut Bytes) -> Result<bool, WireError> {
+    if buf.remaining() < 1 {
+        return Err(WireError::Truncated);
+    }
+    match buf.get_u8() {
+        0 => Ok(false),
+        1 => Ok(true),
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+fn get_config(buf: &mut Bytes) -> Result<WorkerConfig, WireError> {
+    let algo = get_str(buf)?;
+    let node = get_u32(buf)?;
+    let n = get_u32(buf)?;
+    let rounds = get_u32(buf)?;
+    let think_us = get_u64(buf)?;
+    let cs_us = get_u64(buf)?;
+    let tick_us = get_u64(buf)?;
+    let seed = get_u64(buf)?;
+    let delay = get_delay(buf)?;
+    let crash = if get_flag(buf)? {
+        Some((get_u64(buf)?, get_u64(buf)?))
+    } else {
+        None
+    };
+    let retry = if get_flag(buf)? {
+        let deadline = get_u64(buf)?;
+        let max_deadline = get_u64(buf)?;
+        let jitter = get_u64(buf)?;
+        let budget = if get_flag(buf)? {
+            Some(get_u32(buf)?)
+        } else {
+            None
+        };
+        Some(RetryPolicy {
+            deadline,
+            max_deadline,
+            jitter,
+            budget,
+        })
+    } else {
+        None
+    };
+    let restartable = get_flag(buf)?;
+    let cs_log = get_str(buf)?;
+    Ok(WorkerConfig {
+        algo,
+        node,
+        n,
+        rounds,
+        think_us,
+        cs_us,
+        tick_us,
+        seed,
+        delay,
+        crash,
+        retry,
+        restartable,
+        cs_log,
+    })
+}
+
+/// Encodes one frame, **including** its length prefix, ready to write to
+/// the stream.
+pub fn encode_frame(frame: &CtrlFrame) -> Bytes {
+    let mut body = BytesMut::with_capacity(64);
+    match frame {
+        CtrlFrame::Hello {
+            magic,
+            version,
+            node,
+            protocol,
+        } => {
+            body.put_u8(0);
+            body.put_u32(*magic);
+            body.put_u16(*version);
+            body.put_u32(*node);
+            put_str(&mut body, protocol);
+        }
+        CtrlFrame::Reject { reason } => {
+            body.put_u8(1);
+            put_str(&mut body, reason);
+        }
+        CtrlFrame::Start(cfg) => {
+            body.put_u8(2);
+            put_config(&mut body, cfg);
+        }
+        CtrlFrame::Send {
+            to,
+            delay_us,
+            payload,
+        } => {
+            body.put_u8(3);
+            body.put_u32(*to);
+            body.put_u64(*delay_us);
+            body.put_slice(payload.as_ref());
+        }
+        CtrlFrame::Deliver { from, payload } => {
+            body.put_u8(4);
+            body.put_u32(*from);
+            body.put_slice(payload.as_ref());
+        }
+        CtrlFrame::Done { node } => {
+            body.put_u8(5);
+            body.put_u32(*node);
+        }
+        CtrlFrame::Report(r) => {
+            body.put_u8(6);
+            body.put_u32(r.node);
+            body.put_u64(r.completed);
+            body.put_u64(r.messages);
+            body.put_u64(r.crash_dropped);
+            body.put_u64(r.restarts);
+            body.put_u64(r.anomalies);
+        }
+        CtrlFrame::Fault { node, detail } => {
+            body.put_u8(7);
+            body.put_u32(*node);
+            put_str(&mut body, detail);
+        }
+        CtrlFrame::Shutdown => {
+            body.put_u8(8);
+        }
+    }
+    debug_assert!(body.len() <= MAX_FRAME, "frame body exceeds MAX_FRAME");
+    let mut out = BytesMut::with_capacity(4 + body.len());
+    out.put_u32(body.len() as u32);
+    out.put_slice(&body);
+    out.freeze()
+}
+
+/// Decodes one frame **body** (without the length prefix). Strict: the
+/// whole buffer must be one frame.
+pub fn decode_ctrl(mut buf: Bytes) -> Result<CtrlFrame, WireError> {
+    if buf.remaining() < 1 {
+        return Err(WireError::Truncated.in_protocol(CTRL_PROTOCOL));
+    }
+    let tag = buf.get_u8();
+    let variant = match tag {
+        0 => "Hello",
+        1 => "Reject",
+        2 => "Start",
+        3 => "Send",
+        4 => "Deliver",
+        5 => "Done",
+        6 => "Report",
+        7 => "Fault",
+        8 => "Shutdown",
+        t => return Err(WireError::BadTag(t).in_protocol(CTRL_PROTOCOL)),
+    };
+    crate::wire::framed(CTRL_PROTOCOL, variant, || {
+        let frame = match tag {
+            0 => {
+                let magic = get_u32(&mut buf)?;
+                if buf.remaining() < 2 {
+                    return Err(WireError::Truncated);
+                }
+                let version = buf.get_u16();
+                let node = get_u32(&mut buf)?;
+                let protocol = get_str(&mut buf)?;
+                CtrlFrame::Hello {
+                    magic,
+                    version,
+                    node,
+                    protocol,
+                }
+            }
+            1 => CtrlFrame::Reject {
+                reason: get_str(&mut buf)?,
+            },
+            2 => CtrlFrame::Start(Box::new(get_config(&mut buf)?)),
+            3 => {
+                let to = get_u32(&mut buf)?;
+                let delay_us = get_u64(&mut buf)?;
+                let payload = buf.split_to(buf.remaining());
+                CtrlFrame::Send {
+                    to,
+                    delay_us,
+                    payload,
+                }
+            }
+            4 => {
+                let from = get_u32(&mut buf)?;
+                let payload = buf.split_to(buf.remaining());
+                CtrlFrame::Deliver { from, payload }
+            }
+            5 => CtrlFrame::Done {
+                node: get_u32(&mut buf)?,
+            },
+            6 => CtrlFrame::Report(WorkerReport {
+                node: get_u32(&mut buf)?,
+                completed: get_u64(&mut buf)?,
+                messages: get_u64(&mut buf)?,
+                crash_dropped: get_u64(&mut buf)?,
+                restarts: get_u64(&mut buf)?,
+                anomalies: get_u64(&mut buf)?,
+            }),
+            7 => CtrlFrame::Fault {
+                node: get_u32(&mut buf)?,
+                detail: get_str(&mut buf)?,
+            },
+            _ => CtrlFrame::Shutdown,
+        };
+        if buf.remaining() == 0 {
+            Ok(frame)
+        } else {
+            Err(WireError::Trailing(buf.remaining()))
+        }
+    })
+}
+
+/// Incremental frame decoder over an arbitrary byte stream: feed chunks
+/// of any size (down to one byte), pop complete frames. This is the only
+/// path from socket bytes to frames, so partial reads and short writes
+/// are handled by construction.
+#[derive(Default)]
+pub struct FrameBuf {
+    buf: BytesMut,
+}
+
+impl FrameBuf {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw stream bytes.
+    pub fn extend(&mut self, chunk: &[u8]) {
+        self.buf.put_slice(chunk);
+    }
+
+    /// Pops the next complete frame, `Ok(None)` if more bytes are needed.
+    /// A length prefix above [`MAX_FRAME`] is rejected immediately — the
+    /// stream is corrupt and nothing after it can be trusted.
+    pub fn next_frame(&mut self) -> Result<Option<CtrlFrame>, WireError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > MAX_FRAME {
+            return Err(WireError::LengthOverflow(len as u32).in_protocol(CTRL_PROTOCOL));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        self.buf.advance(4);
+        let body = self.buf.split_to(len).freeze();
+        decode_ctrl(body).map(Some)
+    }
+
+    /// Bytes currently buffered (incomplete frame tail).
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// Validates a worker's `Hello` against the cluster's expectations.
+/// Returns the node index it may occupy. Pure — unit-testable without a
+/// socket in sight.
+pub fn validate_hello(
+    frame: &CtrlFrame,
+    expected_n: u32,
+    expected_protocol: &str,
+    taken: &[bool],
+) -> Result<u32, String> {
+    let CtrlFrame::Hello {
+        magic,
+        version,
+        node,
+        protocol,
+    } = frame
+    else {
+        return Err(format!("expected Hello, got {frame:?}"));
+    };
+    if *magic != HELLO_MAGIC {
+        return Err(format!("bad magic {magic:#010x} (expected {HELLO_MAGIC:#010x})"));
+    }
+    if *version != SCHEMA_VERSION {
+        return Err(format!(
+            "schema version mismatch: worker speaks v{version}, hub speaks v{SCHEMA_VERSION}"
+        ));
+    }
+    if protocol != expected_protocol {
+        return Err(format!(
+            "protocol mismatch: worker runs {protocol:?}, cluster runs {expected_protocol:?}"
+        ));
+    }
+    if *node >= expected_n {
+        return Err(format!("node {node} out of range (n = {expected_n})"));
+    }
+    if taken[*node as usize] {
+        return Err(format!("node {node} already connected"));
+    }
+    Ok(*node)
+}
+
+/// A well-formed `Hello` for the current build.
+pub fn hello(node: u32, protocol: &str) -> CtrlFrame {
+    CtrlFrame::Hello {
+        magic: HELLO_MAGIC,
+        version: SCHEMA_VERSION,
+        node,
+        protocol: protocol.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample_config() -> WorkerConfig {
+        WorkerConfig {
+            algo: "rcv".into(),
+            node: 3,
+            n: 8,
+            rounds: 2,
+            think_us: 1_000,
+            cs_us: 2_000,
+            tick_us: 200,
+            seed: 0xDEAD_BEEF,
+            delay: NetDelay::Uniform {
+                min: Duration::from_micros(50),
+                max: Duration::from_millis(2),
+            },
+            crash: Some((25, 120)),
+            retry: Some(RetryPolicy::backoff(400, 3_200).with_jitter(16)),
+            restartable: true,
+            cs_log: "/tmp/cs.log".into(),
+        }
+    }
+
+    fn frames() -> Vec<CtrlFrame> {
+        vec![
+            hello(5, "maekawa"),
+            CtrlFrame::Reject {
+                reason: "schema version mismatch".into(),
+            },
+            CtrlFrame::Start(Box::new(sample_config())),
+            CtrlFrame::Send {
+                to: 2,
+                delay_us: 777,
+                payload: Bytes::from(&[1u8, 2, 3][..]),
+            },
+            CtrlFrame::Deliver {
+                from: 0,
+                payload: Bytes::from(&[9u8][..]),
+            },
+            CtrlFrame::Done { node: 7 },
+            CtrlFrame::Report(WorkerReport {
+                node: 1,
+                completed: 4,
+                messages: 100,
+                crash_dropped: 2,
+                restarts: 1,
+                anomalies: 0,
+            }),
+            CtrlFrame::Fault {
+                node: 3,
+                detail: "RCV/Rm: truncated message".into(),
+            },
+            CtrlFrame::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn every_frame_roundtrips() {
+        for f in frames() {
+            let wire = encode_frame(&f);
+            let mut fb = FrameBuf::new();
+            fb.extend(wire.as_ref());
+            assert_eq!(fb.next_frame().unwrap(), Some(f.clone()), "{f:?}");
+            assert_eq!(fb.next_frame().unwrap(), None);
+            assert_eq!(fb.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn empty_payload_send_roundtrips() {
+        let f = CtrlFrame::Send {
+            to: 0,
+            delay_us: 0,
+            payload: Bytes::new(),
+        };
+        let mut fb = FrameBuf::new();
+        fb.extend(encode_frame(&f).as_ref());
+        assert_eq!(fb.next_frame().unwrap(), Some(f));
+    }
+
+    #[test]
+    fn config_with_no_options_roundtrips() {
+        let cfg = WorkerConfig {
+            crash: None,
+            retry: None,
+            delay: NetDelay::None,
+            ..sample_config()
+        };
+        let f = CtrlFrame::Start(Box::new(cfg));
+        let mut fb = FrameBuf::new();
+        fb.extend(encode_frame(&f).as_ref());
+        assert_eq!(fb.next_frame().unwrap(), Some(f));
+    }
+
+    #[test]
+    fn hello_validation_rejects_each_mismatch() {
+        let taken = vec![false, true, false];
+        assert_eq!(validate_hello(&hello(0, "rcv"), 3, "rcv", &taken), Ok(0));
+        let bad_magic = CtrlFrame::Hello {
+            magic: 0,
+            version: SCHEMA_VERSION,
+            node: 0,
+            protocol: "rcv".into(),
+        };
+        assert!(validate_hello(&bad_magic, 3, "rcv", &taken)
+            .unwrap_err()
+            .contains("magic"));
+        let bad_version = CtrlFrame::Hello {
+            magic: HELLO_MAGIC,
+            version: SCHEMA_VERSION + 1,
+            node: 0,
+            protocol: "rcv".into(),
+        };
+        assert!(validate_hello(&bad_version, 3, "rcv", &taken)
+            .unwrap_err()
+            .contains("schema version mismatch"));
+        assert!(validate_hello(&hello(0, "lamport"), 3, "rcv", &taken)
+            .unwrap_err()
+            .contains("protocol mismatch"));
+        assert!(validate_hello(&hello(9, "rcv"), 3, "rcv", &taken)
+            .unwrap_err()
+            .contains("out of range"));
+        assert!(validate_hello(&hello(1, "rcv"), 3, "rcv", &taken)
+            .unwrap_err()
+            .contains("already connected"));
+        assert!(validate_hello(&CtrlFrame::Shutdown, 3, "rcv", &taken)
+            .unwrap_err()
+            .contains("expected Hello"));
+    }
+
+    #[test]
+    fn corrupt_control_frames_name_themselves() {
+        // A Done frame cut off mid-node-id.
+        let mut fb = FrameBuf::new();
+        fb.extend(&[0, 0, 0, 1, 5]);
+        let err = fb.next_frame().unwrap_err();
+        assert_eq!(err.to_string(), "hub-ctl/Done: truncated message");
+    }
+}

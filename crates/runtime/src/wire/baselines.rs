@@ -22,7 +22,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rcv_baselines::{LpMessage, MkMessage, RaMessage, RdMessage, RyMessage, SkMessage, Token};
 use rcv_simnet::NodeId;
 
-use super::{finish, WireCodec, WireError, MAX_LEN};
+use super::{finish, framed, WireCodec, WireError, MAX_LEN};
 
 fn need(buf: &Bytes, bytes: usize) -> Result<(), WireError> {
     if buf.remaining() < bytes {
@@ -77,14 +77,21 @@ impl WireCodec for RaMessage {
     }
 
     fn decode_wire(mut buf: Bytes) -> Result<Self, WireError> {
-        let msg = match get_tag(&mut buf)? {
-            0 => RaMessage::Request {
-                ts: get_u64_checked(&mut buf)?,
-            },
-            1 => RaMessage::Reply,
-            t => return Err(WireError::BadTag(t)),
+        const P: &str = RaMessage::PROTOCOL;
+        let variant = match get_tag(&mut buf).map_err(|e| e.in_protocol(P))? {
+            0 => "Request",
+            1 => "Reply",
+            t => return Err(WireError::BadTag(t).in_protocol(P)),
         };
-        finish(&buf, msg)
+        framed(P, variant, || {
+            let msg = match variant {
+                "Request" => RaMessage::Request {
+                    ts: get_u64_checked(&mut buf)?,
+                },
+                _ => RaMessage::Reply,
+            };
+            finish(&buf, msg)
+        })
     }
 }
 
@@ -99,14 +106,21 @@ impl WireCodec for RdMessage {
     }
 
     fn decode_wire(mut buf: Bytes) -> Result<Self, WireError> {
-        let msg = match get_tag(&mut buf)? {
-            0 => RdMessage::Request {
-                ts: get_u64_checked(&mut buf)?,
-            },
-            1 => RdMessage::Reply,
-            t => return Err(WireError::BadTag(t)),
+        const P: &str = RdMessage::PROTOCOL;
+        let variant = match get_tag(&mut buf).map_err(|e| e.in_protocol(P))? {
+            0 => "Request",
+            1 => "Reply",
+            t => return Err(WireError::BadTag(t).in_protocol(P)),
         };
-        finish(&buf, msg)
+        framed(P, variant, || {
+            let msg = match variant {
+                "Request" => RdMessage::Request {
+                    ts: get_u64_checked(&mut buf)?,
+                },
+                _ => RdMessage::Reply,
+            };
+            finish(&buf, msg)
+        })
     }
 }
 
@@ -122,15 +136,23 @@ impl WireCodec for LpMessage {
     }
 
     fn decode_wire(mut buf: Bytes) -> Result<Self, WireError> {
-        let tag = get_tag(&mut buf)?;
-        let ts = get_u64_checked(&mut buf)?;
-        let msg = match tag {
-            0 => LpMessage::Request { ts },
-            1 => LpMessage::Ack { ts },
-            2 => LpMessage::Release { ts },
-            t => return Err(WireError::BadTag(t)),
+        const P: &str = LpMessage::PROTOCOL;
+        let tag = get_tag(&mut buf).map_err(|e| e.in_protocol(P))?;
+        let variant = match tag {
+            0 => "Request",
+            1 => "Ack",
+            2 => "Release",
+            t => return Err(WireError::BadTag(t).in_protocol(P)),
         };
-        finish(&buf, msg)
+        framed(P, variant, || {
+            let ts = get_u64_checked(&mut buf)?;
+            let msg = match tag {
+                0 => LpMessage::Request { ts },
+                1 => LpMessage::Ack { ts },
+                _ => LpMessage::Release { ts },
+            };
+            finish(&buf, msg)
+        })
     }
 }
 
@@ -149,18 +171,23 @@ impl WireCodec for MkMessage {
     }
 
     fn decode_wire(mut buf: Bytes) -> Result<Self, WireError> {
-        let msg = match get_tag(&mut buf)? {
-            0 => MkMessage::Request {
-                ts: get_u64_checked(&mut buf)?,
-            },
-            1 => MkMessage::Locked,
-            2 => MkMessage::Failed,
-            3 => MkMessage::Inquire,
-            4 => MkMessage::Yield,
-            5 => MkMessage::Release,
-            t => return Err(WireError::BadTag(t)),
+        const P: &str = MkMessage::PROTOCOL;
+        let tag = get_tag(&mut buf).map_err(|e| e.in_protocol(P))?;
+        let (variant, msg) = match tag {
+            0 => (
+                "Request",
+                MkMessage::Request {
+                    ts: framed(P, "Request", || get_u64_checked(&mut buf))?,
+                },
+            ),
+            1 => ("Locked", MkMessage::Locked),
+            2 => ("Failed", MkMessage::Failed),
+            3 => ("Inquire", MkMessage::Inquire),
+            4 => ("Yield", MkMessage::Yield),
+            5 => ("Release", MkMessage::Release),
+            t => return Err(WireError::BadTag(t).in_protocol(P)),
         };
-        finish(&buf, msg)
+        framed(P, variant, || finish(&buf, msg))
     }
 }
 
@@ -189,27 +216,36 @@ impl WireCodec for SkMessage {
     }
 
     fn decode_wire(mut buf: Bytes) -> Result<Self, WireError> {
-        let msg = match get_tag(&mut buf)? {
-            0 => SkMessage::Request {
-                seq: get_u64_checked(&mut buf)?,
-            },
-            1 => {
-                let ln_len = get_len_checked(&mut buf)?;
-                let mut last_served = Vec::with_capacity(ln_len.min(1024) as usize);
-                for _ in 0..ln_len {
-                    last_served.push(get_u64_checked(&mut buf)?);
-                }
-                let q_len = get_len_checked(&mut buf)?;
-                let mut queue = std::collections::VecDeque::with_capacity(q_len.min(1024) as usize);
-                for _ in 0..q_len {
-                    need(&buf, 4)?;
-                    queue.push_back(NodeId::new(buf.get_u32()));
-                }
-                SkMessage::Token(Box::new(Token { last_served, queue }))
-            }
-            t => return Err(WireError::BadTag(t)),
+        const P: &str = SkMessage::PROTOCOL;
+        let tag = get_tag(&mut buf).map_err(|e| e.in_protocol(P))?;
+        let variant = match tag {
+            0 => "Request",
+            1 => "Token",
+            t => return Err(WireError::BadTag(t).in_protocol(P)),
         };
-        finish(&buf, msg)
+        framed(P, variant, || {
+            let msg = match tag {
+                0 => SkMessage::Request {
+                    seq: get_u64_checked(&mut buf)?,
+                },
+                _ => {
+                    let ln_len = get_len_checked(&mut buf)?;
+                    let mut last_served = Vec::with_capacity(ln_len.min(1024) as usize);
+                    for _ in 0..ln_len {
+                        last_served.push(get_u64_checked(&mut buf)?);
+                    }
+                    let q_len = get_len_checked(&mut buf)?;
+                    let mut queue =
+                        std::collections::VecDeque::with_capacity(q_len.min(1024) as usize);
+                    for _ in 0..q_len {
+                        need(&buf, 4)?;
+                        queue.push_back(NodeId::new(buf.get_u32()));
+                    }
+                    SkMessage::Token(Box::new(Token { last_served, queue }))
+                }
+            };
+            finish(&buf, msg)
+        })
     }
 }
 
@@ -224,12 +260,13 @@ impl WireCodec for RyMessage {
     }
 
     fn decode_wire(mut buf: Bytes) -> Result<Self, WireError> {
-        let msg = match get_tag(&mut buf)? {
-            0 => RyMessage::Request,
-            1 => RyMessage::Privilege,
-            t => return Err(WireError::BadTag(t)),
+        const P: &str = RyMessage::PROTOCOL;
+        let (variant, msg) = match get_tag(&mut buf).map_err(|e| e.in_protocol(P))? {
+            0 => ("Request", RyMessage::Request),
+            1 => ("Privilege", RyMessage::Privilege),
+            t => return Err(WireError::BadTag(t).in_protocol(P)),
         };
-        finish(&buf, msg)
+        framed(P, variant, || finish(&buf, msg))
     }
 }
 
@@ -255,11 +292,13 @@ mod tests {
         let mut padded = BytesMut::with_capacity(bytes.len() + 1);
         padded.put_slice(bytes.as_slice());
         padded.put_u8(0);
+        let err = M::decode_wire(padded.freeze())
+            .expect_err(&format!("{}: trailing byte accepted", M::PROTOCOL));
+        assert_eq!(err.kind(), &WireError::Trailing(1));
         assert_eq!(
-            M::decode_wire(padded.freeze()),
-            Err(WireError::Trailing(1)),
-            "{}: trailing byte accepted",
-            M::PROTOCOL
+            err.protocol(),
+            Some(M::PROTOCOL),
+            "the error must name the protocol it happened in"
         );
     }
 
@@ -293,15 +332,17 @@ mod tests {
 
     #[test]
     fn bad_tags_are_rejected_per_protocol() {
-        assert_eq!(RaMessage::decode_wire(bare(9)), Err(WireError::BadTag(9)));
-        assert_eq!(RdMessage::decode_wire(bare(7)), Err(WireError::BadTag(7)));
-        assert_eq!(
-            LpMessage::decode_wire(tagged_u64(3, 0)),
-            Err(WireError::BadTag(3))
-        );
-        assert_eq!(MkMessage::decode_wire(bare(6)), Err(WireError::BadTag(6)));
-        assert_eq!(SkMessage::decode_wire(bare(2)), Err(WireError::BadTag(2)));
-        assert_eq!(RyMessage::decode_wire(bare(2)), Err(WireError::BadTag(2)));
+        fn bad_tag<M: WireCodec + std::fmt::Debug>(buf: Bytes, tag: u8) {
+            let err = M::decode_wire(buf).expect_err("bad tag accepted");
+            assert_eq!(err.kind(), &WireError::BadTag(tag));
+            assert_eq!(err.protocol(), Some(M::PROTOCOL));
+        }
+        bad_tag::<RaMessage>(bare(9), 9);
+        bad_tag::<RdMessage>(bare(7), 7);
+        bad_tag::<LpMessage>(tagged_u64(3, 0), 3);
+        bad_tag::<MkMessage>(bare(6), 6);
+        bad_tag::<SkMessage>(bare(2), 2);
+        bad_tag::<RyMessage>(bare(2), 2);
     }
 
     #[test]
@@ -309,23 +350,33 @@ mod tests {
         let mut buf = BytesMut::new();
         buf.put_u8(1); // Token
         buf.put_u32(u32::MAX); // absurd LN length
-        assert!(matches!(
-            SkMessage::decode_wire(buf.freeze()),
-            Err(WireError::LengthOverflow(_))
-        ));
+        let err = SkMessage::decode_wire(buf.freeze()).expect_err("overflow accepted");
+        assert!(matches!(err.kind(), WireError::LengthOverflow(_)));
+        assert_eq!(
+            err.to_string(),
+            "Broadcast/Token: implausible length prefix 4294967295",
+            "the error must name the offending frame"
+        );
     }
 
     #[test]
     fn empty_input_is_truncated_for_every_protocol() {
         let empty = Bytes::new();
-        assert_eq!(
-            RaMessage::decode_wire(empty.clone()),
-            Err(WireError::Truncated)
-        );
-        assert_eq!(
-            SkMessage::decode_wire(empty.clone()),
-            Err(WireError::Truncated)
-        );
-        assert_eq!(RyMessage::decode_wire(empty), Err(WireError::Truncated));
+        for err in [
+            RaMessage::decode_wire(empty.clone()).unwrap_err(),
+            SkMessage::decode_wire(empty.clone()).unwrap_err(),
+            RyMessage::decode_wire(empty).unwrap_err(),
+        ] {
+            assert_eq!(err.kind(), &WireError::Truncated);
+            assert!(err.protocol().is_some());
+        }
+    }
+
+    #[test]
+    fn truncated_payload_names_the_variant() {
+        // A Lamport Request tag with no timestamp: the error should say
+        // which of the 20 wire variants was being parsed.
+        let err = LpMessage::decode_wire(bare(0)).unwrap_err();
+        assert_eq!(err.to_string(), "Lamport/Request: truncated message");
     }
 }

@@ -110,9 +110,7 @@ impl Algo {
     /// or Maekawa with reordering delivery.
     pub fn run_threaded(&self, spec: &ThreadSpec) -> ClusterRun {
         let spec = &if self.requires_fifo() {
-            let mut s = *spec;
-            s.delay = fifo_equivalent(spec.delay);
-            s
+            spec.delay(fifo_equivalent(spec.delay))
         } else {
             *spec
         };
@@ -250,7 +248,7 @@ impl Algo {
 /// Collapses a delay model to its constant (per-pair FIFO) equivalent:
 /// the mean delay, delivered deterministically. Used for algorithms whose
 /// correctness proofs assume ordered channels.
-fn fifo_equivalent(delay: NetDelay) -> NetDelay {
+pub(crate) fn fifo_equivalent(delay: NetDelay) -> NetDelay {
     let mean = match delay {
         NetDelay::None => Duration::ZERO,
         NetDelay::Uniform { min, max } => (min + max) / 2,
@@ -265,6 +263,10 @@ fn fifo_equivalent(delay: NetDelay) -> NetDelay {
 /// Algorithm-agnostic parameters for a real-thread cluster run: the
 /// message-type-independent mirror of `rcv_runtime::ClusterSpec`, so one
 /// spec drives all 8 algorithms through [`Algo::run_threaded`].
+///
+/// Construct with [`ThreadSpec::quick`] and refine through the fluent
+/// builders; direct field mutation is a deprecated idiom kept only for
+/// reading.
 #[derive(Clone, Copy, Debug)]
 pub struct ThreadSpec {
     /// Number of nodes (threads).
@@ -314,6 +316,66 @@ impl ThreadSpec {
             verify_codec: true,
             rcv_retry: None,
         }
+    }
+
+    /// Sets the rounds each node performs.
+    pub fn rounds(mut self, rounds: u32) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Sets the think time between rounds.
+    pub fn think(mut self, think: Duration) -> Self {
+        self.think = think;
+        self
+    }
+
+    /// Sets the CS hold duration.
+    pub fn cs_duration(mut self, cs: Duration) -> Self {
+        self.cs_duration = cs;
+        self
+    }
+
+    /// Sets the per-message delay model.
+    pub fn delay(mut self, delay: NetDelay) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Sets the wire-fault plan.
+    pub fn faults(mut self, faults: WireFaults) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the tick length.
+    pub fn tick(mut self, tick: Duration) -> Self {
+        self.tick = tick;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the soft deadline.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Turns codec round-trip verification on or off.
+    pub fn verify_codec(mut self, on: bool) -> Self {
+        self.verify_codec = on;
+        self
+    }
+
+    /// Sets the RCV retransmission policy (baselines ignore it).
+    pub fn rcv_retry(mut self, retry: RetryPolicy) -> Self {
+        self.rcv_retry = Some(retry);
+        self
     }
 
     /// Total CS executions a fully live run must complete.
@@ -451,9 +513,9 @@ mod tests {
         // run_threaded coerces its delay to the constant equivalent. A
         // direct observation of the coercion is the fifo_equivalent test
         // above; this is the end-to-end guarantee.
-        let mut spec = ThreadSpec::quick(4, 99);
-        spec.rounds = 2;
-        spec.think = Duration::from_micros(200);
+        let spec = ThreadSpec::quick(4, 99)
+            .rounds(2)
+            .think(Duration::from_micros(200));
         let r = Algo::Lamport.run_threaded(&spec);
         assert!(r.is_clean(spec.expected()), "{:?}", r.report);
     }

@@ -13,6 +13,8 @@
 //! * [`scenario`] — the declarative scenario conformance registry
 //!   (workload shape × fault regime × delay model × N × seeds) behind the
 //!   `matrix` binary and its CI gate;
+//! * [`process`] — the multi-process cluster backend: algorithm tags,
+//!   the worker re-exec entry point and [`process::ClusterBackend`];
 //! * [`sweep`] — order-preserving parallel map for experiment grids.
 //!
 //! The `repro` binary in `rcv-bench` is a thin CLI over this crate.
@@ -24,12 +26,14 @@ pub mod algo;
 pub mod arrival;
 pub mod experiments;
 pub mod phased;
+pub mod process;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod sweep;
 
 pub use algo::{Algo, ClusterRun, ThreadSpec};
+pub use process::{maybe_worker, ClusterBackend, ProcessBackend, WORKER_SENTINEL};
 pub use arrival::{HotSpotWorkload, PoissonWorkload, SaturationWorkload};
 pub use phased::{Phase, PhasedWorkload, TimedPhase};
 pub use report::Table;

@@ -324,6 +324,150 @@ impl FaultSpec {
     }
 }
 
+impl From<&FaultSpec> for FaultPlan {
+    /// The simulator-side rendering ([`FaultSpec::plan`]). Total: every
+    /// regime has a simulator mirror.
+    fn from(spec: &FaultSpec) -> FaultPlan {
+        spec.plan()
+    }
+}
+
+impl TryFrom<&FaultSpec> for rcv_runtime::WireFaults {
+    type Error = String;
+
+    /// The runtime-side rendering, applied at the fabric boundary (channel
+    /// network thread or orchestrator hub). Partial: a **permanent**
+    /// crash-stop ([`FaultSpec::Crash`]) needs a node to vanish forever,
+    /// which neither joinable threads nor watched worker processes can
+    /// express — only bounded crash *windows* map.
+    fn try_from(spec: &FaultSpec) -> Result<rcv_runtime::WireFaults, String> {
+        use rcv_runtime::WireFaults;
+        let narrow = |factor: u64| -> Result<u32, String> {
+            u32::try_from(factor).map_err(|_| format!("straggler factor {factor} exceeds u32"))
+        };
+        Ok(match *spec {
+            FaultSpec::None => WireFaults::none(),
+            FaultSpec::Duplication { every } => WireFaults::none().with_duplication(every),
+            FaultSpec::Loss { every } => WireFaults::none().with_loss(every),
+            FaultSpec::Crash { node, at } => {
+                return Err(format!(
+                    "permanent crash-stop (node {node} at t={at}) has no wire-level mirror; \
+                     only bounded crash windows map to the runtime"
+                ))
+            }
+            FaultSpec::CrashRestart { node, down, up } => {
+                WireFaults::none().with_crash_restart(node, down, up)
+            }
+            FaultSpec::Chaos {
+                crash: (node, down, up),
+                loss_every,
+                straggler: (slow, factor),
+            } => WireFaults::none()
+                .with_loss(loss_every)
+                .with_straggler(slow, narrow(factor)?)
+                .with_crash_restart(node, down, up),
+            FaultSpec::Straggler { node, factor } => {
+                WireFaults::none().with_straggler(node, narrow(factor)?)
+            }
+            FaultSpec::Stacked {
+                loss_every,
+                dup_every,
+                straggler: (node, factor),
+            } => WireFaults::none()
+                .with_loss(loss_every)
+                .with_duplication(dup_every)
+                .with_straggler(node, narrow(factor)?),
+        })
+    }
+}
+
+impl TryFrom<&rcv_runtime::WireFaults> for FaultSpec {
+    type Error = String;
+
+    /// Names a wire-fault configuration as the [`FaultSpec`] regime it
+    /// renders. Partial: combinations outside the named registry regimes
+    /// (e.g. loss + duplication without a straggler) have no canonical
+    /// name and are rejected rather than misfiled.
+    fn try_from(wf: &rcv_runtime::WireFaults) -> Result<FaultSpec, String> {
+        let straggler = wf.straggler.map(|(n, f)| (n, f as u64));
+        Ok(
+            match (wf.loss_every, wf.dup_every, straggler, wf.crash_restart) {
+                (None, None, None, None) => FaultSpec::None,
+                (None, Some(every), None, None) => FaultSpec::Duplication { every },
+                (Some(every), None, None, None) => FaultSpec::Loss { every },
+                (None, None, None, Some((node, down, up))) => {
+                    FaultSpec::CrashRestart { node, down, up }
+                }
+                (Some(loss_every), None, Some(straggler), Some(crash)) => FaultSpec::Chaos {
+                    crash,
+                    loss_every,
+                    straggler,
+                },
+                (None, None, Some((node, factor)), None) => FaultSpec::Straggler { node, factor },
+                (Some(loss_every), Some(dup_every), Some(straggler), None) => FaultSpec::Stacked {
+                    loss_every,
+                    dup_every,
+                    straggler,
+                },
+                _ => return Err(format!("wire faults {wf:?} match no named regime")),
+            },
+        )
+    }
+}
+
+impl TryFrom<&FaultPlan> for FaultSpec {
+    type Error = String;
+
+    /// Names a simulator fault plan as its [`FaultSpec`] regime. Partial
+    /// for the same reason as the [`rcv_runtime::WireFaults`] direction,
+    /// plus: multi-node crash/straggler lists exceed what one named
+    /// regime describes.
+    fn try_from(plan: &FaultPlan) -> Result<FaultSpec, String> {
+        let unnamed = || format!("fault plan {plan:?} matches no named regime");
+        if plan.crashes.len() > 1 || plan.restarts.len() > 1 || plan.stragglers.len() > 1 {
+            return Err(unnamed());
+        }
+        let crash = plan.crashes.first().map(|&(n, at)| (n.raw(), at.ticks()));
+        let window = plan
+            .restarts
+            .first()
+            .map(|w| (w.node.raw(), w.down_at.ticks(), w.up_at.ticks()));
+        let straggler = plan.stragglers.first().map(|&(n, f)| (n.raw(), f));
+        if let Some((node, at)) = crash {
+            if plan.duplicate_every.is_some()
+                || plan.drop_every.is_some()
+                || window.is_some()
+                || straggler.is_some()
+            {
+                return Err(unnamed());
+            }
+            return Ok(FaultSpec::Crash { node, at });
+        }
+        Ok(
+            match (plan.drop_every, plan.duplicate_every, straggler, window) {
+                (None, None, None, None) => FaultSpec::None,
+                (None, Some(every), None, None) => FaultSpec::Duplication { every },
+                (Some(every), None, None, None) => FaultSpec::Loss { every },
+                (None, None, None, Some((node, down, up))) => {
+                    FaultSpec::CrashRestart { node, down, up }
+                }
+                (Some(loss_every), None, Some(straggler), Some(crash)) => FaultSpec::Chaos {
+                    crash,
+                    loss_every,
+                    straggler,
+                },
+                (None, None, Some((node, factor)), None) => FaultSpec::Straggler { node, factor },
+                (Some(loss_every), Some(dup_every), Some(straggler), None) => FaultSpec::Stacked {
+                    loss_every,
+                    dup_every,
+                    straggler,
+                },
+                _ => return Err(unnamed()),
+            },
+        )
+    }
+}
+
 /// Delay regime of a scenario.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DelaySpec {
@@ -991,6 +1135,56 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), 24, "seed collisions across nearby cells");
+    }
+
+    #[test]
+    fn fault_regimes_roundtrip_through_both_backend_renderings() {
+        // Every registry regime must (a) render to a simulator plan and
+        // name itself back from it, and (b) either do the same through the
+        // wire-level rendering or be the one documented exception
+        // (permanent crash-stop).
+        for spec in registry() {
+            let fs = &spec.faults;
+            let plan = FaultPlan::from(fs);
+            assert_eq!(plan, fs.plan(), "{}: From must equal plan()", spec.name);
+            assert_eq!(
+                FaultSpec::try_from(&plan).as_ref(),
+                Ok(fs),
+                "{}: plan roundtrip",
+                spec.name
+            );
+            match rcv_runtime::WireFaults::try_from(fs) {
+                Ok(wf) => assert_eq!(
+                    FaultSpec::try_from(&wf).as_ref(),
+                    Ok(fs),
+                    "{}: wire roundtrip",
+                    spec.name
+                ),
+                Err(e) => {
+                    assert!(
+                        matches!(fs, FaultSpec::Crash { .. }),
+                        "{}: only permanent crash-stop may be unmappable ({e})",
+                        spec.name
+                    );
+                    assert!(!spec.runtime_mappable(), "{}", spec.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unnamed_fault_combinations_are_rejected_not_misfiled() {
+        // loss + duplication without a straggler is no registry regime.
+        let wf = rcv_runtime::WireFaults::none()
+            .with_loss(5)
+            .with_duplication(3);
+        assert!(FaultSpec::try_from(&wf).is_err());
+        let plan = FaultPlan::losing(5).with_duplication(3);
+        assert!(FaultSpec::try_from(&plan).is_err());
+        // A crash-stop stacked with anything is equally unnameable.
+        let mut plan = FaultPlan::crash(NodeId::new(0), SimTime::from_ticks(10));
+        plan.drop_every = Some(7);
+        assert!(FaultSpec::try_from(&plan).is_err());
     }
 
     #[test]

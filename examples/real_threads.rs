@@ -16,17 +16,18 @@ fn main() {
     let n = 8;
     let rounds = 5;
 
-    let mut spec = ClusterSpec::quick(n, 7);
-    spec.rounds = rounds;
-    spec.think = Duration::from_micros(300);
-    spec.cs_duration = Duration::from_millis(1);
-    spec.delay = NetDelay::Uniform {
-        min: Duration::from_micros(100),
-        max: Duration::from_millis(3),
-    };
-    spec.timeout = Duration::from_secs(60);
     // Round-trip every message through the binary wire codec.
-    let spec = with_codec_verification(spec);
+    let spec = with_codec_verification(
+        ClusterSpec::quick(n, 7)
+            .rounds(rounds)
+            .think(Duration::from_micros(300))
+            .cs_duration(Duration::from_millis(1))
+            .delay(NetDelay::Uniform {
+                min: Duration::from_micros(100),
+                max: Duration::from_millis(3),
+            })
+            .timeout(Duration::from_secs(60)),
+    );
 
     println!(
         "Threaded RCV cluster: {n} nodes x {rounds} CS rounds, jittered non-FIFO delivery,\n\
@@ -56,8 +57,7 @@ fn main() {
     // per-pair-FIFO delay).
     println!("\nAll 8 algorithms on real threads (4 nodes x 2 rounds each):");
     for (i, algo) in rcv::workload::Algo::all().into_iter().enumerate() {
-        let mut spec = rcv::workload::ThreadSpec::quick(4, 40 + i as u64);
-        spec.rounds = 2;
+        let spec = rcv::workload::ThreadSpec::quick(4, 40 + i as u64).rounds(2);
         let r = algo.run_threaded(&spec);
         assert!(r.is_clean(spec.expected()), "{}: {:?}", algo.name(), r);
         println!(

@@ -34,9 +34,9 @@ fn all_eight_algorithms_complete_with_codec_on_the_wire() {
     // No per-algorithm special-casing here: `run_threaded` itself coerces
     // FIFO-requiring algorithms onto a constant (per-pair FIFO) delay.
     for (i, algo) in Algo::all().into_iter().enumerate() {
-        let mut spec = ThreadSpec::quick(5, 100 + i as u64);
-        spec.rounds = 2;
-        spec.think = Duration::from_micros(300);
+        let spec = ThreadSpec::quick(5, 100 + i as u64)
+            .rounds(2)
+            .think(Duration::from_micros(300));
         let r = run(algo, spec);
         assert!(
             r.is_clean(spec.expected()),
@@ -53,12 +53,10 @@ fn non_fifo_algorithms_survive_heavy_jitter() {
     // The four algorithms that claim to tolerate unordered channels, under
     // wide random delays (×40 spread) and several rounds of contention.
     for algo in Algo::all().into_iter().filter(|a| !a.requires_fifo()) {
-        let mut spec = ThreadSpec::quick(4, 7);
-        spec.rounds = 3;
-        spec.delay = NetDelay::Uniform {
+        let spec = ThreadSpec::quick(4, 7).rounds(3).delay(NetDelay::Uniform {
             min: Duration::from_micros(50),
             max: Duration::from_millis(2),
-        };
+        });
         let r = run(algo, spec);
         assert!(
             r.is_clean(spec.expected()),
@@ -75,9 +73,9 @@ fn all_eight_algorithms_tolerate_a_straggler_node() {
     // speed; constant base delay keeps per-pair FIFO for the algorithms
     // that need it (a straggler scales all of a pair's delays equally).
     for (i, algo) in Algo::all().into_iter().enumerate() {
-        let mut spec = ThreadSpec::quick(4, 200 + i as u64);
-        spec.delay = FIFO_DELAY;
-        spec.faults = WireFaults::none().with_straggler(0, 4);
+        let spec = ThreadSpec::quick(4, 200 + i as u64)
+            .delay(FIFO_DELAY)
+            .faults(WireFaults::none().with_straggler(0, 4));
         let r = run(algo, spec);
         assert!(
             r.is_clean(spec.expected()),
@@ -95,9 +93,9 @@ fn message_loss_never_costs_safety() {
     // must be unconditional. Completion is NOT demanded here; the short
     // timeout bounds the stall.
     for algo in [Algo::Ricart, Algo::Broadcast] {
-        let mut spec = ThreadSpec::quick(4, 17);
-        spec.faults = WireFaults::none().with_loss(7);
-        spec.timeout = Duration::from_secs(2);
+        let spec = ThreadSpec::quick(4, 17)
+            .faults(WireFaults::none().with_loss(7))
+            .timeout(Duration::from_secs(2));
         let r = run(algo, spec);
         assert_eq!(
             r.report.violations,
@@ -116,14 +114,16 @@ fn rcv_with_retransmission_beats_loss_and_duplication_at_once() {
     // duplicated, node 1 four times slower — and RCV (with its
     // retransmission extension re-arming lost RMs) must still be safe,
     // anomaly-free AND fully live.
-    let mut spec = ThreadSpec::quick(5, 23);
-    spec.rounds = 2;
-    spec.faults = WireFaults::none()
-        .with_loss(9)
-        .with_duplication(5)
-        .with_straggler(1, 4);
-    spec.timeout = Duration::from_secs(60);
-    spec.rcv_retry = Some(rcv::simnet::RetryPolicy::fixed(2_000));
+    let spec = ThreadSpec::quick(5, 23)
+        .rounds(2)
+        .faults(
+            WireFaults::none()
+                .with_loss(9)
+                .with_duplication(5)
+                .with_straggler(1, 4),
+        )
+        .timeout(Duration::from_secs(60))
+        .rcv_retry(rcv::simnet::RetryPolicy::fixed(2_000));
     let r = run(Algo::Rcv(rcv::core::ForwardPolicy::Random), spec);
     assert!(r.is_clean(spec.expected()), "{:?}", r.report);
     assert!(r.report.lost > 0, "loss regime must fire: {:?}", r.report);
