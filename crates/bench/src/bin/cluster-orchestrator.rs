@@ -74,9 +74,8 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--algo" => {
                 let tag = value("--algo")?;
-                args.algos = vec![
-                    Algo::from_tag(&tag).ok_or(format!("unknown algorithm tag {tag:?}"))?
-                ];
+                args.algos =
+                    vec![Algo::from_tag(&tag).ok_or(format!("unknown algorithm tag {tag:?}"))?];
             }
             "--all" => args.algos = Algo::all().to_vec(),
             "-n" => args.n = value("-n")?.parse().map_err(|_| "bad n")?,

@@ -11,8 +11,12 @@ use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
 
-/// Version tag of the emitted JSON layout.
-pub const SCHEMA: &str = "rcv-engine-throughput/v1";
+/// Version tag of the emitted JSON layout. v2: the engine matrix's `n`
+/// axis grew the large-N points {200, 1000} (quick mode stops at 200, and
+/// the N=1,000 cell is a timed single run rather than a best-of-windows) —
+/// consumers comparing curves across versions must not assume the axes
+/// match.
+pub const SCHEMA: &str = "rcv-engine-throughput/v2";
 
 /// The JSON key the CI regression gate reads, both from `BENCH_RESULTS.json`
 /// and from the checked-in baseline file.
@@ -207,7 +211,7 @@ mod tests {
     #[test]
     fn json_roundtrips_the_gate_metric() {
         let json = sample().to_json();
-        assert!(json.contains("\"schema\": \"rcv-engine-throughput/v1\""));
+        assert!(json.contains("\"schema\": \"rcv-engine-throughput/v2\""));
         assert!(json.contains("\"algorithm\": \"RCV (ours)\""));
         assert_eq!(parse_gate_metric(&json), Some(160000.5));
     }

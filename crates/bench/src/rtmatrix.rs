@@ -416,7 +416,9 @@ pub fn run_diff_cells_on(
 ) -> Vec<DiffOutcome> {
     let opts = *opts;
     let backend = backend.clone();
-    parmap(grid, threads, move |c| run_diff_cell_on(&c, &opts, &backend))
+    parmap(grid, threads, move |c| {
+        run_diff_cell_on(&c, &opts, &backend)
+    })
 }
 
 /// Renders the differential report as JSON (schema [`SCHEMA`]). Unlike

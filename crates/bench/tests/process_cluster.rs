@@ -64,8 +64,7 @@ fn run_on_process_backend_matches_thread_tier_accounting() {
 /// CS log must still show zero overlap.
 #[test]
 fn killing_a_worker_mid_run_yields_a_crash_verdict_not_a_hang() {
-    let backend = ProcessBackend::new(WORKER_EXE)
-        .kill_worker(1, Duration::from_millis(30));
+    let backend = ProcessBackend::new(WORKER_EXE).kill_worker(1, Duration::from_millis(30));
     let spec = ThreadSpec::quick(3, 47)
         .rounds(3)
         .timeout(Duration::from_secs(5));

@@ -22,6 +22,9 @@
 //!   ([`Si::knows_completed`]).
 
 use crate::message::MsgBody;
+use crate::nonl::Nonl;
+use crate::nsit::Nsit;
+use crate::scratch::{MergeScratch, NodeTsMap, MERGE_SCRATCH};
 use crate::si::Si;
 use crate::tuple::ReqTuple;
 
@@ -51,17 +54,84 @@ pub struct ExchangeOutcome {
 /// both lists (paper §4.3, "tuples that precede `<i, ti>` in Ordered Node
 /// List also can be deleted").
 pub fn exchange(si: &mut Si, body: &mut MsgBody, em_for: Option<&ReqTuple>) -> ExchangeOutcome {
+    exchange_inner(si, body, em_for, true)
+}
+
+/// Receive-side Exchange: identical effect on `si` and identical
+/// [`ExchangeOutcome`] as [`exchange`], but skips the work whose *only*
+/// effect is refreshing `body` — the message-side suffix scrub, the
+/// staler-row mirror refresh, and the equal-version mirror assignment.
+/// Use it when the message is dropped after the call (every protocol
+/// handler re-snapshots the SI before forwarding, so the merged body is
+/// dead weight there); `body` is left partially merged and must not be
+/// forwarded.
+///
+/// Why `si` cannot diverge from the full variant: the skipped steps never
+/// write to `si`, and the only `si`-side reads of message rows they would
+/// have cleaned are (a) the equal-version intersect and (b) the lines-15/16
+/// own-tuple probe — in both, the cleaned-vs-raw difference is exactly
+/// tuples of the local NONL suffix, which the final normalization pass
+/// scrubs from every local row through its *ordered* branch (not counted
+/// as zombies) regardless of whether the intersect removed them first.
+/// The staler-row branch's lines-17/18 own-tuple purge is NOT skipped:
+/// though it writes only to the message table, later row merges read it
+/// back into `si` (see the comment there). The equivalence is enforced by
+/// `tests/merge_reference_equivalence.rs`.
+pub fn exchange_recv(
+    si: &mut Si,
+    body: &mut MsgBody,
+    em_for: Option<&ReqTuple>,
+) -> ExchangeOutcome {
+    exchange_inner(si, body, em_for, false)
+}
+
+fn exchange_inner(
+    si: &mut Si,
+    body: &mut MsgBody,
+    em_for: Option<&ReqTuple>,
+    refresh_body: bool,
+) -> ExchangeOutcome {
     debug_assert_eq!(
         si.n(),
         body.msit.n(),
         "SI and message disagree on system size"
     );
     let mut out = ExchangeOutcome::default();
+    MERGE_SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        exchange_phases(si, body, em_for, &mut out, scratch, refresh_body);
+    });
+
+    // --- Normalization: ordered tuples never vote; zombies are purged.
+    // (Borrows the scratch bundle again internally — phases never overlap.)
+    out.zombies_purged = si.normalize_after_merge();
+    out
+}
+
+/// Everything before the final normalization pass; factored out so the
+/// thread-local scratch borrow has a clear scope.
+fn exchange_phases(
+    si: &mut Si,
+    body: &mut MsgBody,
+    em_for: Option<&ReqTuple>,
+    out: &mut ExchangeOutcome,
+    scratch: &mut MergeScratch,
+    refresh_body: bool,
+) {
+    let n = si.n();
 
     // When the two ordered lists are identical (the common synced case),
     // every tuple is a member of both sides, so neither prune below can
-    // match — skip the quadratic membership scans outright.
+    // match — skip the membership scans outright. Under copy-on-write
+    // lists this comparison is usually a pointer check.
     if body.monl != si.nonl {
+        // Per-node timestamp maps turn each membership probe below into an
+        // O(1) array compare. A duplicate-node entry (corrupt state, never
+        // produced by the shipped algorithms) makes a map lossy; fall back
+        // to the exact linear probes for that side.
+        let nonl_unique = scratch.a.fill(&si.nonl, n);
+        let mut monl_unique = scratch.b.fill(&body.monl, n);
+
         // --- Lines 1-2: prune from MONL requests the receiver knows
         // completed. (Everything ordered before a completed request
         // completed as well, so the *last* matching tuple drags its whole
@@ -70,10 +140,27 @@ pub fn exchange(si: &mut Si, body: &mut MsgBody, em_for: Option<&ReqTuple>) -> E
             .monl
             .iter()
             .rev()
-            .find(|a| !si.nonl.contains(a) && si.knows_completed(a))
+            .find(|a| {
+                if nonl_unique {
+                    // `knows_completed` with the NONL membership probe
+                    // answered by the map instead of a list walk.
+                    if scratch.a.get(a.node) == Some(a.ts) {
+                        return false;
+                    }
+                    let row = si.nsit.row(a.node);
+                    row.ts >= a.ts && !row.mnl.contains(a)
+                } else {
+                    !si.nonl.contains(a) && si.knows_completed(a)
+                }
+            })
             .copied()
         {
             out.monl_pruned = body.monl.remove_through(&last);
+            // The MONL map now describes a list that no longer exists; the
+            // lines-3-4 probe below must answer membership against the
+            // *pruned* MONL (a tuple dragged out with the pruned prefix
+            // must not block the symmetric local prune). Refill it.
+            monl_unique = scratch.b.fill(&body.monl, n);
         }
 
         // --- Lines 3-4: symmetric prune of the local NONL using the
@@ -83,8 +170,16 @@ pub fn exchange(si: &mut Si, body: &mut MsgBody, em_for: Option<&ReqTuple>) -> E
             .iter()
             .rev()
             .find(|b| {
+                let in_monl = if monl_unique {
+                    scratch.b.get(b.node) == Some(b.ts)
+                } else {
+                    body.monl.contains(b)
+                };
+                if in_monl {
+                    return false;
+                }
                 let row = body.msit.row(b.node);
-                !body.monl.contains(b) && row.ts >= b.ts && !row.mnl.contains(b)
+                row.ts >= b.ts && !row.mnl.contains(b)
             })
             .copied()
         {
@@ -111,28 +206,31 @@ pub fn exchange(si: &mut Si, body: &mut MsgBody, em_for: Option<&ReqTuple>) -> E
     } else if body.monl.len() > si.nonl.len() {
         // Prefix-consistent (just checked) and duplicate-free by
         // construction, so the difference is exactly the suffix beyond the
-        // shorter list — no quadratic membership scan, and the adoption
-        // reuses the local list's allocation.
-        for t in body.monl.iter().skip(si.nonl.len()) {
-            si.nsit.delete_everywhere(t);
-        }
+        // shorter list. The newly ordered suffix tuples must stop voting:
+        // scrub them from all rows in ONE batched sweep (read-gated, so
+        // clean rows are neither scanned twice nor cloned-for-write)
+        // instead of one full-table `delete_everywhere` walk per tuple.
+        //
+        // (Done in both modes: a freshly ordered request was outstanding
+        // here, so its tuple sits in many local rows — leaving it for the
+        // final normalization pass would make the row-merge loop's
+        // equal-version compares mismatch and clone row after row first.)
+        scrub_suffix(&mut si.nsit, &body.monl, si.nonl.len(), &mut scratch.b, n);
         si.nonl.assign_from(&body.monl);
         out.adopted_monl = true;
-    } else if si.nonl.len() > body.monl.len() {
-        for t in si.nonl.iter().skip(body.monl.len()) {
-            body.msit.delete_everywhere(t);
-        }
+    } else if si.nonl.len() > body.monl.len() && refresh_body {
+        scrub_suffix(&mut body.msit, &si.nonl, body.monl.len(), &mut scratch.b, n);
         body.monl.assign_from(&si.nonl);
     }
 
     // --- Lines 13-22: row-wise NSIT reconciliation. Split-borrow the two
-    // sides so adoptions can copy row contents in place (reusing the
-    // destination's allocation) while consulting the other side's lists.
-    let n = si.n();
+    // sides so adoptions can share row contents (a reference-count bump
+    // under copy-on-write storage) while consulting the other side's lists.
     // Per-node MONL timestamps: each adoption-prune probe below becomes
     // an O(1) compare, with the exact linear probe as fallback when the
     // one-entry-per-node invariant is violated.
-    let (monl_map, monl_unique) = body.monl.ts_by_node(n);
+    let monl_unique = refresh_body && scratch.b.fill(&body.monl, n);
+    let monl_map = &scratch.b;
     let si_nsit = &mut si.nsit;
     let MsgBody {
         monl: body_monl,
@@ -144,13 +242,15 @@ pub fn exchange(si: &mut Si, body: &mut MsgBody, em_for: Option<&ReqTuple>) -> E
         if local_ts == msg_ts {
             // Equal version ⇒ same append-set; apply both deletion sets.
             // When the two copies are already identical (by far the common
-            // case — most rows are in sync or empty) the intersection is a
-            // no-op, so skip the rebuild; this is the hottest line of the
-            // whole simulation.
+            // case — most rows are in sync or empty, and shared rows
+            // compare by pointer) the intersection is a no-op, so skip the
+            // rebuild; this is the hottest line of the whole simulation.
             if si_nsit.row(k).mnl != body_msit.row(k).mnl {
                 // Intersect the local copy in place, then mirror it.
                 si_nsit.row_mut(k).mnl.intersect(&body_msit.row(k).mnl);
-                body_msit.row_mut(k).mnl.assign_from(&si_nsit.row(k).mnl);
+                if refresh_body {
+                    body_msit.row_mut(k).mnl.assign_from(&si_nsit.row(k).mnl);
+                }
             }
         } else if local_ts < msg_ts {
             // Lines 15-16: the fresher copy no longer lists k's own request
@@ -171,27 +271,72 @@ pub fn exchange(si: &mut Si, body: &mut MsgBody, em_for: Option<&ReqTuple>) -> E
             dst.mnl.assign_from(&body_msit.row(k).mnl);
             out.rows_adopted += 1;
         } else {
-            // Mirror of lines 17-18 + 19-20 in the other direction.
+            // Mirror of lines 17-18: the local fresher copy proves k's own
+            // request finished. This purge runs in BOTH modes even though it
+            // writes only to the message table — later iterations of this
+            // loop adopt message rows into `si`, so leaving the finished
+            // tuple in them would change what the receiver merges (and its
+            // zombie count) depending on the mode.
             if let Some(own) = body_msit.row(k).mnl.tuple_of(k) {
                 if !si_nsit.row(k).mnl.contains(&own) {
                     body_msit.delete_everywhere(&own);
                 }
             }
-            let dst = body_msit.row_mut(k);
-            dst.ts = local_ts;
-            dst.mnl.assign_from(&si_nsit.row(k).mnl);
-            if monl_unique {
-                dst.mnl
-                    .remove_where(|t| monl_map[t.node.index()] == Some(t.ts));
-            } else {
-                dst.mnl.remove_where(|t| body_monl.contains(t));
+            if refresh_body {
+                // Mirror of lines 19-20: refresh the staler message row.
+                // (This part really is body-only.)
+                let dst = body_msit.row_mut(k);
+                dst.ts = local_ts;
+                dst.mnl.assign_from(&si_nsit.row(k).mnl);
+                if monl_unique {
+                    dst.mnl.remove_where(|t| monl_map.get(t.node) == Some(t.ts));
+                } else {
+                    dst.mnl.remove_where(|t| body_monl.contains(t));
+                }
             }
         }
     }
+}
 
-    // --- Normalization: ordered tuples never vote; zombies are purged.
-    out.zombies_purged = si.normalize_after_merge();
-    out
+/// Scrubs the ordered-list suffix `list[from..]` out of every row of
+/// `table` in one batched sweep.
+///
+/// Equivalent to `for t in list.iter().skip(from) { table.delete_everywhere(t) }`
+/// — per-row `retain` order is preserved and the removal set is identical —
+/// but walks the table once instead of once per suffix tuple, turning the
+/// cost from O(suffix × N) row visits into O(N). The map-based probe needs
+/// one entry per node; a duplicate-node suffix (corrupt state) falls back
+/// to the exact per-tuple walk.
+fn scrub_suffix(table: &mut Nsit, list: &Nonl, from: usize, map: &mut NodeTsMap, n: usize) {
+    map.begin(n);
+    let mut unique = true;
+    let mut any = false;
+    let mut suffix_mask = 0u64;
+    for t in list.iter().skip(from) {
+        unique &= map.set(t.node, t.ts);
+        suffix_mask |= crate::mnl::node_bit(t.node);
+        any = true;
+    }
+    if !any {
+        return;
+    }
+    if unique {
+        // The suffix is short (orderings learned since the other side's
+        // snapshot), so its node mask filters out almost every row without
+        // touching the row's backing allocation. A clear intersection
+        // proves the row holds no suffix-node tuple at all. Only rows that
+        // actually lose a tuple are marked for the normalization pass.
+        table.for_each_row_mut(|_, row| {
+            if row.mnl.nodes_mask() & suffix_mask == 0 {
+                return false;
+            }
+            row.mnl.remove_where(|t| map.get(t.node) == Some(t.ts)) > 0
+        });
+    } else {
+        for t in list.iter().skip(from).copied().collect::<Vec<_>>() {
+            table.delete_everywhere(&t);
+        }
+    }
 }
 
 #[cfg(test)]

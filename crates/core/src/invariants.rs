@@ -5,6 +5,7 @@
 //! nodes.
 
 use crate::node::RcvNode;
+use crate::tuple::ReqTuple;
 
 /// Checks the per-node structural invariants of every node, returning the
 /// first failure description.
@@ -19,7 +20,57 @@ pub fn check_local_invariants(nodes: &[RcvNode]) -> Result<(), String> {
 /// (one is a prefix of the other after completion pruning). Because pruning
 /// is lazy, we check the weaker but safety-sufficient property directly:
 /// the relative order of tuples present in both lists must agree.
+///
+/// The model checker runs this over every explored state, so the shape
+/// matters: the naive form compared all `P²` node pairs with an `O(L²)`
+/// membership scan per pair. Consistency is a property of list *contents*
+/// alone, so nodes are first grouped by distinct NONL content (equality is
+/// a pointer probe under the copy-on-write lists, and identical lists are
+/// trivially self-consistent) and only one representative per group is
+/// checked against each other group, with membership answered by a sorted
+/// index instead of a linear scan. Accept/reject is exactly the naive
+/// form's; a rejection re-runs it to report its exact first-failing pair.
 pub fn check_nonl_consistency(nodes: &[RcvNode]) -> Result<(), String> {
+    // One representative index per distinct NONL content, in first-seen
+    // order. A converged system has one group; even mid-run the count
+    // stays far below the node count.
+    let mut reps: Vec<usize> = Vec::new();
+    for (i, node) in nodes.iter().enumerate() {
+        if !reps.iter().any(|&r| nodes[r].si().nonl == node.si().nonl) {
+            reps.push(i);
+        }
+    }
+    // Sorted membership index per distinct content: `contains` becomes a
+    // binary search, with no assumptions about per-node uniqueness.
+    let sorted: Vec<Vec<ReqTuple>> = reps
+        .iter()
+        .map(|&r| {
+            let mut v: Vec<ReqTuple> = nodes[r].si().nonl.iter().copied().collect();
+            v.sort_unstable();
+            v
+        })
+        .collect();
+    for (x, &i) in reps.iter().enumerate() {
+        for (y, &j) in reps.iter().enumerate().skip(x + 1) {
+            let la = &nodes[i].si().nonl;
+            let lb = &nodes[j].si().nonl;
+            // Common-subsequence order check, streaming (no collects).
+            let common_a = la.iter().filter(|t| sorted[y].binary_search(t).is_ok());
+            let common_b = lb.iter().filter(|t| sorted[x].binary_search(t).is_ok());
+            if !common_a.eq(common_b) {
+                // Cold path: reproduce the naive scan's exact error (its
+                // first failing pair in node order, which may differ from
+                // the representative pair that tripped here).
+                return check_nonl_consistency_exact(nodes);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The original pairwise form, kept as the failure-path reporter and as
+/// the reference oracle for the equivalence test below.
+fn check_nonl_consistency_exact(nodes: &[RcvNode]) -> Result<(), String> {
     for (i, a) in nodes.iter().enumerate() {
         for b in &nodes[i + 1..] {
             let la = &a.si().nonl;
@@ -57,5 +108,50 @@ mod tests {
         assert!(check_local_invariants(&nodes).is_ok());
         assert!(check_nonl_consistency(&nodes).is_ok());
         assert_eq!(total_anomalies(&nodes), 0);
+    }
+
+    fn t(n: u32, ts: u64) -> ReqTuple {
+        ReqTuple::new(NodeId::new(n), ts)
+    }
+
+    /// Builds nodes whose NONLs are exactly the given lists.
+    fn nodes_with_nonls(lists: &[Vec<ReqTuple>]) -> Vec<RcvNode> {
+        lists
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                let mut node = RcvNode::new(NodeId::new(i as u32), lists.len());
+                for &tp in l.iter() {
+                    node.si_mut().nonl.append(tp);
+                }
+                node
+            })
+            .collect()
+    }
+
+    #[test]
+    fn grouped_checker_matches_exact_checker() {
+        // Consistent: prefixes, duplicates-of-content across nodes, empties.
+        let cases: Vec<Vec<Vec<ReqTuple>>> = vec![
+            vec![vec![], vec![], vec![]],
+            vec![vec![t(0, 1)], vec![t(0, 1), t(1, 1)], vec![]],
+            vec![
+                vec![t(0, 1), t(1, 1)],
+                vec![t(0, 1), t(1, 1)],
+                vec![t(0, 1)],
+            ],
+            // Inconsistent: order disagreement on the common pair.
+            vec![vec![t(0, 1), t(1, 1)], vec![t(1, 1), t(0, 1)]],
+            // Inconsistent only between two non-adjacent nodes.
+            vec![vec![t(0, 1), t(1, 1)], vec![], vec![t(1, 1), t(0, 1)]],
+            // Disjoint contents: vacuously consistent.
+            vec![vec![t(0, 1)], vec![t(1, 5)]],
+        ];
+        for lists in cases {
+            let nodes = nodes_with_nonls(&lists);
+            let fast = check_nonl_consistency(&nodes);
+            let exact = check_nonl_consistency_exact(&nodes);
+            assert_eq!(fast, exact, "divergence on {lists:?}");
+        }
     }
 }

@@ -57,12 +57,14 @@ mod node;
 mod nonl;
 mod nsit;
 mod order;
+mod scratch;
+#[allow(missing_docs)]
 mod si;
 mod stats;
 mod tuple;
 
 pub use config::{ForwardPolicy, RcvConfig};
-pub use exchange::{exchange, ExchangeOutcome};
+pub use exchange::{exchange, exchange_recv, ExchangeOutcome};
 pub use invariants::{check_local_invariants, check_nonl_consistency, total_anomalies};
 pub use message::{MsgBody, RcvMessage};
 pub use mnl::Mnl;

@@ -9,15 +9,91 @@
 //!
 //! Invariant (paper Lemma 1): an MNL never holds two tuples for the same
 //! node — a node has at most one outstanding request.
+//!
+//! Storage is an `Arc`-backed copy-on-write vector: cloning an `Mnl` (row
+//! adoption in the Exchange procedure, full-table message snapshots) is a
+//! reference-count bump, and mutation clones the backing vector only when
+//! it is actually shared *and* the operation actually changes something.
+//! Equality gets an `Arc::ptr_eq` fast path — pointer-equal lists are
+//! content-equal by construction — and `Hash` hashes the contents, so
+//! fingerprints and the model checker's state merging are unaffected by
+//! sharing structure.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
 
 use rcv_simnet::NodeId;
 
 use crate::tuple::ReqTuple;
 
+/// All empty lists share one backing allocation: a fresh N-row table is N
+/// refcount bumps, and empty-vs-empty comparisons hit the pointer fast
+/// path.
+fn shared_empty() -> Arc<Vec<ReqTuple>> {
+    static EMPTY: OnceLock<Arc<Vec<ReqTuple>>> = OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::new(Vec::new())))
+}
+
+/// The bit a node contributes to a list's [`Mnl::nodes_mask`].
+#[inline]
+pub(crate) fn node_bit(node: NodeId) -> u64 {
+    1u64 << (node.index() & 63)
+}
+
 /// Arrival-ordered list of outstanding requests, at most one per node.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+///
+/// Two derived facts ride inline next to the `Arc` so the hottest probes
+/// ("are these rows even comparable?", "could this row hold a tuple of
+/// node j?") never touch the backing allocation: `len` mirrors
+/// `items.len()` exactly, and `mask` is the OR of every member's
+/// [`node_bit`] — a membership *filter*: a clear bit proves absence, a set
+/// bit proves nothing. `front` mirrors `items.first()` — the row's vote,
+/// read by the Order procedure's seed scan over every row. All three are
+/// recomputed by every mutating operation.
+#[derive(Clone, Eq)]
 pub struct Mnl {
-    items: Vec<ReqTuple>,
+    items: Arc<Vec<ReqTuple>>,
+    len: u32,
+    mask: u64,
+    front: Option<ReqTuple>,
+}
+
+impl Default for Mnl {
+    fn default() -> Self {
+        Mnl {
+            items: shared_empty(),
+            len: 0,
+            mask: 0,
+            front: None,
+        }
+    }
+}
+
+impl PartialEq for Mnl {
+    fn eq(&self, other: &Self) -> bool {
+        // `len` is exact, so a mismatch decides without dereferencing
+        // either allocation (pointer-unequal but content-equal lists are
+        // common: a row and its in-flight snapshot).
+        self.len == other.len
+            && (Arc::ptr_eq(&self.items, &other.items) || *self.items == *other.items)
+    }
+}
+
+impl fmt::Debug for Mnl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Shape-compatible with the historical derived output (the cached
+        // fields are derived data, not state).
+        f.debug_struct("Mnl").field("items", &self.items).finish()
+    }
+}
+
+impl Hash for Mnl {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Contents only — identical to the pre-COW derived hash, so the
+        // model checker's state fingerprints are stable across the swap.
+        self.items.hash(state);
+    }
 }
 
 impl Mnl {
@@ -27,9 +103,10 @@ impl Mnl {
     }
 
     /// The row's current vote: the oldest outstanding request it knows.
+    /// O(1) from the inline cache — no deref of the backing allocation.
     #[inline]
     pub fn top(&self) -> Option<ReqTuple> {
-        self.items.first().copied()
+        self.front
     }
 
     /// Whether the exact tuple is present.
@@ -47,6 +124,35 @@ impl Mnl {
         self.items.iter().find(|t| t.node == node).copied()
     }
 
+    /// Whether `self` and `other` share the same backing storage (and are
+    /// therefore content-equal without looking).
+    #[inline]
+    pub fn same_backing(&self, other: &Mnl) -> bool {
+        Arc::ptr_eq(&self.items, &other.items)
+    }
+
+    /// Conservative node-membership filter: the OR of every member's
+    /// [`node_bit`]. A clear bit proves no tuple of that node is present;
+    /// a set bit is inconclusive (64-bit hashing aliases nodes ≥ 64).
+    #[inline]
+    pub(crate) fn nodes_mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// Whether a tuple of `node` *could* be present — O(1), no deref.
+    /// False guarantees absence.
+    #[inline]
+    pub fn may_contain_node(&self, node: NodeId) -> bool {
+        self.mask & node_bit(node) != 0
+    }
+
+    /// Recomputes the inline caches from the backing vector.
+    fn refresh_cache(&mut self) {
+        self.len = self.items.len() as u32;
+        self.mask = self.items.iter().fold(0, |m, t| m | node_bit(t.node));
+        self.front = self.items.first().copied();
+    }
+
     /// Appends `t` at the back.
     ///
     /// If a tuple for the same node is already present the Lemma 1 invariant
@@ -59,43 +165,77 @@ impl Mnl {
             if existing.ts >= t.ts {
                 return false;
             }
-            self.remove_node(t.node);
+            let v = Arc::make_mut(&mut self.items);
+            v.retain(|x| x.node != t.node);
+            v.push(t);
+            self.refresh_cache();
+            return true;
         }
-        self.items.push(t);
+        Arc::make_mut(&mut self.items).push(t);
+        if self.len == 0 {
+            self.front = Some(t);
+        }
+        self.len += 1;
+        self.mask |= node_bit(t.node);
         true
     }
 
     /// Removes the exact tuple; returns whether it was present.
     pub fn remove(&mut self, t: &ReqTuple) -> bool {
-        let before = self.items.len();
-        self.items.retain(|x| x != t);
-        self.items.len() != before
+        if !self.contains(t) {
+            return false;
+        }
+        Arc::make_mut(&mut self.items).retain(|x| x != t);
+        self.refresh_cache();
+        true
     }
 
     /// Removes any tuple of `node`; returns whether one was present.
     pub fn remove_node(&mut self, node: NodeId) -> bool {
-        let before = self.items.len();
-        self.items.retain(|x| x.node != node);
-        self.items.len() != before
+        if !self.contains_node(node) {
+            return false;
+        }
+        Arc::make_mut(&mut self.items).retain(|x| x.node != node);
+        self.refresh_cache();
+        true
     }
 
     /// Removes every tuple matching `pred` in one pass, preserving the
     /// order of survivors. Returns how many tuples were removed.
     ///
-    /// Equivalent to calling [`Mnl::remove`] for each matching tuple, but
-    /// rewrites the list once instead of once per removal — this sits on
-    /// the Exchange procedure's per-message path.
+    /// `pred` is called exactly once per tuple, in order (it may carry
+    /// state), and the backing vector is only cloned-for-write once a
+    /// first match is found — a miss on a shared list costs zero copies.
     pub fn remove_where(&mut self, mut pred: impl FnMut(&ReqTuple) -> bool) -> usize {
-        let before = self.items.len();
-        self.items.retain(|x| !pred(x));
-        before - self.items.len()
+        let Some(first) = self.items.iter().position(&mut pred) else {
+            return 0;
+        };
+        let v = Arc::make_mut(&mut self.items);
+        let before = v.len();
+        let mut write = first;
+        for read in (first + 1)..before {
+            if !pred(&v[read]) {
+                v[write] = v[read];
+                write += 1;
+            }
+        }
+        v.truncate(write);
+        let removed = before - write;
+        self.refresh_cache();
+        removed
     }
 
-    /// Overwrites `self` with `other`'s contents, reusing the existing
-    /// allocation. The Exchange procedure adopts fresher row copies on
-    /// every message; a fresh clone per adoption would churn the allocator.
+    /// Overwrites `self` with `other`'s contents. With copy-on-write
+    /// storage this is a reference-count bump: the Exchange procedure
+    /// adopts fresher row copies on every message, and adoption now shares
+    /// the sender's allocation instead of copying it.
     pub fn assign_from(&mut self, other: &Mnl) {
-        self.items.clone_from(&other.items);
+        if !Arc::ptr_eq(&self.items, &other.items) {
+            self.items = Arc::clone(&other.items);
+            self.len = other.len;
+            self.mask = other.mask;
+            self.front = other.front;
+        }
     }
 
     /// Keeps only tuples also present in `other`, preserving order.
@@ -106,17 +246,23 @@ impl Mnl {
     /// deletions (set intersection) is the sound merge
     /// (DESIGN.md interpretation #3).
     pub fn intersect(&mut self, other: &Mnl) {
-        self.items.retain(|x| other.contains(x));
+        if self.items.iter().all(|x| other.contains(x)) {
+            return;
+        }
+        Arc::make_mut(&mut self.items).retain(|x| other.contains(x));
+        self.refresh_cache();
     }
 
-    /// Number of tuples.
+    /// Number of tuples — O(1), no deref of the backing allocation.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.len as usize
     }
 
-    /// Whether the list is empty (the row is an RCV "unknown").
+    /// Whether the list is empty (the row is an RCV "unknown") — O(1).
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.len == 0
     }
 
     /// Iterates tuples in arrival order.
@@ -127,7 +273,7 @@ impl Mnl {
     /// Lemma 1 invariant check: no two tuples share a node.
     pub fn invariant_one_per_node(&self) -> bool {
         let mut seen: Vec<NodeId> = Vec::with_capacity(self.items.len());
-        for t in &self.items {
+        for t in self.items.iter() {
             if seen.contains(&t.node) {
                 return false;
             }
@@ -136,9 +282,12 @@ impl Mnl {
         true
     }
 
-    /// Rough serialized size (for the wire-size metric).
+    /// Rough serialized size (for the wire-size metric). Reads the inline
+    /// length cache: this is called for every row of every outgoing
+    /// message, and chasing each row's backing allocation just to read its
+    /// length made the per-send accounting O(N) cache misses.
     pub fn wire_size(&self) -> usize {
-        self.items.len() * 12
+        self.len() * 12
     }
 }
 
@@ -147,7 +296,14 @@ impl Mnl {
     /// Test-only: builds a list bypassing `push`'s Lemma 1 enforcement,
     /// for exercising the invariant-violation fallback paths.
     pub(crate) fn from_raw(items: Vec<ReqTuple>) -> Self {
-        Mnl { items }
+        let mut m = Mnl {
+            items: Arc::new(items),
+            len: 0,
+            mask: 0,
+            front: None,
+        };
+        m.refresh_cache();
+        m
     }
 }
 
@@ -204,6 +360,26 @@ mod tests {
     }
 
     #[test]
+    fn remove_where_calls_pred_once_per_tuple_in_order() {
+        let mut m: Mnl = [t(0, 1), t(1, 1), t(2, 1), t(3, 1)].into_iter().collect();
+        let mut seen = Vec::new();
+        let removed = m.remove_where(|x| {
+            seen.push(x.node.raw());
+            x.node.raw() % 2 == 1
+        });
+        assert_eq!(removed, 2);
+        assert_eq!(
+            seen,
+            vec![0, 1, 2, 3],
+            "stateful predicates need one call each"
+        );
+        assert_eq!(
+            m.iter().copied().collect::<Vec<_>>(),
+            vec![t(0, 1), t(2, 1)]
+        );
+    }
+
+    #[test]
     fn intersect_applies_both_deletion_sets() {
         let mut a: Mnl = [t(0, 1), t(1, 1), t(2, 1)].into_iter().collect();
         let b: Mnl = [t(0, 1), t(2, 1)].into_iter().collect(); // other side deleted t(1,..)
@@ -219,9 +395,7 @@ mod tests {
         let good: Mnl = [t(0, 1), t(1, 1)].into_iter().collect();
         assert!(good.invariant_one_per_node());
         // Build a corrupt list bypassing push():
-        let bad = Mnl {
-            items: vec![t(0, 1), t(0, 2)],
-        };
+        let bad = Mnl::from_raw(vec![t(0, 1), t(0, 2)]);
         assert!(!bad.invariant_one_per_node());
     }
 
@@ -230,5 +404,26 @@ mod tests {
         let m: Mnl = [t(5, 1), t(1, 2), t(3, 1)].into_iter().collect();
         let order: Vec<u32> = m.iter().map(|x| x.node.raw()).collect();
         assert_eq!(order, vec![5, 1, 3]);
+    }
+
+    #[test]
+    fn cow_sharing_and_divergence() {
+        let a: Mnl = [t(0, 1), t(1, 1)].into_iter().collect();
+        let mut b = Mnl::new();
+        b.assign_from(&a);
+        assert!(a.same_backing(&b), "adoption must share storage");
+        assert_eq!(a, b);
+        // Mutating the copy must not disturb the original.
+        b.remove(&t(0, 1));
+        assert!(!a.same_backing(&b));
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 1);
+        // No-op mutations on a shared list must not clone it.
+        let mut c = Mnl::new();
+        c.assign_from(&a);
+        assert!(!c.remove(&t(9, 9)));
+        assert_eq!(c.remove_where(|x| x.ts > 100), 0);
+        c.intersect(&a);
+        assert!(c.same_backing(&a), "no-op mutations must keep sharing");
     }
 }

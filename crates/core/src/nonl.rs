@@ -6,15 +6,64 @@
 //! entries, order their common elements identically — one is a prefix of the
 //! other. [`Nonl::prefix_consistent_with`] checks exactly that and is used
 //! throughout the test battery.
+//!
+//! Like [`crate::Mnl`], storage is an `Arc`-backed copy-on-write vector:
+//! snapshotting the list into a message and adopting a longer MONL are
+//! reference-count bumps, equality gets a pointer fast path, and `Hash`
+//! covers contents only so state fingerprints ignore sharing structure.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
 
 use rcv_simnet::NodeId;
 
 use crate::tuple::ReqTuple;
 
+/// All empty lists share one backing allocation.
+fn shared_empty() -> Arc<Vec<ReqTuple>> {
+    static EMPTY: OnceLock<Arc<Vec<ReqTuple>>> = OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::new(Vec::new())))
+}
+
 /// An ordered list of requests granted the CS, front = next/current holder.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+///
+/// `len` mirrors `items.len()` exactly, so length probes and the equality
+/// fast path never dereference the backing allocation.
+#[derive(Clone, Eq)]
 pub struct Nonl {
-    items: Vec<ReqTuple>,
+    items: Arc<Vec<ReqTuple>>,
+    len: u32,
+}
+
+impl Default for Nonl {
+    fn default() -> Self {
+        Nonl {
+            items: shared_empty(),
+            len: 0,
+        }
+    }
+}
+
+impl PartialEq for Nonl {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len
+            && (Arc::ptr_eq(&self.items, &other.items) || *self.items == *other.items)
+    }
+}
+
+impl fmt::Debug for Nonl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Shape-compatible with the historical derived output.
+        f.debug_struct("Nonl").field("items", &self.items).finish()
+    }
+}
+
+impl Hash for Nonl {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Contents only — identical to the pre-COW derived hash.
+        self.items.hash(state);
+    }
 }
 
 impl Nonl {
@@ -46,19 +95,30 @@ impl Nonl {
         }
     }
 
+    /// Whether `self` and `other` share the same backing storage (and are
+    /// therefore content-equal without looking).
+    #[inline]
+    pub fn same_backing(&self, other: &Nonl) -> bool {
+        Arc::ptr_eq(&self.items, &other.items)
+    }
+
     /// Appends a newly ordered request at the back (Order procedure
     /// line 14). No-op if already present (idempotent under re-learning).
     pub fn append(&mut self, t: ReqTuple) {
         if !self.contains(&t) {
-            self.items.push(t);
+            Arc::make_mut(&mut self.items).push(t);
+            self.len += 1;
         }
     }
 
     /// Removes the exact tuple (CS completion); returns whether present.
     pub fn remove(&mut self, t: &ReqTuple) -> bool {
-        let before = self.items.len();
-        self.items.retain(|x| x != t);
-        self.items.len() != before
+        if !self.contains(t) {
+            return false;
+        }
+        Arc::make_mut(&mut self.items).retain(|x| x != t);
+        self.len = self.items.len() as u32;
+        true
     }
 
     /// Removes `t` *and every tuple preceding it* (Exchange lines 1–4: if a
@@ -67,7 +127,8 @@ impl Nonl {
     pub fn remove_through(&mut self, t: &ReqTuple) -> usize {
         match self.position(t) {
             Some(i) => {
-                self.items.drain(..=i);
+                Arc::make_mut(&mut self.items).drain(..=i);
+                self.len = self.items.len() as u32;
                 i + 1
             }
             None => 0,
@@ -78,22 +139,25 @@ impl Nonl {
     /// predecessors have finished). No-op if `t` is absent.
     pub fn remove_predecessors_of(&mut self, t: &ReqTuple) -> usize {
         match self.position(t) {
+            Some(0) | None => 0,
             Some(i) => {
-                self.items.drain(..i);
+                Arc::make_mut(&mut self.items).drain(..i);
+                self.len = self.items.len() as u32;
                 i
             }
-            None => 0,
         }
     }
 
-    /// Number of ordered requests.
+    /// Number of ordered requests — O(1), no deref.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.len as usize
     }
 
-    /// Whether the list is empty.
+    /// Whether the list is empty — O(1), no deref.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.len == 0
     }
 
     /// Iterates in CS-entry order.
@@ -101,10 +165,14 @@ impl Nonl {
         self.items.iter()
     }
 
-    /// Overwrites `self` with `other`'s contents, reusing the existing
-    /// allocation (hot-path alternative to `*self = other.clone()`).
+    /// Overwrites `self` with `other`'s contents. A reference-count bump
+    /// under copy-on-write storage — MONL adoption shares the message's
+    /// allocation instead of copying it.
     pub fn assign_from(&mut self, other: &Nonl) {
-        self.items.clone_from(&other.items);
+        if !Arc::ptr_eq(&self.items, &other.items) {
+            self.items = Arc::clone(&other.items);
+            self.len = other.len;
+        }
     }
 
     /// Per-node timestamp table for O(1) membership probes in an `n`-node
@@ -137,6 +205,9 @@ impl Nonl {
     /// Lemma 6/7 check: after pruning, one list must be a prefix of the
     /// other.
     pub fn prefix_consistent_with(&self, other: &Nonl) -> bool {
+        if Arc::ptr_eq(&self.items, &other.items) {
+            return true;
+        }
         let (short, long) = if self.len() <= other.len() {
             (self, other)
         } else {
@@ -149,9 +220,10 @@ impl Nonl {
             .all(|(a, b)| a == b)
     }
 
-    /// Rough serialized size (for the wire-size metric).
+    /// Rough serialized size (for the wire-size metric); O(1) via the
+    /// inline length cache.
     pub fn wire_size(&self) -> usize {
-        self.items.len() * 12
+        self.len() * 12
     }
 }
 
@@ -222,5 +294,26 @@ mod tests {
         let b: Nonl = [t(0, 1)].into_iter().collect();
         let d: Vec<_> = a.difference(&b).copied().collect();
         assert_eq!(d, vec![t(1, 1), t(2, 1)]);
+    }
+
+    #[test]
+    fn cow_sharing_and_divergence() {
+        let a: Nonl = [t(0, 1), t(1, 1)].into_iter().collect();
+        let mut b = Nonl::new();
+        b.assign_from(&a);
+        assert!(a.same_backing(&b), "adoption must share storage");
+        // Idempotent append on a shared list must not clone it.
+        b.append(t(0, 1));
+        assert!(a.same_backing(&b));
+        // A real mutation diverges without disturbing the original.
+        b.append(t(2, 1));
+        assert!(!a.same_backing(&b));
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 3);
+        // remove_predecessors_of the head is a no-op and must keep sharing.
+        let mut c = Nonl::new();
+        c.assign_from(&a);
+        assert_eq!(c.remove_predecessors_of(&t(0, 1)), 0);
+        assert!(c.same_backing(&a));
     }
 }

@@ -7,32 +7,135 @@
 //! copy in the system is a snapshot that propagates through messages and is
 //! reconciled by the Exchange procedure (fresher version wins wholesale,
 //! equal versions intersect — see DESIGN.md interpretation #3).
+//!
+//! # Change tracking for incremental normalization
+//!
+//! The table carries a conservative *dirty* summary so the post-merge
+//! normalization pass ([`crate::si::Si::normalize_after_merge`]) can skip
+//! rows that provably need no work instead of probing every node per
+//! message:
+//!
+//! * every row starts **dirty** (a freshly built or deserialized table gets
+//!   a full first sweep, so arbitrary states behave exactly like the
+//!   reference full-pass implementation);
+//! * every mutation path marks the touched row dirty and ORs the row
+//!   *owner's* [`node_bit`] into `dirty_homes` (a changed row `k` may have
+//!   changed node `k`'s home-row facts, which the zombie check of *other*
+//!   rows depends on);
+//! * the normalization pass scans a row iff it is dirty **or** its MNL's
+//!   node mask intersects `dirty_homes` (it references a node whose home
+//!   row changed), then clears the whole summary.
+//!
+//! Soundness: a clean row is one a previous normalization pass verified
+//! (or inductively established) to yield zero removals. Its contents are
+//! unchanged since; entries appended to the NONL later were deleted from
+//! every row at append time (Order's removal sweep, the Exchange adoption
+//! scrub, `delete_everywhere` — all exact), so the row still holds no NONL
+//! member; and the completion-evidence decision for each of its tuples
+//! depends only on the referenced node's home row, whose every change sets
+//! a `dirty_homes` bit the row's mask would intersect. The mask test is
+//! exact for `N ≤ 64` and a conservative superset above (bit aliasing can
+//! only cause extra scans, never a skipped removal).
+//!
+//! The tracking is derived data: `Clone` carries it, but `PartialEq`,
+//! `Hash` and `Debug` ignore it, so state fingerprints, model-checker
+//! deduplication and debug output are identical to the untracked table.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use rcv_simnet::NodeId;
 
 use crate::mnl::Mnl;
 use crate::tuple::ReqTuple;
 
+/// The `dirty_homes` bit of row index `i` (same folding as
+/// [`crate::mnl::node_bit`], so it lines up with each MNL's node mask).
+#[inline]
+fn index_bit(i: usize) -> u64 {
+    1u64 << (i & 63)
+}
+
 /// One NSIT row: the recorded state of a single node.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+#[derive(Clone, Eq)]
 pub struct NsitRow {
     /// Version counter ("TS" in the paper): how up to date this copy is.
     pub ts: u64,
     /// Outstanding requests registered by the row's owner, arrival order.
     pub mnl: Mnl,
+    /// Whether the row changed since the last normalization pass
+    /// (derived bookkeeping — excluded from `Eq`/`Hash`/`Debug`).
+    dirty: bool,
+}
+
+impl Default for NsitRow {
+    fn default() -> Self {
+        NsitRow {
+            ts: 0,
+            mnl: Mnl::default(),
+            // Fresh rows must be swept by the first normalization pass.
+            dirty: true,
+        }
+    }
+}
+
+impl PartialEq for NsitRow {
+    fn eq(&self, other: &Self) -> bool {
+        self.ts == other.ts && self.mnl == other.mnl
+    }
+}
+
+impl Hash for NsitRow {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Same field order as the historical derived impl.
+        self.ts.hash(state);
+        self.mnl.hash(state);
+    }
+}
+
+impl fmt::Debug for NsitRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NsitRow")
+            .field("ts", &self.ts)
+            .field("mnl", &self.mnl)
+            .finish()
+    }
 }
 
 /// The full table, indexed by node id.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Eq)]
 pub struct Nsit {
     rows: Vec<NsitRow>,
+    /// OR of [`index_bit`] over every row marked dirty since the last
+    /// normalization pass (derived bookkeeping, excluded from equality).
+    dirty_homes: u64,
+}
+
+impl PartialEq for Nsit {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+    }
+}
+
+impl Hash for Nsit {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.rows.hash(state);
+    }
+}
+
+impl fmt::Debug for Nsit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Nsit").field("rows", &self.rows).finish()
+    }
 }
 
 impl Nsit {
-    /// A fresh table for an `n`-node system: all rows empty at version 0.
+    /// A fresh table for an `n`-node system: all rows empty at version 0
+    /// (and dirty, so the first normalization sweeps everything).
     pub fn new(n: usize) -> Self {
         Nsit {
             rows: vec![NsitRow::default(); n],
+            dirty_homes: !0,
         }
     }
 
@@ -46,9 +149,12 @@ impl Nsit {
         &self.rows[node.index()]
     }
 
-    /// Mutable row access.
+    /// Mutable row access; conservatively marks the row changed.
     pub fn row_mut(&mut self, node: NodeId) -> &mut NsitRow {
-        &mut self.rows[node.index()]
+        self.dirty_homes |= index_bit(node.index());
+        let r = &mut self.rows[node.index()];
+        r.dirty = true;
+        r
     }
 
     /// Iterates `(owner, row)` pairs.
@@ -59,9 +165,64 @@ impl Nsit {
             .map(|(i, r)| (NodeId::new(i as u32), r))
     }
 
-    /// Iterates rows mutably, in node order.
+    /// Iterates rows mutably, in node order; conservatively marks every
+    /// row changed (cold-path sweeps only — hot sweeps use
+    /// [`Nsit::for_each_row_mut`] to mark precisely).
     pub fn rows_mut(&mut self) -> impl Iterator<Item = &mut NsitRow> {
+        self.dirty_homes = !0;
+        for r in &mut self.rows {
+            r.dirty = true;
+        }
         self.rows.iter_mut()
+    }
+
+    /// Visits every row mutably in node order; `f` returns whether it
+    /// changed the row, and only changed rows are marked for the next
+    /// normalization pass.
+    pub(crate) fn for_each_row_mut(&mut self, mut f: impl FnMut(NodeId, &mut NsitRow) -> bool) {
+        for (i, row) in self.rows.iter_mut().enumerate() {
+            if f(NodeId::new(i as u32), row) {
+                row.dirty = true;
+                self.dirty_homes |= index_bit(i);
+            }
+        }
+    }
+
+    /// Whether the normalization pass may skip row `k`: clean rows whose
+    /// members all live in unchanged home rows cannot yield removals.
+    #[inline]
+    pub(crate) fn needs_normalize(&self, k: NodeId) -> bool {
+        let r = &self.rows[k.index()];
+        r.dirty || r.mnl.nodes_mask() & self.dirty_homes != 0
+    }
+
+    /// The accumulated changed-home bit set (see [`index_bit`]). Within a
+    /// normalization pass, a *clean* row may further skip any member tuple
+    /// whose home bit is clear here: the tuple survived its last decision
+    /// as a keep, and a clear bit proves neither its home row nor its
+    /// NONL status changed since (NONL appends scrub the tuple out of
+    /// every row at append time, and re-imports mark the row dirty).
+    #[inline]
+    pub(crate) fn dirty_home_bits(&self) -> u64 {
+        self.dirty_homes
+    }
+
+    /// Whether row `k` itself changed since the last normalization pass
+    /// (as opposed to merely referencing a changed home row).
+    #[inline]
+    pub(crate) fn row_is_dirty(&self, k: NodeId) -> bool {
+        self.rows[k.index()].dirty
+    }
+
+    /// Resets the change tracking after a completed normalization pass.
+    pub(crate) fn clear_dirty(&mut self) {
+        if self.dirty_homes == 0 {
+            return;
+        }
+        self.dirty_homes = 0;
+        for r in self.rows.iter_mut() {
+            r.dirty = false;
+        }
     }
 
     /// Largest version across all rows (MPM line 36 uses `max(...)+1`).
@@ -72,10 +233,18 @@ impl Nsit {
     /// Deletes the exact tuple from **every** row (Order line 15, Exchange
     /// completion purges). Returns the number of rows it was removed from.
     pub fn delete_everywhere(&mut self, t: &ReqTuple) -> usize {
-        self.rows
-            .iter_mut()
-            .map(|r| usize::from(r.mnl.remove(t)))
-            .sum()
+        // The per-row node-mask filter proves absence without touching the
+        // row's backing allocation; `remove` stays gated on an exact
+        // membership probe, so the filter only skips guaranteed no-ops.
+        let mut removed = 0usize;
+        for (i, row) in self.rows.iter_mut().enumerate() {
+            if row.mnl.may_contain_node(t.node) && row.mnl.remove(t) {
+                row.dirty = true;
+                self.dirty_homes |= index_bit(i);
+                removed += 1;
+            }
+        }
+        removed
     }
 
     /// Number of rows with an empty MNL — the RCV "unknowns"
@@ -114,7 +283,8 @@ impl Nsit {
             .all(|r| r.mnl.invariant_one_per_node() && r.mnl.len() <= self.n())
     }
 
-    /// Rough serialized size (for the wire-size metric).
+    /// Rough serialized size (for the wire-size metric). O(N) over inline
+    /// length caches — no per-row deref.
     pub fn wire_size(&self) -> usize {
         self.rows.iter().map(|r| 12 + r.mnl.wire_size()).sum()
     }
@@ -175,5 +345,53 @@ mod tests {
     #[test]
     fn lemma1_holds_for_valid_table() {
         assert!(table().invariant_lemma1());
+    }
+
+    #[test]
+    fn dirty_tracking_is_invisible_to_eq_hash_debug() {
+        use std::collections::hash_map::DefaultHasher;
+        let dirty = table();
+        let mut clean = table();
+        clean.clear_dirty();
+        assert_eq!(dirty, clean, "dirty flags must not affect equality");
+        let h = |s: &Nsit| {
+            let mut hasher = DefaultHasher::new();
+            s.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_eq!(h(&dirty), h(&clean), "dirty flags must not affect hashes");
+        assert_eq!(format!("{dirty:?}"), format!("{clean:?}"));
+    }
+
+    #[test]
+    fn mutations_re_dirty_rows_after_clear() {
+        let mut s = table();
+        s.clear_dirty();
+        for k in NodeId::all(4) {
+            assert!(!s.needs_normalize(k), "cleared table must be clean");
+        }
+        // A mutation of row 2 dirties row 2 itself...
+        s.row_mut(NodeId::new(2)).mnl.push(t(3, 7));
+        assert!(s.needs_normalize(NodeId::new(2)));
+        // ...and, via dirty_homes, every row referencing node 2. Row 0
+        // holds tuples of nodes {0, 1} only, so it stays skippable.
+        assert!(!s.needs_normalize(NodeId::new(0)));
+        let mut s2 = table();
+        s2.clear_dirty();
+        s2.row_mut(NodeId::new(1)).ts = 9;
+        assert!(
+            s2.needs_normalize(NodeId::new(0)),
+            "row 0 references node 1, whose home row changed"
+        );
+    }
+
+    #[test]
+    fn for_each_row_mut_marks_only_changed_rows() {
+        let mut s = table();
+        s.clear_dirty();
+        s.for_each_row_mut(|_, row| row.mnl.remove(&t(1, 1)));
+        assert!(s.needs_normalize(NodeId::new(0)), "row 0 lost a tuple");
+        assert!(s.needs_normalize(NodeId::new(1)), "row 1 lost a tuple");
+        assert!(!s.needs_normalize(NodeId::new(3)), "row 3 was untouched");
     }
 }

@@ -166,27 +166,163 @@ pub fn order(si: &mut Si, home: ReqTuple) -> OrderOutcome {
         si.nsit.delete_everywhere(&home);
         out.home_ordered = true;
     } else {
-        let n = si.nsit.n();
-        let mut by_node: Vec<(u64, usize)> = Vec::new();
-        while let Some(r) = rank(si, &mut by_node) {
-            // Every non-empty row casts exactly one vote, so the unknown
-            // count (rows with empty MNLs) falls out of the rank pass.
-            let unknowns = n - r.votes_total;
-            if !orderable(&r, unknowns) {
-                break;
-            }
-            si.nonl.append(r.leader);
-            si.nsit.delete_everywhere(&r.leader);
-            out.newly_ordered.push(r.leader);
-            if r.leader == home {
-                out.home_ordered = true;
-                break; // paper line 17: Continue = false
-            }
-        }
+        order_loop(si, home, &mut out);
     }
 
     out.highest_priority = out.home_ordered && si.nonl.head() == Some(home);
     out
+}
+
+/// Per-candidate vote slot for the incremental ordering loop.
+#[derive(Clone, Copy)]
+struct Slot {
+    ts: u64,
+    count: u32,
+    listed: bool,
+}
+
+/// The ordering loop with incremental vote maintenance: one full vote scan
+/// seeds per-node counts, and each round's removal sweep reports exactly
+/// which rows changed their front (only those rows' votes can change), so
+/// later rounds re-rank over the candidate set instead of re-scanning the
+/// whole table. Falls back to the reference rank()-per-round loop the
+/// moment two voting tuples share a node (corrupt states only); the
+/// reference recomputes everything from the current SI each round, so
+/// switching mid-call is seamless.
+fn order_loop(si: &mut Si, home: ReqTuple, out: &mut OrderOutcome) {
+    let n = si.nsit.n();
+    let mut slots: Vec<Slot> = vec![
+        Slot {
+            ts: 0,
+            count: 0,
+            listed: false
+        };
+        n
+    ];
+    let mut candidates: Vec<u32> = Vec::new();
+    let mut votes_total: usize = 0;
+    let mut degraded = false;
+    for vote in si.nsit.votes() {
+        votes_total += 1;
+        let slot = &mut slots[vote.node.index()];
+        if slot.count == 0 {
+            slot.ts = vote.ts;
+            slot.count = 1;
+            slot.listed = true;
+            candidates.push(vote.node.index() as u32);
+        } else if slot.ts == vote.ts {
+            slot.count += 1;
+        } else {
+            degraded = true;
+            break;
+        }
+    }
+    if degraded {
+        return order_loop_reference(si, home, out);
+    }
+    loop {
+        // Top-2 by (votes desc, node asc) — the same total comparator
+        // rank() realizes through its node-ascending scan, so scan order
+        // over the candidate set cannot change the outcome.
+        let mut best: Option<(u32, u64, u32)> = None;
+        let mut second: Option<(u32, u32)> = None;
+        for &j in &candidates {
+            let s = slots[j as usize];
+            if s.count == 0 {
+                continue;
+            }
+            match best {
+                None => best = Some((j, s.ts, s.count)),
+                Some(b) if s.count > b.2 || (s.count == b.2 && j < b.0) => {
+                    second = Some((b.0, b.2));
+                    best = Some((j, s.ts, s.count));
+                }
+                _ => match second {
+                    Some(r) if s.count < r.1 || (s.count == r.1 && j > r.0) => {}
+                    _ => second = Some((j, s.count)),
+                },
+            }
+        }
+        let Some((bj, bts, s1)) = best else { break };
+        let r = Ranking {
+            leader: ReqTuple::new(rcv_simnet::NodeId::new(bj), bts),
+            s1: s1 as usize,
+            s2: second.map_or(0, |x| x.1 as usize),
+            runner_id: second.map(|x| rcv_simnet::NodeId::new(x.0)),
+            votes_total,
+        };
+        if !orderable(&r, n - votes_total) {
+            break;
+        }
+        si.nonl.append(r.leader);
+        out.newly_ordered.push(r.leader);
+        slots[bj as usize].count = 0;
+        // Remove the leader from every row — semantically exactly
+        // `si.nsit.delete_everywhere(&r.leader)` — while updating the vote
+        // counts of rows whose front changed. Only rows that actually lose
+        // the tuple are marked changed for the normalization tracking.
+        si.nsit.for_each_row_mut(|_, row| {
+            // Mask filter: a clear bit proves the row cannot hold the
+            // leader's tuple, skipping the row without a deref.
+            if !row.mnl.may_contain_node(r.leader.node) {
+                return false;
+            }
+            let was_front = row.mnl.top() == Some(r.leader);
+            if !row.mnl.remove(&r.leader) {
+                return false;
+            }
+            if !was_front {
+                return true;
+            }
+            match row.mnl.top() {
+                None => votes_total -= 1,
+                Some(f) => {
+                    let slot = &mut slots[f.node.index()];
+                    if slot.count == 0 {
+                        slot.ts = f.ts;
+                        slot.count = 1;
+                        if !slot.listed {
+                            slot.listed = true;
+                            candidates.push(f.node.index() as u32);
+                        }
+                    } else if slot.ts == f.ts {
+                        slot.count += 1;
+                    } else {
+                        degraded = true;
+                    }
+                }
+            }
+            true
+        });
+        if r.leader == home {
+            out.home_ordered = true;
+            break; // paper line 17: Continue = false
+        }
+        if degraded {
+            return order_loop_reference(si, home, out);
+        }
+    }
+}
+
+/// The reference ordering loop: re-rank from the live SI every round.
+fn order_loop_reference(si: &mut Si, home: ReqTuple, out: &mut OrderOutcome) {
+    let n = si.nsit.n();
+    let mut by_node: Vec<(u64, usize)> = Vec::new();
+    while let Some(r) = rank(si, &mut by_node) {
+        // Every non-empty row casts exactly one vote, so the unknown
+        // count (rows with empty MNLs) falls out of the rank pass.
+        let unknowns = n - r.votes_total;
+        if !orderable(&r, unknowns) {
+            break;
+        }
+        si.nonl.append(r.leader);
+        si.nsit.delete_everywhere(&r.leader);
+        out.newly_ordered.push(r.leader);
+        if r.leader == home {
+            out.home_ordered = true;
+            break; // paper line 17: Continue = false
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,279 @@
+//! Epoch-stamped per-node scratch indexes for the Exchange/normalize hot
+//! path.
+//!
+//! The Exchange procedure repeatedly needs "is tuple `<j, ts>` a member of
+//! this ordered list?" and "what are node `j`'s home-row facts?" probes.
+//! Answering them with list walks made every message cost O(NONL length)
+//! per probe, and answering them with freshly allocated per-node tables
+//! (`Nonl::ts_by_node`) made every message cost an O(N) allocation + clear
+//! even when nothing changed. These scratch maps amortize both away: the
+//! backing vectors live in a thread-local and are reused across calls, and
+//! "clearing" is a single epoch bump — slots written under an older epoch
+//! read as vacant in O(1).
+//!
+//! Nothing here affects semantics: the maps cache facts derived from the
+//! lists they are filled from, within one Exchange phase, and every fill
+//! reports whether the one-entry-per-node invariant held so callers can
+//! fall back to exact linear probes when it did not (corrupt states only —
+//! the shipped algorithms never produce them).
+
+use std::cell::RefCell;
+
+use rcv_simnet::NodeId;
+
+use crate::nonl::Nonl;
+use crate::tuple::ReqTuple;
+
+/// A per-node `Option<u64>` map with O(1) epoch-based clearing.
+pub(crate) struct NodeTsMap {
+    stamp: Vec<u32>,
+    ts: Vec<u64>,
+    epoch: u32,
+}
+
+impl NodeTsMap {
+    fn new() -> Self {
+        NodeTsMap {
+            stamp: Vec::new(),
+            ts: Vec::new(),
+            epoch: 0,
+        }
+    }
+
+    /// Starts a fresh map for an `n`-node system; previous contents vanish.
+    pub(crate) fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.ts.resize(n, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Inserts `node → ts`; returns whether the slot was vacant (false
+    /// means the source list had two entries for one node).
+    pub(crate) fn set(&mut self, node: NodeId, ts: u64) -> bool {
+        let i = node.index();
+        let vacant = self.stamp[i] != self.epoch;
+        self.stamp[i] = self.epoch;
+        self.ts[i] = ts;
+        vacant
+    }
+
+    /// The timestamp recorded for `node` this epoch, if any.
+    #[inline]
+    pub(crate) fn get(&self, node: NodeId) -> Option<u64> {
+        let i = node.index();
+        (self.stamp[i] == self.epoch).then(|| self.ts[i])
+    }
+
+    /// Fills the map from an ordered list. Returns whether every node had
+    /// at most one entry — when false the map is lossy (last entry wins)
+    /// and callers must use exact probes instead.
+    pub(crate) fn fill(&mut self, list: &Nonl, n: usize) -> bool {
+        self.begin(n);
+        let mut unique = true;
+        for t in list.iter() {
+            unique &= self.set(t.node, t.ts);
+        }
+        unique
+    }
+}
+
+/// Lazily computed per-node home-row facts: `(row ts, own tuple, valid)`.
+/// `valid` is false when the home row violates Lemma 1 (two own tuples) —
+/// the cached own-tuple is then meaningless and callers must probe exactly.
+pub(crate) struct HomeFactsMap {
+    stamp: Vec<u32>,
+    ts: Vec<u64>,
+    own: Vec<Option<ReqTuple>>,
+    valid: Vec<bool>,
+    epoch: u32,
+}
+
+impl HomeFactsMap {
+    fn new() -> Self {
+        HomeFactsMap {
+            stamp: Vec::new(),
+            ts: Vec::new(),
+            own: Vec::new(),
+            valid: Vec::new(),
+            epoch: 0,
+        }
+    }
+
+    /// Starts a fresh map for an `n`-node system.
+    pub(crate) fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.ts.resize(n, 0);
+            self.own.resize(n, None);
+            self.valid.resize(n, false);
+        }
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Cached facts for `node`, if computed this epoch.
+    #[inline]
+    pub(crate) fn get(&self, node: NodeId) -> Option<(u64, Option<ReqTuple>, bool)> {
+        let i = node.index();
+        (self.stamp[i] == self.epoch).then(|| (self.ts[i], self.own[i], self.valid[i]))
+    }
+
+    /// Records facts for `node` and returns them.
+    pub(crate) fn set(
+        &mut self,
+        node: NodeId,
+        ts: u64,
+        own: Option<ReqTuple>,
+        valid: bool,
+    ) -> (u64, Option<ReqTuple>, bool) {
+        let i = node.index();
+        self.stamp[i] = self.epoch;
+        self.ts[i] = ts;
+        self.own[i] = own;
+        self.valid[i] = valid;
+        (ts, own, valid)
+    }
+}
+
+/// Per-node memo of normalize keep/remove decisions. The decision for a
+/// tuple `<j, ts>` is a pure function of the NONL and node `j`'s home-row
+/// facts — independent of which row the occurrence sits in — and neither
+/// input changes during a normalization pass (the pass's own removals
+/// never alter home facts in Lemma-1-valid states). One request's tuple
+/// typically appears in many rows, so caching the first decision per
+/// `(node, ts)` turns the repeat occurrences into a single probe.
+pub(crate) struct DecisionMemo {
+    stamp: Vec<u32>,
+    ts: Vec<u64>,
+    remove: Vec<bool>,
+    epoch: u32,
+}
+
+impl DecisionMemo {
+    fn new() -> Self {
+        DecisionMemo {
+            stamp: Vec::new(),
+            ts: Vec::new(),
+            remove: Vec::new(),
+            epoch: 0,
+        }
+    }
+
+    /// Starts a fresh memo for an `n`-node system.
+    pub(crate) fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.ts.resize(n, 0);
+            self.remove.resize(n, false);
+        }
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// The decision recorded for this exact tuple this epoch, if any.
+    /// (A different timestamp for the same node misses — last one wins;
+    /// stale-copy timestamps are rare enough that a 1-deep memo suffices.)
+    #[inline]
+    pub(crate) fn get(&self, node: NodeId, ts: u64) -> Option<bool> {
+        let i = node.index();
+        (self.stamp[i] == self.epoch && self.ts[i] == ts).then(|| self.remove[i])
+    }
+
+    /// Records the decision for a tuple.
+    #[inline]
+    pub(crate) fn set(&mut self, node: NodeId, ts: u64, remove: bool) {
+        let i = node.index();
+        self.stamp[i] = self.epoch;
+        self.ts[i] = ts;
+        self.remove[i] = remove;
+    }
+}
+
+/// The scratch bundle one Exchange/normalize invocation works with.
+pub(crate) struct MergeScratch {
+    /// General-purpose ordered-list membership map (NONL side).
+    pub(crate) a: NodeTsMap,
+    /// Second membership map for phases that need two lists at once.
+    pub(crate) b: NodeTsMap,
+    /// Lazily computed home-row facts for the normalize sweep.
+    pub(crate) home: HomeFactsMap,
+    /// Per-row keep/remove decisions for the normalize sweep.
+    pub(crate) keep: Vec<bool>,
+    /// Per-tuple decision memo for the normalize sweep.
+    pub(crate) memo: DecisionMemo,
+}
+
+impl MergeScratch {
+    fn new() -> Self {
+        MergeScratch {
+            a: NodeTsMap::new(),
+            b: NodeTsMap::new(),
+            home: HomeFactsMap::new(),
+            keep: Vec::new(),
+            memo: DecisionMemo::new(),
+        }
+    }
+}
+
+thread_local! {
+    /// One scratch bundle per thread: the simnet engine, each runtime node
+    /// thread and each model-checker worker get their own, so no sharing,
+    /// no contention, and no cross-run state (every phase refills what it
+    /// reads).
+    pub(crate) static MERGE_SCRATCH: RefCell<MergeScratch> =
+        RefCell::new(MergeScratch::new());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u32, ts: u64) -> ReqTuple {
+        ReqTuple::new(NodeId::new(n), ts)
+    }
+
+    #[test]
+    fn epoch_clearing_forgets_previous_fill() {
+        let mut m = NodeTsMap::new();
+        m.begin(4);
+        assert!(m.set(NodeId::new(2), 7));
+        assert_eq!(m.get(NodeId::new(2)), Some(7));
+        m.begin(4);
+        assert_eq!(m.get(NodeId::new(2)), None);
+    }
+
+    #[test]
+    fn fill_reports_duplicates() {
+        let mut m = NodeTsMap::new();
+        let good: Nonl = [t(0, 1), t(1, 2)].into_iter().collect();
+        assert!(m.fill(&good, 3));
+        assert_eq!(m.get(NodeId::new(1)), Some(2));
+        assert_eq!(m.get(NodeId::new(2)), None);
+        // `Nonl::append` dedups exact tuples but not nodes:
+        let dup: Nonl = [t(0, 1), t(0, 2)].into_iter().collect();
+        assert!(!m.fill(&dup, 3), "two entries for one node must be flagged");
+    }
+
+    #[test]
+    fn grows_across_begin_calls() {
+        let mut m = NodeTsMap::new();
+        m.begin(2);
+        m.set(NodeId::new(1), 1);
+        m.begin(10);
+        assert_eq!(m.get(NodeId::new(9)), None);
+        m.set(NodeId::new(9), 3);
+        assert_eq!(m.get(NodeId::new(9)), Some(3));
+    }
+}

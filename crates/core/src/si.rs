@@ -163,40 +163,138 @@ impl Si {
     /// of the completion evidence), and completion evidence for a tuple
     /// depends only on its home row's `(ts, own tuple)` and the NONL —
     /// none of which scrub's removals can change (an ordered own-tuple is
-    /// itself a NONL member, excluded either way). Every occurrence of a
-    /// zombie satisfies the same occurrence-independent conditions, so
-    /// removing them inline equals the deferred `delete_everywhere`.
+    /// itself a NONL member, excluded either way; a valid home row never
+    /// loses its own tuple to the zombie branch, because the evidence
+    /// test `own != t` fails for it). Every occurrence of a zombie
+    /// satisfies the same occurrence-independent conditions, so removing
+    /// them inline equals the deferred `delete_everywhere`.
+    ///
+    /// The probes come from thread-local epoch-stamped scratch maps
+    /// ([`crate::scratch`]) instead of per-call allocated tables, and the
+    /// home-row facts are computed lazily per *referenced* node, so a
+    /// message whose merge touched little costs little: each tuple pays
+    /// two O(1) array probes and a clean row is never cloned-for-write.
     pub fn normalize_after_merge(&mut self) -> usize {
+        crate::scratch::MERGE_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            self.normalize_with(scratch)
+        })
+    }
+
+    fn normalize_with(&mut self, s: &mut crate::scratch::MergeScratch) -> usize {
         let n = self.nsit.n();
-        // Per-node facts: the node's NONL entry timestamp (O(1) ordered
-        // probe) and its home-row `(ts, own tuple)` (O(1) completion
-        // evidence, Lemma 1). Both lossy under invariant violations, so
-        // either failing routes to the exact two-pass fallback.
-        let (nonl_ts, unique) = self.nonl.ts_by_node(n);
-        let home = if unique { self.home_facts() } else { None };
-        let Some(home) = home else {
-            // Either the NONL or Lemma 1 invariant is violated (never by
-            // the shipped algorithms): take the exact two-pass route.
+        // The NONL-membership probe is only O(1) while the NONL holds one
+        // entry per node; a violation (never produced by the shipped
+        // algorithms) routes to the exact two-pass fallback, same as ever.
+        if !s.a.fill(&self.nonl, n) {
             self.scrub_ordered_from_mnls();
-            return self.purge_completed().len();
-        };
+            let purged = self.purge_completed().len();
+            self.nsit.clear_dirty();
+            return purged;
+        }
+        s.home.begin(n);
+        s.memo.begin(n);
+        let dirty_homes = self.nsit.dirty_home_bits();
         let mut purged: Vec<ReqTuple> = Vec::new();
-        for row in self.nsit.rows_mut() {
-            row.mnl.remove_where(|t| {
-                let j = t.node.index();
-                if nonl_ts[j] == Some(t.ts) {
-                    return true; // ordered: must not keep voting
-                }
-                let (home_ts, own) = home[j];
-                if home_ts >= t.ts && own != Some(*t) {
-                    if !purged.contains(t) {
+        for k in NodeId::all(n) {
+            // Skip rows the change tracking proves clean: unchanged since
+            // the last pass, and referencing no node whose home row changed
+            // (see the soundness argument in [`crate::nsit`]). Scanned rows
+            // always include every row referencing a changed node, so the
+            // lazy home-facts cache observes mid-pass state at the same
+            // points a full pass would.
+            if !self.nsit.needs_normalize(k) {
+                continue;
+            }
+            // Read-only decision pass: with copy-on-write rows shared
+            // across nodes and messages, deciding before touching keeps
+            // clean rows (the overwhelmingly common case) unwritten.
+            let row_dirty = self.nsit.row_is_dirty(k);
+            let row = self.nsit.row(k);
+            if row.mnl.is_empty() {
+                continue;
+            }
+            s.keep.clear();
+            let mut removals = 0usize;
+            for t in row.mnl.iter() {
+                let remove = 'decide: {
+                    // In a clean row (scanned only because its node mask
+                    // intersects the changed-home bits), every tuple was
+                    // kept by its last decision; only tuples whose own
+                    // home bit changed can decide differently now
+                    // ([`crate::nsit::Nsit::dirty_home_bits`]).
+                    if !row_dirty && crate::mnl::node_bit(t.node) & dirty_homes == 0 {
+                        break 'decide false;
+                    }
+                    // A request's tuple recurs across many rows; its
+                    // decision is row-independent and pass-constant, so
+                    // the first occurrence settles all the rest.
+                    if let Some(remove) = s.memo.get(t.node, t.ts) {
+                        break 'decide remove;
+                    }
+                    if s.a.get(t.node) == Some(t.ts) {
+                        s.memo.set(t.node, t.ts, true);
+                        break 'decide true; // ordered: must not keep voting
+                    }
+                    let (home_ts, own, valid) = match s.home.get(t.node) {
+                        Some(facts) => facts,
+                        None => {
+                            // First reference to this node: compute its
+                            // home facts. A Lemma 1 violation (two own
+                            // tuples) makes the cached own-tuple
+                            // meaningless; mark invalid and probe exactly.
+                            // A clear home-row mask bit proves the row
+                            // holds no own tuple without dereferencing it.
+                            let hr = self.nsit.row(t.node);
+                            let (own, valid) = if !hr.mnl.may_contain_node(t.node) {
+                                (None, true)
+                            } else {
+                                let mut own: Option<ReqTuple> = None;
+                                let mut valid = true;
+                                for x in hr.mnl.iter().filter(|x| x.node == t.node) {
+                                    if own.is_some() {
+                                        valid = false;
+                                        break;
+                                    }
+                                    own = Some(*x);
+                                }
+                                (own, valid)
+                            };
+                            s.home.set(t.node, hr.ts, own, valid)
+                        }
+                    };
+                    if valid {
+                        let remove = home_ts >= t.ts && own != Some(*t);
+                        s.memo.set(t.node, t.ts, remove);
+                        remove
+                    } else {
+                        // Lemma 1 violated for this home row: probe the
+                        // live state exactly, uncached (mid-pass removals
+                        // could shift the answer here, unlike the valid
+                        // path).
+                        self.knows_completed(t)
+                    }
+                };
+                if remove {
+                    // Removals that are not NONL members are zombies.
+                    if s.a.get(t.node) != Some(t.ts) && !purged.contains(t) {
                         purged.push(*t);
                     }
-                    return true; // completion evidence: zombie
+                    removals += 1;
                 }
-                false
-            });
+                s.keep.push(!remove);
+            }
+            if removals > 0 {
+                let keep = &s.keep;
+                let mut i = 0usize;
+                self.nsit.row_mut(k).mnl.remove_where(|_| {
+                    let remove = !keep[i];
+                    i += 1;
+                    remove
+                });
+            }
         }
+        self.nsit.clear_dirty();
         purged.len()
     }
 

@@ -170,7 +170,10 @@ pub fn replay_cs_log(path: &Path) -> std::io::Result<(u64, u64)> {
     let mut malformed = 0u64;
     for line in text.lines() {
         let mut parts = line.split(' ');
-        let (kind, node) = match (parts.next(), parts.next().and_then(|s| s.parse::<u32>().ok())) {
+        let (kind, node) = match (
+            parts.next(),
+            parts.next().and_then(|s| s.parse::<u32>().ok()),
+        ) {
             (Some(k), Some(n)) if k.len() == 1 => (k, NodeId::new(n)),
             _ => {
                 malformed += 1;

@@ -214,8 +214,8 @@ impl Listener {
     fn bind(net: SocketNet, tag: u64) -> std::io::Result<(Listener, String)> {
         match net {
             SocketNet::Uds => {
-                let path = std::env::temp_dir()
-                    .join(format!("rcv-hub-{}-{tag}.sock", std::process::id()));
+                let path =
+                    std::env::temp_dir().join(format!("rcv-hub-{}-{tag}.sock", std::process::id()));
                 let _ = std::fs::remove_file(&path);
                 let l = UnixListener::bind(&path)?;
                 let addr = format!("uds:{}", path.display());
@@ -363,10 +363,7 @@ pub fn run_process_cluster(
     let tag = HUB_SEQ.fetch_add(1, Ordering::Relaxed);
     let (listener, addr) =
         Listener::bind(spec.net, tag).map_err(|e| format!("bind {}: {e}", spec.net.name()))?;
-    let cs_log = std::env::temp_dir().join(format!(
-        "rcv-cs-{}-{tag}.log",
-        std::process::id()
-    ));
+    let cs_log = std::env::temp_dir().join(format!("rcv-cs-{}-{tag}.log", std::process::id()));
     let _ = std::fs::remove_file(&cs_log);
 
     let status = StatusCell::register("rcv-hub");
@@ -376,9 +373,7 @@ pub fn run_process_cluster(
     // --- Handshake: accept until every node slot is occupied. ---
     status.set("handshaking");
     let handshake_deadline = Instant::now() + spec.timeout;
-    listener
-        .set_nonblocking(true)
-        .map_err(|e| e.to_string())?;
+    listener.set_nonblocking(true).map_err(|e| e.to_string())?;
     let mut slots: Vec<Option<Slot>> = (0..n).map(|_| None).collect();
     let mut connected = 0usize;
     while connected < n {
@@ -427,14 +422,21 @@ pub fn run_process_cluster(
                 connected += 1;
             }
             Err(reason) => {
-                let _ = stream
-                    .write_all_bytes(encode_frame(&CtrlFrame::Reject { reason: reason.clone() }).as_ref());
+                let _ = stream.write_all_bytes(
+                    encode_frame(&CtrlFrame::Reject {
+                        reason: reason.clone(),
+                    })
+                    .as_ref(),
+                );
                 kill_children(&mut children);
                 return Err(format!("worker rejected: {reason}"));
             }
         }
     }
-    let mut slots: Vec<Slot> = slots.into_iter().map(|s| s.expect("all connected")).collect();
+    let mut slots: Vec<Slot> = slots
+        .into_iter()
+        .map(|s| s.expect("all connected"))
+        .collect();
 
     // --- Start: derive per-node seeds exactly like the thread backend
     // and ship each worker its configuration (blocking writes; the
@@ -547,12 +549,7 @@ pub fn run_process_cluster(
                         payload,
                     })) => {
                         if (to as usize) < n {
-                            q.submit(
-                                i,
-                                to as usize,
-                                Duration::from_micros(delay_us),
-                                payload,
-                            );
+                            q.submit(i, to as usize, Duration::from_micros(delay_us), payload);
                         }
                     }
                     Ok(Some(CtrlFrame::Done { .. })) => slot.done = true,
@@ -680,7 +677,9 @@ where
         delay: cfg.delay,
         tick,
         start,
-        crash: cfg.crash.map(|(down, up)| (start + tickify(down), start + tickify(up))),
+        crash: cfg
+            .crash
+            .map(|(down, up)| (start + tickify(down), start + tickify(up))),
     };
     let transport: SocketTransport<P::Message> = SocketTransport::new(me, stream, fb);
     let driver = NodeDriver::new(
@@ -790,14 +789,12 @@ mod tests {
                     node: 0,
                     protocol: "rcv".into(),
                 };
-                s.write_all_bytes(encode_frame(&bad).as_ref()).expect("send");
+                s.write_all_bytes(encode_frame(&bad).as_ref())
+                    .expect("send");
                 let mut fb = FrameBuf::new();
-                let reply = read_frame_blocking(
-                    &mut s,
-                    &mut fb,
-                    Instant::now() + Duration::from_secs(10),
-                )
-                .expect("reply");
+                let reply =
+                    read_frame_blocking(&mut s, &mut fb, Instant::now() + Duration::from_secs(10))
+                        .expect("reply");
                 match reply {
                     CtrlFrame::Reject { reason } => reason,
                     other => panic!("expected Reject, got {other:?}"),

@@ -536,7 +536,9 @@ pub fn validate_hello(
         return Err(format!("expected Hello, got {frame:?}"));
     };
     if *magic != HELLO_MAGIC {
-        return Err(format!("bad magic {magic:#010x} (expected {HELLO_MAGIC:#010x})"));
+        return Err(format!(
+            "bad magic {magic:#010x} (expected {HELLO_MAGIC:#010x})"
+        ));
     }
     if *version != SCHEMA_VERSION {
         return Err(format!(

@@ -174,7 +174,11 @@ mod tests {
         let now = Instant::now();
         let mut q: FaultQueue<&'static str> = FaultQueue::new(
             WireFaults::none(),
-            Some((1, now - Duration::from_secs(1), now + Duration::from_secs(60))),
+            Some((
+                1,
+                now - Duration::from_secs(1),
+                now + Duration::from_secs(60),
+            )),
         );
         q.submit(0, 1, Duration::ZERO, "to-dead");
         q.submit(0, 2, Duration::ZERO, "to-live");

@@ -479,7 +479,10 @@ mod tests {
         buf.put_u32(u32::MAX); // absurd MONL length
         let err = decode(buf.freeze()).expect_err("overflow must not decode");
         assert!(matches!(err.kind(), WireError::LengthOverflow(_)));
-        assert_eq!(err.to_string(), "RCV/Em: implausible length prefix 4294967295");
+        assert_eq!(
+            err.to_string(),
+            "RCV/Em: implausible length prefix 4294967295"
+        );
     }
 
     #[test]

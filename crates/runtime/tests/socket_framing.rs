@@ -145,7 +145,9 @@ fn oversized_length_prefix_is_rejected_immediately() {
     fb.extend(&((MAX_FRAME as u32) + 1).to_be_bytes());
     let err = fb.next_frame().expect_err("oversized length must error");
     match err {
-        WireError::Framed { protocol, cause, .. } => {
+        WireError::Framed {
+            protocol, cause, ..
+        } => {
             assert_eq!(protocol, "hub-ctl");
             assert_eq!(*cause, WireError::LengthOverflow(MAX_FRAME as u32 + 1));
         }

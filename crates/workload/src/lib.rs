@@ -33,9 +33,9 @@ pub mod scenario;
 pub mod sweep;
 
 pub use algo::{Algo, ClusterRun, ThreadSpec};
-pub use process::{maybe_worker, ClusterBackend, ProcessBackend, WORKER_SENTINEL};
 pub use arrival::{HotSpotWorkload, PoissonWorkload, SaturationWorkload};
 pub use phased::{Phase, PhasedWorkload, TimedPhase};
+pub use process::{maybe_worker, ClusterBackend, ProcessBackend, WORKER_SENTINEL};
 pub use report::Table;
 pub use runner::Outcome;
 pub use scenario::{Cell, CellResult, ScenarioSpec, REGISTRY_VERSION};

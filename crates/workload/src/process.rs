@@ -138,7 +138,11 @@ impl Algo {
     /// (never-reported) workers each count as anomalies, so
     /// [`ClusterRun::is_clean`] stays a single honest predicate across
     /// backends — a clean process run has none of either.
-    pub fn run_on(&self, spec: &ThreadSpec, backend: &ClusterBackend) -> Result<ClusterRun, String> {
+    pub fn run_on(
+        &self,
+        spec: &ThreadSpec,
+        backend: &ClusterBackend,
+    ) -> Result<ClusterRun, String> {
         match backend {
             ClusterBackend::Threads => Ok(self.run_threaded(spec)),
             ClusterBackend::Process(pb) => {
@@ -155,8 +159,7 @@ impl Algo {
                         + pr.faults.len() as u64
                         + pr.crashed.len() as u64
                         + u64::from(
-                            !pr.report.timed_out
-                                && pr.report.cs_entries != pr.report.completed,
+                            !pr.report.timed_out && pr.report.cs_entries != pr.report.completed,
                         ),
                     report: pr.report,
                 })
@@ -305,7 +308,11 @@ pub fn maybe_worker() {
 fn worker_main(rest: &[String]) -> Result<(), String> {
     let (addr, node, tag) = match rest {
         [addr, node, tag] => (addr, node, tag),
-        _ => return Err(format!("worker argv: want <addr> <node> <tag>, got {rest:?}")),
+        _ => {
+            return Err(format!(
+                "worker argv: want <addr> <node> <tag>, got {rest:?}"
+            ))
+        }
     };
     let node: u32 = node
         .parse()
@@ -342,8 +349,8 @@ mod tests {
         // worker code path (handshake, Start, socket transport, report)
         // without process spawning — each algorithm once, tiny workload.
         for algo in Algo::all() {
-            let spec =
-                ThreadSpec::quick(3, 0x5eed ^ algo.tag().len() as u64).think(Duration::from_micros(200));
+            let spec = ThreadSpec::quick(3, 0x5eed ^ algo.tag().len() as u64)
+                .think(Duration::from_micros(200));
             let pspec = ProcessSpec::quick(spec.n, spec.seed, algo.tag())
                 .think(spec.think)
                 .delay(if algo.requires_fifo() {

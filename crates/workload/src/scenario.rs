@@ -42,7 +42,7 @@ use crate::sweep::parmap;
 
 /// Version tag of the registry contents. Bump when scenarios are added,
 /// removed or re-parameterized, so a baseline mismatch is attributable.
-pub const REGISTRY_VERSION: &str = "rcv-scenario-registry/v2";
+pub const REGISTRY_VERSION: &str = "rcv-scenario-registry/v3";
 
 /// Workload shape of a scenario.
 #[derive(Clone, Debug, PartialEq)]
@@ -560,13 +560,17 @@ impl ScenarioSpec {
     /// thread cannot. Bounded crash *windows* DO map: the runtime's
     /// network thread black-holes the node's traffic for the window and
     /// the node thread re-runs its protocol's restart hook at the end.
+    /// Size is also a boundary: the runtime is thread-per-node (plus a
+    /// network thread), so the large-N `scale-*` cells would spawn
+    /// hundreds-to-thousands of OS threads and measure the host scheduler
+    /// rather than the protocol — they stay simulator-only.
     pub fn runtime_mappable(&self) -> bool {
         let shape_ok = matches!(
             self.shape,
             ShapeSpec::Burst | ShapeSpec::Saturation { .. } | ShapeSpec::Poisson { .. }
         );
         let faults_ok = !matches!(self.faults, FaultSpec::Crash { .. });
-        shape_ok && faults_ok
+        shape_ok && faults_ok && self.n <= 64
     }
 }
 
@@ -726,9 +730,10 @@ pub fn run_cell(cell: &Cell) -> CellResult {
 /// The full, versioned scenario registry.
 ///
 /// Sizes are chosen so the whole grid (with [`cells`] expansion, two seeds
-/// per cell) finishes in well under a minute on a laptop — CI shards it
-/// anyway. Names are contract: renaming or re-parameterizing a scenario is
-/// a baseline change and must bump [`REGISTRY_VERSION`].
+/// per cell) finishes in about a minute on a laptop — CI shards it anyway;
+/// the single-seed `scale-*` cells dominate (the N=1,000 RCV burst runs in
+/// the tens of seconds). Names are contract: renaming or re-parameterizing
+/// a scenario is a baseline change and must bump [`REGISTRY_VERSION`].
 pub fn registry() -> Vec<ScenarioSpec> {
     let mut specs: Vec<ScenarioSpec> = Vec::new();
     let mut push =
@@ -945,6 +950,25 @@ pub fn registry() -> Vec<ScenarioSpec> {
         DelaySpec::Jitter,
         10,
     );
+
+    // Large-N scaling cells: the paper stops at N=30; these prove the
+    // engine's per-event cost stays flat far beyond it (the superlinear
+    // Exchange/normalize scaling defect fixed in the large-N PR). Single
+    // seed — the N=1,000 RCV burst is the grid's most expensive cell by
+    // two orders of magnitude, and one deterministic run pins the
+    // fingerprint just as hard. The usual exclusion rules apply unchanged
+    // (burst + constant delay + fault-free ⇒ all eight algorithms).
+    for n in [200usize, 1000] {
+        specs.push(ScenarioSpec {
+            name: format!("scale-burst-n{n}"),
+            shape: ShapeSpec::Burst,
+            faults: FaultSpec::None,
+            delay: DelaySpec::Constant,
+            n,
+            seeds: 1,
+            retry: None,
+        });
+    }
 
     // Chaos regime: crash **windows** — the node comes back and must
     // rejoin via its protocol's restart hook. RCV-only (the baselines have

@@ -1,0 +1,49 @@
+//! Large-N scaling probe: wall-clock and per-event cost of the RCV burst
+//! as N grows. Used to confirm (and then disprove) the superlinear
+//! per-event-cost curve from BENCH_RESULTS.json.
+//!
+//! ```text
+//! cargo run --release --example scaling_probe [N ...]
+//! ```
+
+use std::time::Instant;
+
+use rcv::core::ForwardPolicy;
+use rcv::simnet::{BurstOnce, SimConfig};
+use rcv::workload::Algo;
+
+fn main() {
+    let sizes: Vec<usize> = {
+        let args: Vec<usize> = std::env::args()
+            .skip(1)
+            .map(|a| a.parse().expect("N must be a number"))
+            .collect();
+        if args.is_empty() {
+            vec![10, 30, 50, 100, 200]
+        } else {
+            args
+        }
+    };
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>12}",
+        "N", "events", "wall ms", "events/sec", "ns/event"
+    );
+    for n in sizes {
+        let t0 = Instant::now();
+        let report = Algo::Rcv(ForwardPolicy::Random).run(SimConfig::paper(n, 1), BurstOnce);
+        let dt = t0.elapsed();
+        assert!(
+            report.is_safe() && report.all_completed(),
+            "N={n} run failed"
+        );
+        let ev = report.events;
+        println!(
+            "{:>6} {:>10} {:>10.1} {:>12.0} {:>12.0}",
+            n,
+            ev,
+            dt.as_secs_f64() * 1e3,
+            ev as f64 / dt.as_secs_f64(),
+            dt.as_nanos() as f64 / ev as f64
+        );
+    }
+}

@@ -1,5 +1,5 @@
 //! Table-driven pin of the scenario registry's **exclusion rules**: the
-//! 171-cell grid shape is a contract, not an accident of iteration order.
+//! 187-cell grid shape is a contract, not an accident of iteration order.
 //!
 //! Rules under test (see `rcv_workload::scenario`):
 //!
@@ -59,6 +59,9 @@ const EXPECTED: &[(&str, usize)] = &[
     ("crash-holder-burst-n10", 8),
     // Stacked (includes duplication => RCV-only; also jittered).
     ("stacked-burst-n10", 1),
+    // Large-N scaling cells: fault-free constant-delay bursts => all 8.
+    ("scale-burst-n200", 8),
+    ("scale-burst-n1000", 8),
     // Chaos: crash windows with restart => recovery-capable (RCV) only.
     ("chaos-restart-holder-burst-n8", 1),
     ("chaos-restart-waiter-burst-n8", 1),
@@ -67,7 +70,7 @@ const EXPECTED: &[(&str, usize)] = &[
 ];
 
 #[test]
-fn exclusion_rules_pin_every_scenario_and_the_171_cell_total() {
+fn exclusion_rules_pin_every_scenario_and_the_187_cell_total() {
     let specs = registry();
 
     // The table and the registry must name exactly the same scenarios.
@@ -122,12 +125,12 @@ fn exclusion_rules_pin_every_scenario_and_the_171_cell_total() {
         );
     }
 
-    // The grid total is the sum of the table — pinned at 171 cells.
+    // The grid total is the sum of the table — pinned at 187 cells.
     let table_total: usize = EXPECTED.iter().map(|(_, c)| c).sum();
-    assert_eq!(table_total, 171, "shape table no longer sums to 171");
+    assert_eq!(table_total, 187, "shape table no longer sums to 187");
     assert_eq!(
         cells(&specs).len(),
-        171,
+        187,
         "cell expansion disagrees with the pinned grid size"
     );
 }
