@@ -12,23 +12,41 @@
 //! cargo bench -p rcv-bench --bench engine_throughput -- --quick  # CI-sized
 //! cargo bench -p rcv-bench --bench engine_throughput -- \
 //!     --quick --baseline crates/bench/baseline/engine_throughput.json
+//! cargo bench -p rcv-bench --bench engine_throughput -- --profile
+//! cargo bench -p rcv-bench --bench engine_throughput -- \
+//!     --append-history BENCH_HISTORY.jsonl
+//! cargo bench -p rcv-bench --bench engine_throughput -- \
+//!     --sizes 1000 --baseline crates/bench/baseline/engine_throughput.json
 //! ```
 //!
 //! With `--baseline <file>`, the run **fails** (exit 1) if events/sec on
-//! the N=30 RCV burst drops more than 30% below the checked-in baseline.
+//! the N=30 RCV burst — or, when measured, the N=1,000 one — drops more
+//! than 30% below the checked-in baseline. `--profile` adds the per-event
+//! phase split (snapshot/merge/normalize/order/metrics/engine) at
+//! N ∈ {50, 200, 1000} to stdout and the JSON. `--append-history` appends
+//! a one-line summary to the running `BENCH_HISTORY.jsonl` trajectory.
 //! Methodology: every cell reports its best measurement window (the
 //! statistic least distorted by background load — external noise only ever
 //! slows a window down, like criterion's minimum).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use rcv_bench::perf::{parse_gate_metric, EngineRecord, PerfReport, QueueRecord};
-use rcv_simnet::{BurstOnce, EventKind, EventQueue, NodeId, SimConfig, SimDuration};
+use rcv_bench::perf::{
+    parse_metric, EngineRecord, PerfReport, PhaseRecord, QueueRecord, GATE_KEY, GATE_KEY_N1000,
+};
+use rcv_simnet::{profile, BurstOnce, EventKind, EventQueue, NodeId, SimConfig, SimDuration};
 use rcv_workload::Algo;
+
+/// Meter heap traffic: every engine cell reports bytes allocated per event
+/// alongside events/sec (the counting wrapper costs one thread-local add
+/// per allocation — noise next to a simulation event).
+#[global_allocator]
+static ALLOC: rcv_allocmeter::CountingAllocator = rcv_allocmeter::CountingAllocator;
 
 /// Sweep sizes: the paper's N=30, a lighter and a heavier point, plus the
 /// large-N scaling points the superlinear-merge fix is proven on. Quick
@@ -49,6 +67,12 @@ struct Opts {
     out: PathBuf,
     baseline: Option<PathBuf>,
     filter: Option<String>,
+    profile: bool,
+    append_history: Option<PathBuf>,
+    /// Explicit engine-matrix sizes (`--sizes 30,1000`), overriding
+    /// [`SIZES`] and the quick-mode large-N skip. Lets CI measure the
+    /// N=1,000 cell alone under its own wall-clock cap.
+    sizes: Option<Vec<usize>>,
 }
 
 fn parse_opts() -> Opts {
@@ -62,14 +86,31 @@ fn parse_opts() -> Opts {
         )),
         baseline: None,
         filter: None,
+        profile: false,
+        append_history: None,
+        sizes: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => opts.quick = true,
+            "--profile" => opts.profile = true,
             "--out" => opts.out = PathBuf::from(args.next().expect("--out needs a path")),
             "--baseline" => {
                 opts.baseline = Some(PathBuf::from(args.next().expect("--baseline needs a path")));
+            }
+            "--append-history" => {
+                opts.append_history = Some(PathBuf::from(
+                    args.next().expect("--append-history needs a path"),
+                ));
+            }
+            "--sizes" => {
+                let csv = args.next().expect("--sizes needs a comma-separated list");
+                opts.sizes = Some(
+                    csv.split(',')
+                        .map(|s| s.trim().parse().expect("--sizes entries must be integers"))
+                        .collect(),
+                );
             }
             // `cargo bench` appends `--bench` to harness=false binaries.
             "--bench" => {}
@@ -111,8 +152,12 @@ fn bench_engine(algo: Algo, n: usize, windows: u32, window_secs: f64) -> EngineR
     // The recorded events/run is the seed-1 run's exact event count — a
     // deterministic quantity comparable across hosts and PRs (a window
     // average would cover a host-speed-dependent seed set and drift).
+    // The same run yields bytes-allocated-per-event (deterministic too,
+    // modulo allocator-internal rounding — the seed fixes the schedule).
     let t0 = Instant::now();
+    rcv_allocmeter::take();
     let events_per_run = algo.run(SimConfig::paper(n, 1), BurstOnce).events;
+    let alloc = rcv_allocmeter::take();
     let single_run_rate = events_per_run as f64 / t0.elapsed().as_secs_f64();
     let events_per_sec = if n >= SINGLE_RUN_N {
         single_run_rate
@@ -129,7 +174,59 @@ fn bench_engine(algo: Algo, n: usize, windows: u32, window_secs: f64) -> EngineR
         workload: "burst",
         events_per_run,
         events_per_sec,
+        bytes_per_event: Some(alloc.bytes as f64 / events_per_run.max(1) as f64),
     }
+}
+
+/// `--profile`: the per-event phase split of the RCV burst (the
+/// `examples/scaling_probe.rs` view, promoted into the bench so the split
+/// lands in `BENCH_RESULTS.json` next to the throughput numbers). Probes
+/// cover snapshot/merge/normalize/order/metrics; the remainder (event
+/// queue, protocol handlers, delivery plumbing) is reported as `engine`.
+fn profile_sweep(quick: bool, report: &mut PerfReport) {
+    let sizes: &[usize] = if quick { &[50, 200] } else { &[50, 200, 1000] };
+    profile::set_enabled(true);
+    for &n in sizes {
+        let _ = profile::take();
+        let t0 = Instant::now();
+        let events = Algo::Rcv(rcv_core::ForwardPolicy::Random)
+            .run(SimConfig::paper(n, 1), BurstOnce)
+            .events;
+        let wall = t0.elapsed().as_nanos() as u64;
+        let costs = profile::take();
+        let probed: u64 = costs.iter().map(|c| c.nanos).sum();
+        println!("profile/RCV N={n} ({events} events)");
+        for (name, c) in profile::PROBE_NAMES.iter().zip(costs.iter()) {
+            let ns_per_event = c.nanos as f64 / events as f64;
+            println!(
+                "    {:>10} {:>10.1} ms  {:>8.0} ns/ev  x{}",
+                name,
+                c.nanos as f64 / 1e6,
+                ns_per_event,
+                c.count
+            );
+            report.profile.push(PhaseRecord {
+                n,
+                phase: name.to_string(),
+                ns_per_event,
+                count: c.count,
+            });
+        }
+        let engine_ns = wall.saturating_sub(probed);
+        println!(
+            "    {:>10} {:>10.1} ms  {:>8.0} ns/ev",
+            "engine",
+            engine_ns as f64 / 1e6,
+            engine_ns as f64 / events as f64
+        );
+        report.profile.push(PhaseRecord {
+            n,
+            phase: "engine".to_string(),
+            ns_per_event: engine_ns as f64 / events as f64,
+            count: 0,
+        });
+    }
+    profile::set_enabled(false);
 }
 
 /// Steady-state churn of the calendar queue: a paper-shaped delta mix
@@ -214,12 +311,14 @@ fn main() -> ExitCode {
     }
 
     // Engine matrix: all 8 algorithms × N ∈ {10 … 1000}, burst workload.
+    let sizes = opts.sizes.clone().unwrap_or_else(|| SIZES.to_vec());
     for algo in Algo::all() {
-        for n in SIZES {
+        for &n in &sizes {
             // Quick (CI) mode stops at N=200: the N=1,000 cell is a
             // tens-of-seconds single run, covered by the dedicated
-            // wall-clock-capped large-n CI step instead.
-            if opts.quick && n >= SINGLE_RUN_N {
+            // wall-clock-capped large-n CI step instead. An explicit
+            // --sizes list overrides the skip — that IS the large-n step.
+            if opts.quick && n >= SINGLE_RUN_N && opts.sizes.is_none() {
                 continue;
             }
             let id = format!("{}/{}", algo.name(), n);
@@ -237,11 +336,49 @@ fn main() -> ExitCode {
         }
     }
 
+    // Per-event phase split (adds a few seconds of RCV-only runs; the
+    // N=1,000 point only in full mode).
+    if opts.profile {
+        profile_sweep(opts.quick, &mut report);
+    }
+
     if let Err(e) = report.write(&opts.out) {
         eprintln!("failed to write {}: {e}", opts.out.display());
         return ExitCode::FAILURE;
     }
     println!("wrote {}", opts.out.display());
+
+    // Append one line to the running history (BENCH_HISTORY.jsonl): the
+    // trajectory file committed at the repo root and extended by CI runs.
+    if let Some(path) = &opts.append_history {
+        // `cargo bench` runs this binary with the *package* as cwd; anchor
+        // relative paths at the workspace root so the obvious
+        // `--append-history BENCH_HISTORY.jsonl` extends the committed
+        // trajectory file instead of creating a stray copy.
+        let path = if path.is_relative() {
+            PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")).join(path)
+        } else {
+            path.clone()
+        };
+        let commit = std::env::var("GITHUB_SHA")
+            .or_else(|_| std::env::var("RCV_COMMIT"))
+            .unwrap_or_else(|_| "local".to_string());
+        let unix_secs = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let line = report.history_line(&commit, unix_secs);
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| writeln!(f, "{line}"));
+        if let Err(e) = appended {
+            eprintln!("failed to append history {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("appended history line to {}", path.display());
+    }
 
     // Regression gate against the checked-in baseline.
     if let Some(mut path) = opts.baseline {
@@ -263,26 +400,42 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let Some(baseline) = parse_gate_metric(&text) else {
-            eprintln!("baseline {} has no gate metric", path.display());
+        // Each gate engages when this run measured its cell (quick mode
+        // stops at N=200; --sizes restricts further). A gated run that
+        // measured *neither* cell is a misconfiguration, not a pass — the
+        // typo'd-filter protection the gate exists for.
+        let mut gates = Vec::new();
+        if let Some(current) = report.gate_metric() {
+            let Some(baseline) = parse_metric(&text, GATE_KEY) else {
+                eprintln!("baseline {} has no gate metric", path.display());
+                return ExitCode::FAILURE;
+            };
+            gates.push(("N=30", baseline, current));
+        }
+        if let (Some(b), Some(c)) = (
+            parse_metric(&text, GATE_KEY_N1000),
+            report.gate_metric_n1000(),
+        ) {
+            gates.push(("N=1000", b, c));
+        }
+        if gates.is_empty() {
+            eprintln!("this run measured no gated RCV burst cell (filtered out?)");
             return ExitCode::FAILURE;
-        };
-        let Some(current) = report.gate_metric() else {
-            eprintln!("this run did not measure the N=30 RCV burst (filtered out?)");
-            return ExitCode::FAILURE;
-        };
-        let floor = baseline * GATE_FRACTION;
-        println!(
-            "gate: N=30 RCV burst {current:.0} events/sec vs baseline {baseline:.0} \
-             (floor {floor:.0})"
-        );
-        if current < floor {
-            eprintln!(
-                "REGRESSION: N=30 RCV burst fell below {}% of baseline \
-                 ({current:.0} < {floor:.0} events/sec)",
-                (GATE_FRACTION * 100.0) as u32
+        }
+        for (label, baseline, current) in gates {
+            let floor = baseline * GATE_FRACTION;
+            println!(
+                "gate: {label} RCV burst {current:.0} events/sec vs baseline {baseline:.0} \
+                 (floor {floor:.0})"
             );
-            return ExitCode::FAILURE;
+            if current < floor {
+                eprintln!(
+                    "REGRESSION: {label} RCV burst fell below {}% of baseline \
+                     ({current:.0} < {floor:.0} events/sec)",
+                    (GATE_FRACTION * 100.0) as u32
+                );
+                return ExitCode::FAILURE;
+            }
         }
     }
     ExitCode::SUCCESS

@@ -11,16 +11,29 @@ use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
 
-/// Version tag of the emitted JSON layout. v2: the engine matrix's `n`
-/// axis grew the large-N points {200, 1000} (quick mode stops at 200, and
-/// the N=1,000 cell is a timed single run rather than a best-of-windows) —
-/// consumers comparing curves across versions must not assume the axes
-/// match.
-pub const SCHEMA: &str = "rcv-engine-throughput/v2";
+/// Version tag of the emitted JSON layout. v2 grew the engine matrix's `n`
+/// axis to the large-N points {200, 1000}. v3: engine cells carry
+/// `bytes_per_event` (heap bytes allocated per processed event, measured
+/// by the bench binary's counting allocator on the deterministic seed-1
+/// run), the N=1,000 RCV burst is published as a second gate key, and a
+/// `profile` array (per-phase ns/event split, populated by `--profile`)
+/// joins the report. Consumers comparing curves across versions must not
+/// assume the axes or keys match.
+pub const SCHEMA: &str = "rcv-engine-throughput/v3";
 
 /// The JSON key the CI regression gate reads, both from `BENCH_RESULTS.json`
 /// and from the checked-in baseline file.
 pub const GATE_KEY: &str = "rcv_burst_n30_events_per_sec";
+
+/// Second gate key: the N=1,000 RCV burst — the large-N scaling point the
+/// copy-on-write snapshot + row-merge work is proven on. Only gated when
+/// both the run and the baseline measured it (quick/CI bench runs stop at
+/// N=200; the large-n CI step covers this one).
+pub const GATE_KEY_N1000: &str = "rcv_burst_n1000_events_per_sec";
+
+/// Version tag of `BENCH_HISTORY.jsonl` lines (one JSON object per line,
+/// append-only; see [`PerfReport::history_line`]).
+pub const HISTORY_SCHEMA: &str = "rcv-bench-history/v1";
 
 /// Events/sec of one `(algorithm, N, workload)` cell.
 #[derive(Clone, Debug, PartialEq)]
@@ -37,6 +50,25 @@ pub struct EngineRecord {
     pub events_per_run: u64,
     /// Best-window throughput in events per second.
     pub events_per_sec: f64,
+    /// Heap bytes allocated per event on the seed-1 run, when the bench
+    /// binary's counting allocator was live (`None` otherwise). Tracks
+    /// allocation-freedom of the hot path: clean deliveries must not
+    /// allocate proportionally to N.
+    pub bytes_per_event: Option<f64>,
+}
+
+/// One `(N, phase)` cell of the `--profile` per-event phase split.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseRecord {
+    /// System size `N` of the profiled RCV burst.
+    pub n: usize,
+    /// Phase label (`snapshot`, `merge`, `normalize`, `order`, `metrics`,
+    /// or the derived `engine` remainder).
+    pub phase: String,
+    /// Nanoseconds attributed to the phase per processed event.
+    pub ns_per_event: f64,
+    /// Probe invocations (0 for the derived remainder).
+    pub count: u64,
 }
 
 /// Ops/sec of one event-queue micro-benchmark.
@@ -57,15 +89,28 @@ pub struct PerfReport {
     pub queue: Vec<QueueRecord>,
     /// Engine throughput matrix.
     pub engine: Vec<EngineRecord>,
+    /// Per-phase ns/event split (empty unless `--profile` ran).
+    pub profile: Vec<PhaseRecord>,
 }
 
 impl PerfReport {
-    /// The gate metric: events/sec of the RCV N=30 burst, if measured.
-    pub fn gate_metric(&self) -> Option<f64> {
+    /// Events/sec of the RCV burst at size `n`, if measured.
+    fn rcv_burst(&self, n: usize) -> Option<f64> {
         self.engine
             .iter()
-            .find(|r| r.algorithm.starts_with("RCV") && r.n == 30 && r.workload == "burst")
+            .find(|r| r.algorithm.starts_with("RCV") && r.n == n && r.workload == "burst")
             .map(|r| r.events_per_sec)
+    }
+
+    /// The gate metric: events/sec of the RCV N=30 burst, if measured.
+    pub fn gate_metric(&self) -> Option<f64> {
+        self.rcv_burst(30)
+    }
+
+    /// The large-N gate metric: events/sec of the RCV N=1,000 burst, if
+    /// measured (full mode / the large-n CI step only).
+    pub fn gate_metric_n1000(&self) -> Option<f64> {
+        self.rcv_burst(1000)
     }
 
     /// Renders the report as pretty-printed JSON.
@@ -76,6 +121,9 @@ impl PerfReport {
         let _ = writeln!(s, "  \"mode\": {},", json_str(self.mode));
         if let Some(gate) = self.gate_metric() {
             let _ = writeln!(s, "  \"{GATE_KEY}\": {},", json_num(gate));
+        }
+        if let Some(gate) = self.gate_metric_n1000() {
+            let _ = writeln!(s, "  \"{GATE_KEY_N1000}\": {},", json_num(gate));
         }
         s.push_str("  \"queue\": [\n");
         for (i, q) in self.queue.iter().enumerate() {
@@ -96,20 +144,85 @@ impl PerfReport {
             let _ = write!(
                 s,
                 "    {{\"algorithm\": {}, \"n\": {}, \"workload\": {}, \
-                 \"events_per_run\": {}, \"events_per_sec\": {}}}",
+                 \"events_per_run\": {}, \"events_per_sec\": {}",
                 json_str(&r.algorithm),
                 r.n,
                 json_str(r.workload),
                 r.events_per_run,
                 json_num(r.events_per_sec)
             );
+            if let Some(bpe) = r.bytes_per_event {
+                let _ = write!(s, ", \"bytes_per_event\": {}", json_num(bpe));
+            }
+            s.push('}');
             s.push_str(if i + 1 < self.engine.len() {
                 ",\n"
             } else {
                 "\n"
             });
         }
+        s.push_str("  ],\n  \"profile\": [\n");
+        for (i, p) in self.profile.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"n\": {}, \"phase\": {}, \"ns_per_event\": {}, \"count\": {}}}",
+                p.n,
+                json_str(&p.phase),
+                json_num(p.ns_per_event),
+                p.count
+            );
+            s.push_str(if i + 1 < self.profile.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
         s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Renders the run as one `BENCH_HISTORY.jsonl` line: the two gate
+    /// metrics plus the full RCV burst curve, tagged with a commit id and
+    /// a unix timestamp so the trajectory is plottable across PRs without
+    /// diffing whole `BENCH_RESULTS.json` snapshots.
+    pub fn history_line(&self, commit: &str, unix_secs: u64) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"schema\": {}, \"commit\": {}, \"unix_secs\": {unix_secs}, \"mode\": {}",
+            json_str(HISTORY_SCHEMA),
+            json_str(commit),
+            json_str(self.mode)
+        );
+        if let Some(gate) = self.gate_metric() {
+            let _ = write!(s, ", \"{GATE_KEY}\": {}", json_num(gate));
+        }
+        if let Some(gate) = self.gate_metric_n1000() {
+            let _ = write!(s, ", \"{GATE_KEY_N1000}\": {}", json_num(gate));
+        }
+        s.push_str(", \"rcv\": [");
+        let mut first = true;
+        for r in self
+            .engine
+            .iter()
+            .filter(|r| r.algorithm.starts_with("RCV") && r.workload == "burst")
+        {
+            if !first {
+                s.push_str(", ");
+            }
+            first = false;
+            let _ = write!(
+                s,
+                "{{\"n\": {}, \"events_per_sec\": {}",
+                r.n,
+                json_num(r.events_per_sec)
+            );
+            if let Some(bpe) = r.bytes_per_event {
+                let _ = write!(s, ", \"bytes_per_event\": {}", json_num(bpe));
+            }
+            s.push('}');
+        }
+        s.push_str("]}");
         s
     }
 
@@ -152,7 +265,12 @@ pub fn json_num(x: f64) -> String {
 /// the key, then reads the number after the colon. Returns `None` when the
 /// key is absent or malformed.
 pub fn parse_gate_metric(json: &str) -> Option<f64> {
-    let at = json.find(&format!("\"{GATE_KEY}\""))?;
+    parse_metric(json, GATE_KEY)
+}
+
+/// [`parse_gate_metric`] for any numeric top-level key.
+pub fn parse_metric(json: &str, key: &str) -> Option<f64> {
+    let at = json.find(&format!("\"{key}\""))?;
     let rest = &json[at..];
     let colon = rest.find(':')?;
     let tail = rest[colon + 1..].trim_start();
@@ -188,6 +306,15 @@ mod tests {
                     workload: "burst",
                     events_per_run: 540,
                     events_per_sec: 160000.5,
+                    bytes_per_event: Some(96.5),
+                },
+                EngineRecord {
+                    algorithm: "RCV (ours)".into(),
+                    n: 1000,
+                    workload: "burst",
+                    events_per_run: 61715,
+                    events_per_sec: 5000.0,
+                    bytes_per_event: None,
                 },
                 EngineRecord {
                     algorithm: "Ricart".into(),
@@ -195,25 +322,54 @@ mod tests {
                     workload: "burst",
                     events_per_run: 1000,
                     events_per_sec: 2e6,
+                    bytes_per_event: None,
                 },
             ],
+            profile: vec![PhaseRecord {
+                n: 200,
+                phase: "merge".into(),
+                ns_per_event: 13211.0,
+                count: 7571,
+            }],
         }
     }
 
     #[test]
     fn gate_metric_finds_the_rcv_n30_burst() {
         assert_eq!(sample().gate_metric(), Some(160000.5));
+        assert_eq!(sample().gate_metric_n1000(), Some(5000.0));
         let mut r = sample();
         r.engine.remove(0);
         assert_eq!(r.gate_metric(), None);
+        r.engine.remove(0);
+        assert_eq!(r.gate_metric_n1000(), None);
     }
 
     #[test]
-    fn json_roundtrips_the_gate_metric() {
+    fn json_roundtrips_the_gate_metrics() {
         let json = sample().to_json();
-        assert!(json.contains("\"schema\": \"rcv-engine-throughput/v2\""));
+        assert!(json.contains("\"schema\": \"rcv-engine-throughput/v3\""));
         assert!(json.contains("\"algorithm\": \"RCV (ours)\""));
+        assert!(json.contains("\"bytes_per_event\": 96.5"));
+        assert!(json.contains("\"profile\""));
+        assert!(json.contains("\"phase\": \"merge\""));
         assert_eq!(parse_gate_metric(&json), Some(160000.5));
+        assert_eq!(parse_metric(&json, GATE_KEY_N1000), Some(5000.0));
+    }
+
+    #[test]
+    fn history_line_is_one_json_object_with_the_rcv_curve() {
+        let line = sample().history_line("abc123", 1_754_600_000);
+        assert!(!line.contains('\n'), "JSONL lines must be single-line");
+        assert!(line.contains("\"schema\": \"rcv-bench-history/v1\""));
+        assert!(line.contains("\"commit\": \"abc123\""));
+        assert!(line.contains("\"unix_secs\": 1754600000"));
+        assert_eq!(parse_metric(&line, GATE_KEY), Some(160000.5));
+        assert_eq!(parse_metric(&line, GATE_KEY_N1000), Some(5000.0));
+        // Both RCV cells, no baseline algorithms.
+        assert!(line.contains("{\"n\": 30,"));
+        assert!(line.contains("{\"n\": 1000,"));
+        assert!(!line.contains("Ricart"));
     }
 
     #[test]

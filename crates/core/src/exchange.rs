@@ -22,6 +22,7 @@
 //!   ([`Si::knows_completed`]).
 
 use crate::message::MsgBody;
+use crate::mnl::Mnl;
 use crate::nonl::Nonl;
 use crate::nsit::Nsit;
 use crate::scratch::{MergeScratch, NodeTsMap, MERGE_SCRATCH};
@@ -97,13 +98,17 @@ fn exchange_inner(
         "SI and message disagree on system size"
     );
     let mut out = ExchangeOutcome::default();
-    MERGE_SCRATCH.with(|cell| {
-        let scratch = &mut *cell.borrow_mut();
-        exchange_phases(si, body, em_for, &mut out, scratch, refresh_body);
-    });
+    {
+        let _p = rcv_simnet::profile::probe(rcv_simnet::profile::ProbePhase::Merge);
+        MERGE_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            exchange_phases(si, body, em_for, &mut out, scratch, refresh_body);
+        });
+    }
 
     // --- Normalization: ordered tuples never vote; zombies are purged.
     // (Borrows the scratch bundle again internally — phases never overlap.)
+    let _p = rcv_simnet::profile::probe(rcv_simnet::profile::ProbePhase::Normalize);
     out.zombies_purged = si.normalize_after_merge();
     out
 }
@@ -123,8 +128,15 @@ fn exchange_phases(
     // When the two ordered lists are identical (the common synced case),
     // every tuple is a member of both sides, so neither prune below can
     // match — skip the membership scans outright. Under copy-on-write
-    // lists this comparison is usually a pointer check.
-    if body.monl != si.nonl {
+    // lists this comparison is usually a pointer check; when the copies
+    // are content-equal but separately built (both sides pruned the same
+    // prefix on their own), unify the backings so the next compare IS a
+    // pointer check.
+    if body.monl.same_backing(&si.nonl) {
+        // Identical lists sharing storage: nothing to prune.
+    } else if body.monl == si.nonl {
+        si.nonl.assign_from(&body.monl);
+    } else {
         // Per-node timestamp maps turn each membership probe below into an
         // O(1) array compare. A duplicate-node entry (corrupt state, never
         // produced by the shipped algorithms) makes a map lossy; fall back
@@ -229,6 +241,9 @@ fn exchange_phases(
     // Per-node MONL timestamps: each adoption-prune probe below becomes
     // an O(1) compare, with the exact linear probe as fallback when the
     // one-entry-per-node invariant is violated.
+    scratch.ov.begin(n);
+    let ov = &mut scratch.ov;
+    let mut ov_mask: u64 = 0;
     let monl_unique = refresh_body && scratch.b.fill(&body.monl, n);
     let monl_map = &scratch.b;
     let si_nsit = &mut si.nsit;
@@ -242,12 +257,30 @@ fn exchange_phases(
         if local_ts == msg_ts {
             // Equal version ⇒ same append-set; apply both deletion sets.
             // When the two copies are already identical (by far the common
-            // case — most rows are in sync or empty, and shared rows
-            // compare by pointer) the intersection is a no-op, so skip the
-            // rebuild; this is the hottest line of the whole simulation.
-            if si_nsit.row(k).mnl != body_msit.row(k).mnl {
+            // case — most rows are in sync or empty) the intersection is a
+            // no-op, so skip the rebuild. The compare is a length check
+            // plus, for the short inline rows that dominate, a streaming
+            // memcmp of at most two cache lines — no pointer chase — and
+            // this is the hottest line of the whole simulation. Message
+            // rows are read through the finished-tuple overlay (see the
+            // lines-17/18 mirror below).
+            let body_mnl = &body_msit.row(k).mnl;
+            let overlaid = ov_mask & body_mnl.nodes_mask() != 0;
+            let equal = if overlaid {
+                eq_without(&si_nsit.row(k).mnl, body_mnl, ov)
+            } else {
+                si_nsit.row(k).mnl == *body_mnl
+            };
+            if !equal {
                 // Intersect the local copy in place, then mirror it.
-                si_nsit.row_mut(k).mnl.intersect(&body_msit.row(k).mnl);
+                if overlaid {
+                    si_nsit
+                        .row_mut(k)
+                        .mnl
+                        .remove_where(|t| ov.get(t.node) == Some(t.ts) || !body_mnl.contains(t));
+                } else {
+                    si_nsit.row_mut(k).mnl.intersect(body_mnl);
+                }
                 if refresh_body {
                     body_msit.row_mut(k).mnl.assign_from(&si_nsit.row(k).mnl);
                 }
@@ -261,25 +294,41 @@ fn exchange_phases(
                     si_nsit.delete_everywhere(&own);
                 }
             }
-            // Lines 19-20: adopt the fresher row wholesale. The paper also
-            // drops already-ordered tuples here; the final normalization
-            // pass below scrubs every NONL member out of every local MNL,
-            // and nothing reads the SI between this loop and that pass, so
-            // the explicit prune is elided on this side.
+            // Lines 19-20: adopt the fresher row wholesale, minus any
+            // tuples the overlay proved finished. The paper also drops
+            // already-ordered tuples here; the final normalization pass
+            // below scrubs every NONL member out of every local MNL, and
+            // nothing reads the SI between this loop and that pass, so the
+            // explicit prune is elided on this side.
             let dst = si_nsit.row_mut(k);
             dst.ts = msg_ts;
             dst.mnl.assign_from(&body_msit.row(k).mnl);
+            if ov_mask & dst.mnl.nodes_mask() != 0 {
+                dst.mnl.remove_where(|t| ov.get(t.node) == Some(t.ts));
+            }
             out.rows_adopted += 1;
         } else {
             // Mirror of lines 17-18: the local fresher copy proves k's own
-            // request finished. This purge runs in BOTH modes even though it
-            // writes only to the message table — later iterations of this
+            // request finished. The purge happens in BOTH modes even though
+            // it affects only the message table — later iterations of this
             // loop adopt message rows into `si`, so leaving the finished
             // tuple in them would change what the receiver merges (and its
-            // zombie count) depending on the mode.
+            // zombie count) depending on the mode. On the receive-side path
+            // the message table is about to be dropped, so instead of
+            // purging it row by row — which would clone the whole
+            // copy-on-write table just to edit a copy nobody keeps — the
+            // tuple is recorded in an overlay that every later *read* of a
+            // message row filters through. Each loop index can contribute
+            // at most one overlay tuple (its own), so the per-node map is
+            // exact, and rows the overlay mask misses read raw.
             if let Some(own) = body_msit.row(k).mnl.tuple_of(k) {
                 if !si_nsit.row(k).mnl.contains(&own) {
-                    body_msit.delete_everywhere(&own);
+                    if refresh_body {
+                        body_msit.delete_everywhere(&own);
+                    } else {
+                        ov.set(own.node, own.ts);
+                        ov_mask |= crate::mnl::node_bit(own.node);
+                    }
                 }
             }
             if refresh_body {
@@ -296,6 +345,22 @@ fn exchange_phases(
             }
         }
     }
+}
+
+/// Whether `si_mnl` equals `body_mnl` with every overlay member (a tuple
+/// proven finished) filtered out of the message side — i.e. the compare the
+/// row merge would have made had the message table actually been purged.
+fn eq_without(si_mnl: &Mnl, body_mnl: &Mnl, ov: &crate::scratch::NodeTsMap) -> bool {
+    let mut it = si_mnl.iter();
+    for t in body_mnl.iter() {
+        if ov.get(t.node) == Some(t.ts) {
+            continue;
+        }
+        if it.next() != Some(t) {
+            return false;
+        }
+    }
+    it.next().is_none()
 }
 
 /// Scrubs the ordered-list suffix `list[from..]` out of every row of
@@ -401,9 +466,9 @@ mod tests {
         b.msit.row_mut(nid(1)).mnl.push(t(1, 9)); // deleted locally? no — absent locally
                                                   // Local lacks <1,9>; message lacks <0,1>. Intersection = {<2,1>}.
         exchange(&mut si, &mut b, None);
-        let local: Vec<_> = si.nsit.row(nid(1)).mnl.iter().copied().collect();
+        let local: Vec<_> = si.nsit.row(nid(1)).mnl.iter().collect();
         assert_eq!(local, vec![t(2, 1)]);
-        let msg: Vec<_> = b.msit.row(nid(1)).mnl.iter().copied().collect();
+        let msg: Vec<_> = b.msit.row(nid(1)).mnl.iter().collect();
         assert_eq!(msg, vec![t(2, 1)]);
     }
 

@@ -67,7 +67,7 @@ pub use config::{ForwardPolicy, RcvConfig};
 pub use exchange::{exchange, exchange_recv, ExchangeOutcome};
 pub use invariants::{check_local_invariants, check_nonl_consistency, total_anomalies};
 pub use message::{MsgBody, RcvMessage};
-pub use mnl::Mnl;
+pub use mnl::{Mnl, MAX_PACKED_NODE, MAX_PACKED_TS};
 pub use node::{RcvNode, ReqState};
 pub use nonl::Nonl;
 pub use nsit::{Nsit, NsitRow};

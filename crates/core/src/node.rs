@@ -115,6 +115,7 @@ impl RcvNode {
 
     /// Fresh snapshot body for an outgoing message.
     fn snapshot(&self) -> MsgBody {
+        let _p = rcv_simnet::profile::probe(rcv_simnet::profile::ProbePhase::SnapshotTake);
         MsgBody::snapshot(&self.si.nonl, &self.si.nsit)
     }
 

@@ -8,23 +8,35 @@
 //! reconciled by the Exchange procedure (fresher version wins wholesale,
 //! equal versions intersect — see DESIGN.md interpretation #3).
 //!
+//! # Copy-on-write storage
+//!
+//! The row vector sits behind an `Arc`: cloning a table — every message
+//! snapshot clones one — is a reference-count bump, and the first mutation
+//! after a share re-materializes the vector as N row clones, each of which
+//! is itself only a reference-count bump of the row's [`Mnl`] backing
+//! (amortized O(N) pointer work per share, not O(total tuples) copies).
+//! Equality gets an `Arc::ptr_eq` fast path; `Hash`/`Debug`/`PartialEq`
+//! see only logical content, so fingerprints, model-checker state merging
+//! and wire-size accounting are unaffected by sharing structure.
+//!
 //! # Change tracking for incremental normalization
 //!
-//! The table carries a conservative *dirty* summary so the post-merge
-//! normalization pass ([`crate::si::Si::normalize_after_merge`]) can skip
-//! rows that provably need no work instead of probing every node per
-//! message:
+//! The table carries an exact *dirty* bitset — deliberately **outside** the
+//! shared row vector, so bookkeeping writes never force a copy-on-write
+//! materialization — letting the post-merge normalization pass
+//! ([`crate::si::Si::normalize_after_merge`]) skip rows that provably need
+//! no work instead of probing every node per message:
 //!
 //! * every row starts **dirty** (a freshly built or deserialized table gets
 //!   a full first sweep, so arbitrary states behave exactly like the
 //!   reference full-pass implementation);
-//! * every mutation path marks the touched row dirty and ORs the row
-//!   *owner's* [`node_bit`] into `dirty_homes` (a changed row `k` may have
-//!   changed node `k`'s home-row facts, which the zombie check of *other*
-//!   rows depends on);
+//! * every mutation path marks the touched row's bit. Because only row `k`
+//!   records node `k`'s home facts, the same bit answers both "did row `k`
+//!   change?" and "did node `k`'s home facts change?" — the bitset is
+//!   indexed by real node id, so the answer is **exact at any N**;
 //! * the normalization pass scans a row iff it is dirty **or** its MNL's
-//!   node mask intersects `dirty_homes` (it references a node whose home
-//!   row changed), then clears the whole summary.
+//!   node mask intersects the folded dirty summary (it may reference a node
+//!   whose home row changed), then clears the whole set.
 //!
 //! Soundness: a clean row is one a previous normalization pass verified
 //! (or inductively established) to yield zero removals. Its contents are
@@ -33,9 +45,9 @@
 //! scrub, `delete_everywhere` — all exact), so the row still holds no NONL
 //! member; and the completion-evidence decision for each of its tuples
 //! depends only on the referenced node's home row, whose every change sets
-//! a `dirty_homes` bit the row's mask would intersect. The mask test is
-//! exact for `N ≤ 64` and a conservative superset above (bit aliasing can
-//! only cause extra scans, never a skipped removal).
+//! that node's dirty bit. The folded row-level filter can only cause extra
+//! scans, never a skipped removal; the per-tuple probe
+//! ([`Nsit::home_is_dirty`]) is exact.
 //!
 //! The tracking is derived data: `Clone` carries it, but `PartialEq`,
 //! `Hash` and `Debug` ignore it, so state fingerprints, model-checker
@@ -43,77 +55,54 @@
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use rcv_simnet::NodeId;
 
 use crate::mnl::Mnl;
 use crate::tuple::ReqTuple;
 
-/// The `dirty_homes` bit of row index `i` (same folding as
+/// The folded-summary bit of row index `i` (same folding as
 /// [`crate::mnl::node_bit`], so it lines up with each MNL's node mask).
 #[inline]
 fn index_bit(i: usize) -> u64 {
     1u64 << (i & 63)
 }
 
-/// One NSIT row: the recorded state of a single node.
-#[derive(Clone, Eq)]
+/// One NSIT row: the recorded state of a single node. Pure logical
+/// content — all change tracking lives in the owning [`Nsit`], so shared
+/// row vectors are never written for bookkeeping.
+/// The layout is pinned so that the version counter and the list's derived
+/// caches (length, node mask, front tuple, own tuple) — everything the row
+/// merge, vote scan, and normalize skip-scan read on their O(N) sweeps —
+/// sit together in the row's *first 64 bytes*; the bulky tuple storage
+/// follows and is only touched for rows that need content work.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+#[repr(C)]
 pub struct NsitRow {
     /// Version counter ("TS" in the paper): how up to date this copy is.
     pub ts: u64,
     /// Outstanding requests registered by the row's owner, arrival order.
     pub mnl: Mnl,
-    /// Whether the row changed since the last normalization pass
-    /// (derived bookkeeping — excluded from `Eq`/`Hash`/`Debug`).
-    dirty: bool,
-}
-
-impl Default for NsitRow {
-    fn default() -> Self {
-        NsitRow {
-            ts: 0,
-            mnl: Mnl::default(),
-            // Fresh rows must be swept by the first normalization pass.
-            dirty: true,
-        }
-    }
-}
-
-impl PartialEq for NsitRow {
-    fn eq(&self, other: &Self) -> bool {
-        self.ts == other.ts && self.mnl == other.mnl
-    }
-}
-
-impl Hash for NsitRow {
-    fn hash<H: Hasher>(&self, state: &mut H) {
-        // Same field order as the historical derived impl.
-        self.ts.hash(state);
-        self.mnl.hash(state);
-    }
-}
-
-impl fmt::Debug for NsitRow {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("NsitRow")
-            .field("ts", &self.ts)
-            .field("mnl", &self.mnl)
-            .finish()
-    }
 }
 
 /// The full table, indexed by node id.
 #[derive(Clone, Eq)]
 pub struct Nsit {
-    rows: Vec<NsitRow>,
-    /// OR of [`index_bit`] over every row marked dirty since the last
-    /// normalization pass (derived bookkeeping, excluded from equality).
-    dirty_homes: u64,
+    rows: Arc<Vec<NsitRow>>,
+    /// Exact per-row dirty bits (word `i >> 6`, bit `i & 63`): rows changed
+    /// since the last normalization pass. Derived bookkeeping, excluded
+    /// from equality; lives outside the `Arc` so marking never unshares.
+    dirty: Vec<u64>,
+    /// OR of [`index_bit`] over every dirty row — the row-level prefilter
+    /// against each MNL's node mask (conservative above 64 nodes; the
+    /// bitset stays exact).
+    folded: u64,
 }
 
 impl PartialEq for Nsit {
     fn eq(&self, other: &Self) -> bool {
-        self.rows == other.rows
+        Arc::ptr_eq(&self.rows, &other.rows) || self.rows == other.rows
     }
 }
 
@@ -131,12 +120,28 @@ impl fmt::Debug for Nsit {
 
 impl Nsit {
     /// A fresh table for an `n`-node system: all rows empty at version 0
-    /// (and dirty, so the first normalization sweeps everything).
+    /// (and dirty, so the first normalization sweeps everything). Rows are
+    /// owner-tagged so their [`Mnl`] owner-tuple caches are live.
     pub fn new(n: usize) -> Self {
         Nsit {
-            rows: vec![NsitRow::default(); n],
-            dirty_homes: !0,
+            rows: Arc::new(
+                (0..n)
+                    .map(|i| NsitRow {
+                        ts: 0,
+                        mnl: Mnl::for_owner(NodeId::new(i as u32)),
+                    })
+                    .collect(),
+            ),
+            dirty: vec![!0u64; n.div_ceil(64)],
+            folded: !0,
         }
+    }
+
+    /// Marks row `i` changed since the last normalization pass.
+    #[inline]
+    fn mark(&mut self, i: usize) {
+        self.dirty[i >> 6] |= 1u64 << (i & 63);
+        self.folded |= index_bit(i);
     }
 
     /// Number of rows (= system size `N`).
@@ -149,12 +154,11 @@ impl Nsit {
         &self.rows[node.index()]
     }
 
-    /// Mutable row access; conservatively marks the row changed.
+    /// Mutable row access; conservatively marks the row changed. The first
+    /// call after a share (snapshot) re-materializes the row vector.
     pub fn row_mut(&mut self, node: NodeId) -> &mut NsitRow {
-        self.dirty_homes |= index_bit(node.index());
-        let r = &mut self.rows[node.index()];
-        r.dirty = true;
-        r
+        self.mark(node.index());
+        &mut Arc::make_mut(&mut self.rows)[node.index()]
     }
 
     /// Iterates `(owner, row)` pairs.
@@ -167,62 +171,62 @@ impl Nsit {
 
     /// Iterates rows mutably, in node order; conservatively marks every
     /// row changed (cold-path sweeps only — hot sweeps use
-    /// [`Nsit::for_each_row_mut`] to mark precisely).
+    /// `Nsit::for_each_row_mut` to mark precisely).
     pub fn rows_mut(&mut self) -> impl Iterator<Item = &mut NsitRow> {
-        self.dirty_homes = !0;
-        for r in &mut self.rows {
-            r.dirty = true;
-        }
-        self.rows.iter_mut()
+        self.dirty.fill(!0);
+        self.folded = !0;
+        Arc::make_mut(&mut self.rows).iter_mut()
     }
 
     /// Visits every row mutably in node order; `f` returns whether it
     /// changed the row, and only changed rows are marked for the next
     /// normalization pass.
     pub(crate) fn for_each_row_mut(&mut self, mut f: impl FnMut(NodeId, &mut NsitRow) -> bool) {
-        for (i, row) in self.rows.iter_mut().enumerate() {
+        let rows = Arc::make_mut(&mut self.rows);
+        let mut changed: u64 = 0;
+        for (i, row) in rows.iter_mut().enumerate() {
             if f(NodeId::new(i as u32), row) {
-                row.dirty = true;
-                self.dirty_homes |= index_bit(i);
+                self.dirty[i >> 6] |= 1u64 << (i & 63);
+                changed |= index_bit(i);
             }
         }
+        self.folded |= changed;
     }
 
     /// Whether the normalization pass may skip row `k`: clean rows whose
     /// members all live in unchanged home rows cannot yield removals.
     #[inline]
     pub(crate) fn needs_normalize(&self, k: NodeId) -> bool {
-        let r = &self.rows[k.index()];
-        r.dirty || r.mnl.nodes_mask() & self.dirty_homes != 0
+        self.row_is_dirty(k) || self.rows[k.index()].mnl.nodes_mask() & self.folded != 0
     }
 
-    /// The accumulated changed-home bit set (see [`index_bit`]). Within a
-    /// normalization pass, a *clean* row may further skip any member tuple
-    /// whose home bit is clear here: the tuple survived its last decision
-    /// as a keep, and a clear bit proves neither its home row nor its
-    /// NONL status changed since (NONL appends scrub the tuple out of
-    /// every row at append time, and re-imports mark the row dirty).
+    /// Whether node `j`'s home facts changed since the last normalization
+    /// pass — **exact at any N** (bitset indexed by real node id). Within
+    /// a pass, a *clean* row may skip any member tuple whose home is clean
+    /// here: the tuple survived its last decision as a keep, and a clean
+    /// home proves neither its home row nor its NONL status changed since
+    /// (NONL appends scrub the tuple out of every row at append time, and
+    /// re-imports mark the row dirty).
     #[inline]
-    pub(crate) fn dirty_home_bits(&self) -> u64 {
-        self.dirty_homes
+    pub(crate) fn home_is_dirty(&self, j: NodeId) -> bool {
+        let i = j.index();
+        self.dirty[i >> 6] & (1u64 << (i & 63)) != 0
     }
 
     /// Whether row `k` itself changed since the last normalization pass
     /// (as opposed to merely referencing a changed home row).
     #[inline]
     pub(crate) fn row_is_dirty(&self, k: NodeId) -> bool {
-        self.rows[k.index()].dirty
+        self.home_is_dirty(k)
     }
 
     /// Resets the change tracking after a completed normalization pass.
     pub(crate) fn clear_dirty(&mut self) {
-        if self.dirty_homes == 0 {
+        if self.folded == 0 {
             return;
         }
-        self.dirty_homes = 0;
-        for r in self.rows.iter_mut() {
-            r.dirty = false;
-        }
+        self.folded = 0;
+        self.dirty.fill(0);
     }
 
     /// Largest version across all rows (MPM line 36 uses `max(...)+1`).
@@ -233,17 +237,24 @@ impl Nsit {
     /// Deletes the exact tuple from **every** row (Order line 15, Exchange
     /// completion purges). Returns the number of rows it was removed from.
     pub fn delete_everywhere(&mut self, t: &ReqTuple) -> usize {
-        // The per-row node-mask filter proves absence without touching the
-        // row's backing allocation; `remove` stays gated on an exact
-        // membership probe, so the filter only skips guaranteed no-ops.
+        // Read-only prescan: the per-row exact `contains` probe (mask
+        // filter + owner cache fast path) finds the rows to touch without
+        // unsharing the vector; a miss everywhere — the common case for
+        // completion purges — leaves a shared table shared.
+        if !self.rows.iter().any(|r| r.mnl.contains(t)) {
+            return 0;
+        }
         let mut removed = 0usize;
-        for (i, row) in self.rows.iter_mut().enumerate() {
+        let rows = Arc::make_mut(&mut self.rows);
+        let mut changed: u64 = 0;
+        for (i, row) in rows.iter_mut().enumerate() {
             if row.mnl.may_contain_node(t.node) && row.mnl.remove(t) {
-                row.dirty = true;
-                self.dirty_homes |= index_bit(i);
+                self.dirty[i >> 6] |= 1u64 << (i & 63);
+                changed |= index_bit(i);
                 removed += 1;
             }
         }
+        self.folded |= changed;
         removed
     }
 
@@ -261,10 +272,10 @@ impl Nsit {
     /// All distinct tuples present anywhere in the table.
     pub fn distinct_tuples(&self) -> Vec<ReqTuple> {
         let mut out: Vec<ReqTuple> = Vec::new();
-        for r in &self.rows {
+        for r in self.rows.iter() {
             for t in r.mnl.iter() {
-                if !out.contains(t) {
-                    out.push(*t);
+                if !out.contains(&t) {
+                    out.push(t);
                 }
             }
         }
@@ -276,6 +287,12 @@ impl Nsit {
         self.rows.iter().any(|r| r.mnl.contains(t))
     }
 
+    /// Whether this table shares its row vector with `other` (and is
+    /// therefore content-equal without looking).
+    pub fn same_backing(&self, other: &Nsit) -> bool {
+        Arc::ptr_eq(&self.rows, &other.rows)
+    }
+
     /// Lemma 1 invariant across all rows.
     pub fn invariant_lemma1(&self) -> bool {
         self.rows
@@ -283,8 +300,9 @@ impl Nsit {
             .all(|r| r.mnl.invariant_one_per_node() && r.mnl.len() <= self.n())
     }
 
-    /// Rough serialized size (for the wire-size metric). O(N) over inline
-    /// length caches — no per-row deref.
+    /// Rough serialized size (for the wire-size metric). Computed from
+    /// logical content via inline length caches — O(N), no per-row deref,
+    /// and identical whatever the sharing structure.
     pub fn wire_size(&self) -> usize {
         self.rows.iter().map(|r| 12 + r.mnl.wire_size()).sum()
     }
@@ -373,8 +391,8 @@ mod tests {
         // A mutation of row 2 dirties row 2 itself...
         s.row_mut(NodeId::new(2)).mnl.push(t(3, 7));
         assert!(s.needs_normalize(NodeId::new(2)));
-        // ...and, via dirty_homes, every row referencing node 2. Row 0
-        // holds tuples of nodes {0, 1} only, so it stays skippable.
+        // ...and, via the dirty-home probe, every row referencing node 2.
+        // Row 0 holds tuples of nodes {0, 1} only, so it stays skippable.
         assert!(!s.needs_normalize(NodeId::new(0)));
         let mut s2 = table();
         s2.clear_dirty();
@@ -383,6 +401,8 @@ mod tests {
             s2.needs_normalize(NodeId::new(0)),
             "row 0 references node 1, whose home row changed"
         );
+        assert!(s2.home_is_dirty(NodeId::new(1)));
+        assert!(!s2.home_is_dirty(NodeId::new(0)));
     }
 
     #[test]
@@ -393,5 +413,38 @@ mod tests {
         assert!(s.needs_normalize(NodeId::new(0)), "row 0 lost a tuple");
         assert!(s.needs_normalize(NodeId::new(1)), "row 1 lost a tuple");
         assert!(!s.needs_normalize(NodeId::new(3)), "row 3 was untouched");
+    }
+
+    #[test]
+    fn dirty_home_probe_is_exact_above_64_nodes() {
+        // Nodes 1 and 65 fold onto the same u64 bit; the bitset must still
+        // tell them apart.
+        let mut s = Nsit::new(70);
+        s.clear_dirty();
+        s.row_mut(NodeId::new(65)).ts = 3;
+        assert!(s.home_is_dirty(NodeId::new(65)));
+        assert!(
+            !s.home_is_dirty(NodeId::new(1)),
+            "aliased bit must not leak across the fold"
+        );
+    }
+
+    #[test]
+    fn clone_shares_rows_until_mutation() {
+        let a = table();
+        let mut b = a.clone();
+        assert!(a.same_backing(&b), "snapshot must share storage");
+        assert_eq!(a, b);
+        // Bookkeeping writes must not unshare.
+        b.clear_dirty();
+        assert!(a.same_backing(&b));
+        // A no-op purge on a shared table must not unshare either.
+        assert_eq!(b.delete_everywhere(&t(9, 9)), 0);
+        assert!(a.same_backing(&b));
+        // A real mutation unshares; the original is untouched.
+        b.row_mut(NodeId::new(2)).mnl.push(t(3, 1));
+        assert!(!a.same_backing(&b));
+        assert!(!a.contains_anywhere(&t(3, 1)));
+        assert!(b.contains_anywhere(&t(3, 1)));
     }
 }

@@ -207,6 +207,11 @@ pub(crate) struct MergeScratch {
     pub(crate) a: NodeTsMap,
     /// Second membership map for phases that need two lists at once.
     pub(crate) b: NodeTsMap,
+    /// Finished-own-tuple overlay for the receive-side row merge: tuples
+    /// proven completed mid-loop are recorded here and filtered out of
+    /// message-row *reads*, instead of purging (and thereby unsharing) the
+    /// message's copy-on-write table that is about to be dropped anyway.
+    pub(crate) ov: NodeTsMap,
     /// Lazily computed home-row facts for the normalize sweep.
     pub(crate) home: HomeFactsMap,
     /// Per-row keep/remove decisions for the normalize sweep.
@@ -220,6 +225,7 @@ impl MergeScratch {
         MergeScratch {
             a: NodeTsMap::new(),
             b: NodeTsMap::new(),
+            ov: NodeTsMap::new(),
             home: HomeFactsMap::new(),
             keep: Vec::new(),
             memo: DecisionMemo::new(),

@@ -105,11 +105,11 @@ impl Si {
                     for t in row.mnl.iter() {
                         let (home_ts, own) = home[t.node.index()];
                         if home_ts >= t.ts
-                            && own != Some(*t)
-                            && !purged.contains(t)
-                            && !self.nonl.contains(t)
+                            && own != Some(t)
+                            && !purged.contains(&t)
+                            && !self.nonl.contains(&t)
                         {
-                            purged.push(*t);
+                            purged.push(t);
                         }
                     }
                 }
@@ -119,8 +119,8 @@ impl Si {
             None => {
                 for (_, row) in self.nsit.iter() {
                     for t in row.mnl.iter() {
-                        if !purged.contains(t) && self.knows_completed(t) {
-                            purged.push(*t);
+                        if !purged.contains(&t) && self.knows_completed(&t) {
+                            purged.push(t);
                         }
                     }
                 }
@@ -144,7 +144,7 @@ impl Si {
                 if own.is_some() {
                     return None;
                 }
-                own = Some(*t);
+                own = Some(t);
             }
             home.push((row.ts, own));
         }
@@ -170,7 +170,7 @@ impl Si {
     /// them inline equals the deferred `delete_everywhere`.
     ///
     /// The probes come from thread-local epoch-stamped scratch maps
-    /// ([`crate::scratch`]) instead of per-call allocated tables, and the
+    /// (`crate::scratch`) instead of per-call allocated tables, and the
     /// home-row facts are computed lazily per *referenced* node, so a
     /// message whose merge touched little costs little: each tuple pays
     /// two O(1) array probes and a clean row is never cloned-for-write.
@@ -194,7 +194,6 @@ impl Si {
         }
         s.home.begin(n);
         s.memo.begin(n);
-        let dirty_homes = self.nsit.dirty_home_bits();
         let mut purged: Vec<ReqTuple> = Vec::new();
         for k in NodeId::all(n) {
             // Skip rows the change tracking proves clean: unchanged since
@@ -219,11 +218,12 @@ impl Si {
             for t in row.mnl.iter() {
                 let remove = 'decide: {
                     // In a clean row (scanned only because its node mask
-                    // intersects the changed-home bits), every tuple was
-                    // kept by its last decision; only tuples whose own
-                    // home bit changed can decide differently now
-                    // ([`crate::nsit::Nsit::dirty_home_bits`]).
-                    if !row_dirty && crate::mnl::node_bit(t.node) & dirty_homes == 0 {
+                    // intersects the folded dirty summary), every tuple was
+                    // kept by its last decision; only tuples whose home
+                    // row actually changed can decide differently now —
+                    // an exact per-node probe at any N
+                    // ([`crate::nsit::Nsit::home_is_dirty`]).
+                    if !row_dirty && !self.nsit.home_is_dirty(t.node) {
                         break 'decide false;
                     }
                     // A request's tuple recurs across many rows; its
@@ -239,32 +239,33 @@ impl Si {
                     let (home_ts, own, valid) = match s.home.get(t.node) {
                         Some(facts) => facts,
                         None => {
-                            // First reference to this node: compute its
-                            // home facts. A Lemma 1 violation (two own
-                            // tuples) makes the cached own-tuple
-                            // meaningless; mark invalid and probe exactly.
-                            // A clear home-row mask bit proves the row
-                            // holds no own tuple without dereferencing it.
+                            // First reference to this node: record its home
+                            // facts. The home row's own-tuple cache answers
+                            // in O(1) without dereferencing the row, and a
+                            // Lemma 1 violation (cache untrusted) routes to
+                            // the exact walk, marked invalid so decisions
+                            // probe the live state.
                             let hr = self.nsit.row(t.node);
-                            let (own, valid) = if !hr.mnl.may_contain_node(t.node) {
-                                (None, true)
-                            } else {
-                                let mut own: Option<ReqTuple> = None;
-                                let mut valid = true;
-                                for x in hr.mnl.iter().filter(|x| x.node == t.node) {
-                                    if own.is_some() {
-                                        valid = false;
-                                        break;
+                            let (own, valid) = match hr.mnl.owner_fact() {
+                                Some(own) => (own, true),
+                                None => {
+                                    let mut own: Option<ReqTuple> = None;
+                                    let mut valid = true;
+                                    for x in hr.mnl.iter().filter(|x| x.node == t.node) {
+                                        if own.is_some() {
+                                            valid = false;
+                                            break;
+                                        }
+                                        own = Some(x);
                                     }
-                                    own = Some(*x);
+                                    (own, valid)
                                 }
-                                (own, valid)
                             };
                             s.home.set(t.node, hr.ts, own, valid)
                         }
                     };
                     if valid {
-                        let remove = home_ts >= t.ts && own != Some(*t);
+                        let remove = home_ts >= t.ts && own != Some(t);
                         s.memo.set(t.node, t.ts, remove);
                         remove
                     } else {
@@ -272,13 +273,13 @@ impl Si {
                         // live state exactly, uncached (mid-pass removals
                         // could shift the answer here, unlike the valid
                         // path).
-                        self.knows_completed(t)
+                        self.knows_completed(&t)
                     }
                 };
                 if remove {
                     // Removals that are not NONL members are zombies.
-                    if s.a.get(t.node) != Some(t.ts) && !purged.contains(t) {
-                        purged.push(*t);
+                    if s.a.get(t.node) != Some(t.ts) && !purged.contains(&t) {
+                        purged.push(t);
                     }
                     removals += 1;
                 }

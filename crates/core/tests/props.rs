@@ -55,11 +55,11 @@ proptest! {
         y.intersect(&ma);
         prop_assert!(x.len() <= ma.len());
         for t in x.iter() {
-            prop_assert!(ma.contains(t) && mb.contains(t));
-            prop_assert!(y.contains(t));
+            prop_assert!(ma.contains(&t) && mb.contains(&t));
+            prop_assert!(y.contains(&t));
         }
         for t in y.iter() {
-            prop_assert!(x.contains(t));
+            prop_assert!(x.contains(&t));
         }
     }
 

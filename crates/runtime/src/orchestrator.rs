@@ -13,7 +13,8 @@
 //! 2. **Start** — each accepted worker receives its [`WorkerConfig`]
 //!    (workload, timing, seed, crash window, shared CS-log path).
 //! 3. **Serve** — a nonblocking sweep loop routes `Send` frames through
-//!    the same [`FaultQueue`] the in-process network thread uses, so
+//!    the same `FaultQueue` (in `transport::netq`) the in-process network
+//!    thread uses, so
 //!    loss/duplication/straggler/crash-window semantics are identical
 //!    across backends. Mutual exclusion is checked *post hoc* by replaying
 //!    the shared append-only CS log ([`crate::replay_cs_log`]) — workers

@@ -207,9 +207,18 @@ fn get_tuple(buf: &mut Bytes) -> Result<ReqTuple, WireError> {
     if buf.remaining() < 12 {
         return Err(WireError::Truncated);
     }
-    let node = NodeId::new(buf.get_u32());
+    let node = buf.get_u32();
     let ts = buf.get_u64();
-    Ok(ReqTuple::new(node, ts))
+    // The packed row storage holds 16-bit node ids and 48-bit timestamps;
+    // the codec is the trust boundary, so out-of-domain values are a
+    // decode error here, not a panic in `Mnl::push` later.
+    if node > rcv_core::MAX_PACKED_NODE {
+        return Err(WireError::Malformed("tuple node id out of range"));
+    }
+    if ts > rcv_core::MAX_PACKED_TS {
+        return Err(WireError::Malformed("tuple timestamp out of range"));
+    }
+    Ok(ReqTuple::new(NodeId::new(node), ts))
 }
 
 fn get_len(buf: &mut Bytes) -> Result<u32, WireError> {
@@ -223,19 +232,19 @@ fn get_len(buf: &mut Bytes) -> Result<u32, WireError> {
     Ok(len)
 }
 
-fn put_tuple_list<'a>(buf: &mut BytesMut, items: impl ExactSizeIterator<Item = &'a ReqTuple>) {
-    buf.put_u32(items.len() as u32);
+fn put_tuple_list(buf: &mut BytesMut, len: usize, items: impl Iterator<Item = ReqTuple>) {
+    buf.put_u32(len as u32);
     for t in items {
-        put_tuple(buf, t);
+        put_tuple(buf, &t);
     }
 }
 
 fn put_body(buf: &mut BytesMut, body: &MsgBody) {
-    put_tuple_list(buf, body.monl.iter());
+    put_tuple_list(buf, body.monl.len(), body.monl.iter().copied());
     buf.put_u32(body.msit.n() as u32);
     for (_, row) in body.msit.iter() {
         buf.put_u64(row.ts);
-        put_tuple_list(buf, row.mnl.iter());
+        put_tuple_list(buf, row.mnl.len(), row.mnl.iter());
     }
 }
 

@@ -453,7 +453,10 @@ impl<P: MutexProtocol, W: Workload> Engine<P, W> {
                     detail: format!("{msg:?}"),
                 });
             }
-            self.metrics.message_sent(msg.kind(), msg.wire_size());
+            {
+                let _p = crate::profile::probe(crate::profile::ProbePhase::Metrics);
+                self.metrics.message_sent(msg.kind(), msg.wire_size());
+            }
             // Loss first, before any delay is sampled: a lost message (and
             // its would-be duplicate) consumes no network randomness, so a
             // lossless plan leaves the RNG streams bit-identical to the

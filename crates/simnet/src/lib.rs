@@ -56,6 +56,7 @@ mod faults;
 mod ids;
 mod metrics;
 mod monitor;
+pub mod profile;
 mod protocol;
 mod retry;
 mod stats;

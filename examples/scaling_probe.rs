@@ -9,6 +9,7 @@
 use std::time::Instant;
 
 use rcv::core::ForwardPolicy;
+use rcv::simnet::profile;
 use rcv::simnet::{BurstOnce, SimConfig};
 use rcv::workload::Algo;
 
@@ -24,11 +25,13 @@ fn main() {
             args
         }
     };
+    profile::set_enabled(true);
     println!(
         "{:>6} {:>10} {:>10} {:>12} {:>12}",
         "N", "events", "wall ms", "events/sec", "ns/event"
     );
     for n in sizes {
+        let _ = profile::take();
         let t0 = Instant::now();
         let report = Algo::Rcv(ForwardPolicy::Random).run(SimConfig::paper(n, 1), BurstOnce);
         let dt = t0.elapsed();
@@ -44,6 +47,23 @@ fn main() {
             dt.as_secs_f64() * 1e3,
             ev as f64 / dt.as_secs_f64(),
             dt.as_nanos() as f64 / ev as f64
+        );
+        let costs = profile::take();
+        let probed: u64 = costs.iter().map(|c| c.nanos).sum();
+        for (name, c) in profile::PROBE_NAMES.iter().zip(costs.iter()) {
+            println!(
+                "        {:>10} {:>10.1} ms  {:>8.0} ns/ev  x{}",
+                name,
+                c.nanos as f64 / 1e6,
+                c.nanos as f64 / ev as f64,
+                c.count
+            );
+        }
+        println!(
+            "        {:>10} {:>10.1} ms  {:>8.0} ns/ev",
+            "engine*",
+            (dt.as_nanos() as u64).saturating_sub(probed) as f64 / 1e6,
+            (dt.as_nanos() as u64).saturating_sub(probed) as f64 / ev as f64
         );
     }
 }
